@@ -1,0 +1,13 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the pytest-benchmark fixture.
+
+    The experiment drivers are deterministic and comparatively slow, so a
+    single round keeps the suite fast while still registering a timing entry
+    for every figure.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

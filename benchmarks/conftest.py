@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark suite.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper: it runs the corresponding experiment driver from
+:mod:`repro.evaluation.runner` (through the pytest-benchmark fixture so the
+suite works under ``--benchmark-only``), prints the same rows/series the paper
+reports, and asserts the qualitative findings — who wins and by roughly what
+factor — rather than absolute numbers, since the substrate is pure Python
+rather than the paper's JVM implementations.
+
+Workload sizes are deliberately small so the whole suite finishes in minutes;
+set ``REPRO_BENCH_SCALE`` (e.g. to 10 or 100) to enlarge every sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+
+@pytest.fixture
+def emit():
+    """Print a block of benchmark output, clearly delimited in the log."""
+
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+
+    return _emit

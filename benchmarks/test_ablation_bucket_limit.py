@@ -1,0 +1,77 @@
+"""Ablation: the bucket limit m (accuracy of low quantiles under collapse).
+
+Proposition 4 makes the trade-off precise: quantiles stay alpha-accurate as
+long as the data spans at most ``m`` buckets above them.  This ablation sweeps
+``m`` on a wide-range workload and reports which quantiles survive at each
+setting: high quantiles are always fine, low quantiles degrade once the limit
+forces collapsing.
+"""
+
+from _bench_utils import run_once
+
+from repro.baselines import ExactQuantiles
+from repro.core import DDSketch
+from repro.datasets import get_dataset
+from repro.evaluation.report import format_figure_header, format_table
+
+BIN_LIMITS = (64, 256, 1024, 2048)
+QUANTILES = (0.01, 0.25, 0.5, 0.95, 0.99)
+
+
+def test_ablation_bucket_limit(benchmark, emit):
+    values = [float(v) for v in get_dataset("span").generator(30_000, seed=0)]
+    exact = ExactQuantiles(values)
+
+    def measure():
+        table = {}
+        for bin_limit in BIN_LIMITS:
+            sketch = DDSketch(relative_accuracy=0.01, bin_limit=bin_limit)
+            for value in values:
+                sketch.add(value)
+            errors = {}
+            protected = {}
+            gamma = sketch.gamma
+            for quantile in QUANTILES:
+                estimate = sketch.get_quantile_value(quantile)
+                errors[quantile] = exact.relative_error(estimate, quantile)
+                # Proposition 4's condition for this quantile to be safe.
+                protected[quantile] = exact.max <= exact.quantile(quantile) * gamma ** (
+                    bin_limit - 1
+                )
+            table[bin_limit] = {
+                "errors": errors,
+                "protected": protected,
+                "collapsed": sketch.store.is_collapsed,
+            }
+        return table
+
+    table = run_once(benchmark, measure)
+
+    rows = []
+    for bin_limit, data in table.items():
+        rows.append(
+            [bin_limit, "yes" if data["collapsed"] else "no"]
+            + [f"{data['errors'][q]:.3g}" for q in QUANTILES]
+        )
+    emit(format_figure_header("Ablation", "Bucket limit m vs relative error (span data)"))
+    emit(format_table(["m", "collapsed"] + [f"p{q * 100:g}" for q in QUANTILES], rows))
+
+    # Proposition 4: every quantile whose bucket is within m of the maximum
+    # stays alpha-accurate, at every limit.
+    for data in table.values():
+        for quantile in QUANTILES:
+            if data["protected"][quantile]:
+                assert data["errors"][quantile] <= 0.01 * (1 + 1e-9)
+
+    # The wide-range span data overflows the smallest limit: it collapses and
+    # its unprotected low quantiles are far off; the paper's default 2048
+    # never collapses and keeps every quantile accurate.
+    assert table[64]["collapsed"]
+    assert table[64]["errors"][0.01] > 0.01
+    assert not table[2048]["collapsed"]
+    assert max(table[2048]["errors"].values()) <= 0.01 * (1 + 1e-9)
+
+    # Larger limits never hurt: the worst-case error is monotonically
+    # non-increasing in m.
+    worst_errors = [max(table[m]["errors"].values()) for m in BIN_LIMITS]
+    assert worst_errors == sorted(worst_errors, reverse=True)

@@ -1,0 +1,96 @@
+"""Ablation: key-mapping choice (logarithmic vs interpolated).
+
+DESIGN.md calls out the mapping as the main speed/size trade-off inside
+DDSketch: the interpolated mappings avoid the logarithm at insertion time but
+need more buckets for the same relative accuracy.  This ablation quantifies
+the bucket overhead (which must match the documented factors) and records the
+pure-Python insertion timings for each mapping.
+"""
+
+import math
+import time
+
+import pytest
+
+from _bench_utils import run_once
+
+from repro.core.ddsketch import BaseDDSketch
+from repro.datasets import get_dataset
+from repro.evaluation.report import format_figure_header, format_table
+from repro.mapping import (
+    CubicallyInterpolatedMapping,
+    LinearlyInterpolatedMapping,
+    LogarithmicMapping,
+    QuadraticallyInterpolatedMapping,
+)
+from repro.store import CollapsingHighestDenseStore, CollapsingLowestDenseStore
+
+MAPPINGS = {
+    "logarithmic": LogarithmicMapping,
+    "linear": LinearlyInterpolatedMapping,
+    "quadratic": QuadraticallyInterpolatedMapping,
+    "cubic": CubicallyInterpolatedMapping,
+}
+
+EXPECTED_BUCKET_OVERHEAD = {
+    "logarithmic": 1.0,
+    "linear": 1.0 / math.log(2.0),
+    "quadratic": 3.0 / (4.0 * math.log(2.0)),
+    "cubic": 7.0 / (10.0 * math.log(2.0)),
+}
+
+
+def build_sketch_with_mapping(mapping_class):
+    return BaseDDSketch(
+        mapping=mapping_class(0.01),
+        store=CollapsingLowestDenseStore(bin_limit=4096),
+        negative_store=CollapsingHighestDenseStore(bin_limit=4096),
+    )
+
+
+def test_ablation_mapping_bucket_overhead(benchmark, emit):
+    values = [float(v) for v in get_dataset("pareto").generator(50_000, seed=0)]
+
+    def measure():
+        buckets = {}
+        for name, mapping_class in MAPPINGS.items():
+            sketch = build_sketch_with_mapping(mapping_class)
+            for value in values:
+                sketch.add(value)
+            buckets[name] = sketch.num_buckets
+        return buckets
+
+    buckets = run_once(benchmark, measure)
+    rows = [
+        [name, count, f"{count / buckets['logarithmic']:.3f}", f"{EXPECTED_BUCKET_OVERHEAD[name]:.3f}"]
+        for name, count in buckets.items()
+    ]
+    emit(format_figure_header("Ablation", "Mapping choice: bucket count for alpha=0.01 (pareto)"))
+    emit(format_table(["mapping", "buckets", "observed overhead", "expected overhead"], rows))
+
+    for name, count in buckets.items():
+        observed = count / buckets["logarithmic"]
+        assert observed == pytest.approx(EXPECTED_BUCKET_OVERHEAD[name], rel=0.06)
+
+
+def test_ablation_mapping_insert_timing(benchmark, emit):
+    values = [float(v) for v in get_dataset("pareto").generator(20_000, seed=1)]
+
+    def measure():
+        timings = {}
+        for name, mapping_class in MAPPINGS.items():
+            sketch = build_sketch_with_mapping(mapping_class)
+            add = sketch.add
+            start = time.perf_counter()
+            for value in values:
+                add(value)
+            timings[name] = (time.perf_counter() - start) / len(values) * 1e9
+        return timings
+
+    timings = run_once(benchmark, measure)
+    emit(format_figure_header("Ablation", "Mapping choice: ns per add (pure Python)"))
+    emit(format_table(["mapping", "ns/add"], [[k, f"{v:.0f}"] for k, v in timings.items()]))
+
+    # All mappings keep the accuracy guarantee, so the only requirement here
+    # is that no mapping is catastrophically slower than the baseline.
+    assert max(timings.values()) < 5 * min(timings.values())

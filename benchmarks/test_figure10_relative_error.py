@@ -1,0 +1,55 @@
+"""Figure 10: relative errors of the p50, p95 and p99 estimates.
+
+The paper's headline result: DDSketch keeps its relative error below alpha on
+every data set and every stream size, while the rank-error sketches (GKArray)
+and the Moments sketch can be off by orders of magnitude on the heavy-tailed
+data sets (pareto, span), especially at the higher quantiles.
+"""
+
+import pytest
+
+from _bench_utils import run_once
+
+from repro.datasets import dataset_names, get_dataset
+from repro.evaluation.accuracy import measure_accuracy
+from repro.evaluation.config import n_sweep
+from repro.evaluation.report import format_figure_header, format_quantile_errors
+
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_figure10_relative_errors(benchmark, emit, dataset):
+    n_values = n_sweep((20_000,))[0]
+    measurement = run_once(
+        benchmark, measure_accuracy, dataset, n_values, quantiles=QUANTILES, seed=0
+    )
+
+    emit(format_figure_header("Figure 10", f"Relative error of quantile estimates — {dataset}"))
+    emit(format_quantile_errors(measurement.relative_errors, "relative error"))
+
+    # DDSketch (both variants) meets its alpha = 0.01 guarantee everywhere.
+    for variant in ("DDSketch", "DDSketch (fast)"):
+        assert measurement.worst_relative_error(variant) <= 0.01 * (1 + 1e-9)
+
+    # HDR Histogram, the other relative-error sketch, stays within ~1% too.
+    assert measurement.worst_relative_error("HDRHistogram") <= 0.02
+
+    if get_dataset(dataset).heavy_tailed:
+        # On heavy-tailed data the rank-error sketch's worst relative error is
+        # at least an order of magnitude worse than DDSketch's.
+        assert measurement.worst_relative_error("GKArray") > 10 * measurement.worst_relative_error(
+            "DDSketch"
+        )
+    else:
+        # On the dense power data set every sketch is reasonably accurate.
+        for name in measurement.relative_errors:
+            assert measurement.worst_relative_error(name) < 0.2
+
+    if dataset == "span":
+        # On the widest-range data even the moment-based sketch exceeds the
+        # 1% relative error that DDSketch guarantees.  (Note recorded in
+        # EXPERIMENTS.md: our Moments implementation is far more robust than
+        # the reference one, which the paper shows off by orders of magnitude
+        # here, so the gap is smaller than in the paper.)
+        assert measurement.worst_relative_error("MomentsSketch") > 0.01

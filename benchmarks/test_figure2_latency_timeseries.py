@@ -1,0 +1,45 @@
+"""Figure 2: average latency vs p50/p75 of a web endpoint over time.
+
+Runs the distributed-monitoring simulation (agents on several hosts, skewed
+request latencies, per-interval sketch flushes merged by the aggregator) and
+checks the figure's qualitative point: the average latency sits well above the
+median — closer to the p75 — because the latency distribution is skewed.
+"""
+
+from _bench_utils import run_once
+
+from repro.evaluation.report import format_figure_header, format_table
+from repro.evaluation.runner import figure2_latency_timeseries
+
+
+def test_figure2_average_vs_percentiles(benchmark, emit):
+    report = run_once(
+        benchmark,
+        figure2_latency_timeseries,
+        num_hosts=6,
+        requests_per_interval=2_000,
+        num_intervals=20,
+        seed=0,
+    )
+
+    rows = []
+    for (interval, average), (_, p50), (_, p75), (_, p99) in zip(
+        report.average_series, report.p50_series, report.p75_series, report.p99_series
+    ):
+        rows.append([int(interval), f"{average:.2f}", f"{p50:.2f}", f"{p75:.2f}", f"{p99:.2f}"])
+    emit(format_figure_header("Figure 2", "Average vs p50/p75/p99 latency per interval (seconds)"))
+    emit(format_table(["interval", "average", "p50", "p75", "p99"], rows))
+
+    # Shape check: the average is above the median in every interval, and on
+    # average it is closer to the p75 than to the p50 (the figure's caption).
+    closer_to_p75 = 0
+    for (_, average), (_, p50), (_, p75) in zip(
+        report.average_series, report.p50_series, report.p75_series
+    ):
+        assert average > p50
+        if abs(average - p75) < abs(average - p50):
+            closer_to_p75 += 1
+    assert closer_to_p75 >= len(report.average_series) * 0.5
+
+    # The distributed pipeline's overall quantiles stay within alpha of exact.
+    assert report.max_relative_error() <= 0.01 * (1 + 1e-9)

@@ -1,0 +1,38 @@
+"""Figure 3: histograms of web request response times (p0-p95 and p0-p100).
+
+Regenerates the two histograms and checks the property the figure illustrates:
+the full-range histogram is dominated by a long, thin tail (the p95 cut-off is
+a small fraction of the maximum), which is why averages and rank-error
+quantiles mislead on this data.
+"""
+
+from _bench_utils import run_once
+
+from repro.evaluation.report import format_figure_header, format_table
+from repro.evaluation.runner import figure3_histogram
+
+
+def test_figure3_response_time_histograms(benchmark, emit):
+    histograms = run_once(benchmark, figure3_histogram, n_values=200_000, num_bins=30, seed=0)
+
+    rows = []
+    for name, histogram in histograms.items():
+        total = sum(count for _, count in histogram)
+        upper_edge = histogram[-1][0]
+        rows.append([name, total, f"{upper_edge:.1f}"])
+    emit(format_figure_header("Figure 3", "Web response-time histograms"))
+    emit(format_table(["range", "values", "upper edge (s)"], rows))
+
+    p95_histogram = histograms["p0_p95"]
+    full_histogram = histograms["p0_p100"]
+
+    # The p95 cut-off is far below the maximum: a heavy tail.
+    assert full_histogram[-1][0] > 5 * p95_histogram[-1][0]
+
+    # In the full-range histogram the bulk of the mass is in the first bins
+    # and the tail bins are sparse ("shorter than the minimum pixel height").
+    full_counts = [count for _, count in full_histogram]
+    head_mass = sum(full_counts[: max(len(full_counts) // 10, 1)])
+    tail_mass = sum(full_counts[len(full_counts) // 2 :])
+    assert head_mass > 0.8 * sum(full_counts)
+    assert tail_mass < 0.05 * sum(full_counts)

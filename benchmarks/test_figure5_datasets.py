@@ -1,0 +1,64 @@
+"""Figure 5: histograms of the pareto, span and power data sets.
+
+Regenerates the three data-set histograms and checks the distributional
+properties the evaluation relies on: pareto and span are heavy-tailed with
+enormous dynamic range, power is dense and light-tailed.
+"""
+
+import numpy as np
+
+from _bench_utils import run_once
+
+from repro.datasets import get_dataset
+from repro.evaluation.report import format_figure_header, format_table
+from repro.evaluation.runner import figure5_dataset_histograms
+
+
+def test_figure5_dataset_histograms(benchmark, emit):
+    histograms = run_once(benchmark, figure5_dataset_histograms, n_values=100_000, num_bins=30, seed=0)
+
+    rows = []
+    for name, histogram in histograms.items():
+        counts = [count for _, count in histogram]
+        rows.append(
+            [
+                name,
+                sum(counts),
+                f"{histogram[-1][0]:.3g}",
+                f"{max(counts) / max(sum(counts), 1):.2f}",
+            ]
+        )
+    emit(format_figure_header("Figure 5", "Data set histograms"))
+    emit(format_table(["dataset", "values", "max value", "largest bin share"], rows))
+
+    assert set(histograms) == {"pareto", "span", "power"}
+
+    # Heavy-tailed sets: nearly all mass in the first histogram bin (the
+    # paper plots them with log-scale y axes for exactly this reason).
+    for name in ("pareto", "span"):
+        counts = [count for _, count in histograms[name]]
+        assert counts[0] > 0.9 * sum(counts)
+
+    # The power data set, by contrast, spreads its mass across the value
+    # range instead of concentrating it against the axis.
+    power_counts = [count for _, count in histograms["power"]]
+    assert max(power_counts) < 0.7 * sum(power_counts)
+    populated_bins = sum(1 for count in power_counts if count > 0.01 * sum(power_counts))
+    assert populated_bins >= 5
+
+
+def test_figure5_dynamic_ranges(benchmark, emit):
+    def measure():
+        ranges = {}
+        for name in ("pareto", "span", "power"):
+            values = get_dataset(name).generator(100_000, 0)
+            ranges[name] = float(values.max() / values.min())
+        return ranges
+
+    ranges = run_once(benchmark, measure)
+    emit(format_figure_header("Figure 5 (ranges)", "Dynamic range max/min per data set"))
+    emit(format_table(["dataset", "max/min"], [[k, f"{v:.3g}"] for k, v in ranges.items()]))
+
+    assert ranges["span"] > 1e6      # ~10 orders of magnitude in the paper
+    assert ranges["pareto"] > 1e3    # heavy tail
+    assert ranges["power"] < 1e3     # dense, bounded range

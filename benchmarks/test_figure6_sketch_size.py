@@ -1,0 +1,44 @@
+"""Figure 6: sketch size in memory as a function of the stream size.
+
+Reproduces the memory comparison for each data set and checks the paper's
+findings: DDSketch (fast) is larger than DDSketch (more buckets for the same
+accuracy), HDR Histogram is significantly larger than both on wide-range data,
+GKArray and the Moments sketch are much smaller, and the Moments sketch's size
+does not depend on the input size at all.
+"""
+
+import pytest
+
+from _bench_utils import run_once
+
+from repro.datasets import dataset_names
+from repro.evaluation.config import n_sweep
+from repro.evaluation.memory import measure_sketch_sizes
+from repro.evaluation.report import format_figure_header, format_series
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_figure6_sketch_sizes(benchmark, emit, dataset):
+    sweep = n_sweep((1_000, 10_000, 50_000))
+    sizes = run_once(benchmark, measure_sketch_sizes, dataset, sweep, seed=0)
+
+    emit(format_figure_header("Figure 6", f"Sketch size in bytes vs n — {dataset}"))
+    emit(format_series({name: [(n, float(size)) for n, size in series] for name, series in sizes.items()}))
+
+    final = {name: series[-1][1] for name, series in sizes.items()}
+
+    # DDSketch (fast) needs more buckets than the memory-optimal DDSketch.
+    assert final["DDSketch (fast)"] >= final["DDSketch"]
+
+    # The Moments sketch is tiny and completely flat in n.
+    moments_sizes = {size for _, size in sizes["MomentsSketch"]}
+    assert len(moments_sizes) == 1
+    assert final["MomentsSketch"] < final["DDSketch"]
+
+    # GKArray stays small as well (rank summaries are compact).
+    assert final["GKArray"] < final["DDSketch"] * 2
+
+    # HDR Histogram is significantly larger than DDSketch on the wide-range
+    # data sets (pareto, span); on the narrow power data the gap shrinks.
+    if dataset in ("pareto", "span"):
+        assert final["HDRHistogram"] > 2 * final["DDSketch"]

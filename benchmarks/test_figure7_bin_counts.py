@@ -1,0 +1,32 @@
+"""Figure 7: number of DDSketch buckets vs stream size on the pareto data set.
+
+The paper observes that even after 1e10 Pareto values the sketch uses only
+about 900 buckets — less than half the 2048-bucket limit — so collapsing never
+actually happens.  This benchmark reproduces the sub-logarithmic growth curve
+at laptop scale and checks that the limit is never approached.
+"""
+
+from _bench_utils import run_once
+
+from repro.evaluation.config import n_sweep
+from repro.evaluation.memory import measure_ddsketch_bins
+from repro.evaluation.report import format_figure_header, format_series
+
+
+def test_figure7_bin_counts(benchmark, emit):
+    sweep = n_sweep((1_000, 10_000, 100_000))
+    series = run_once(benchmark, measure_ddsketch_bins, "pareto", sweep, seed=0)
+
+    emit(format_figure_header("Figure 7", "Number of DDSketch buckets vs n (pareto)"))
+    emit(format_series({"DDSketch bins": [(n, float(count)) for n, count in series]}))
+
+    counts = [count for _, count in series]
+
+    # Bucket count grows with n but far more slowly (log-like growth).
+    assert counts == sorted(counts)
+    growth = counts[-1] / counts[0]
+    n_growth = sweep[-1] / sweep[0]
+    assert growth < n_growth / 10
+
+    # Far below the default 2048 limit, as in the paper.
+    assert counts[-1] < 1_200

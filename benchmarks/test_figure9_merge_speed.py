@@ -1,0 +1,72 @@
+"""Figure 9: average time required to merge two sketches.
+
+Reproduced findings: merging two DDSketches is fast (direct bucket-array
+addition) — much faster than merging GK summaries; the Moments sketch has the
+fastest merge of all (it only adds ~20 numbers).
+"""
+
+import pytest
+
+from repro.datasets import get_dataset
+from repro.evaluation.config import SKETCH_NAMES, bench_scale, build_sketch
+
+DATASET = "pareto"
+N_VALUES = 20_000
+
+
+@pytest.fixture(scope="module")
+def prebuilt_sketches():
+    """One (left, right) pair of half-stream sketches per sketch name."""
+    dataset = get_dataset(DATASET)
+    size = max(int(N_VALUES * bench_scale()), 1_000)
+    values = [float(v) for v in dataset.generator(size, seed=0)]
+    half = len(values) // 2
+    pairs = {}
+    for sketch_name in SKETCH_NAMES:
+        left = build_sketch(sketch_name, dataset)
+        right = build_sketch(sketch_name, dataset)
+        for value in values[:half]:
+            left.add(value)
+        for value in values[half:]:
+            right.add(value)
+        pairs[sketch_name] = (left, right)
+    return pairs
+
+
+@pytest.mark.parametrize("sketch_name", SKETCH_NAMES)
+def test_figure9_merge_speed(benchmark, sketch_name, prebuilt_sketches):
+    left_template, right = prebuilt_sketches[sketch_name]
+
+    def merge_once():
+        left = left_template.copy()
+        left.merge(right)
+        return left
+
+    merged = benchmark(merge_once)
+    assert merged.count == pytest.approx(left_template.count + right.count)
+
+
+def test_figure9_orderings(benchmark, prebuilt_sketches):
+    """Moments merges fastest; DDSketch merges faster than GKArray and HDR."""
+    import time
+
+    def measure():
+        timings = {}
+        for sketch_name, (left_template, right) in prebuilt_sketches.items():
+            start = time.perf_counter()
+            repetitions = 20
+            for _ in range(repetitions):
+                left = left_template.copy()
+                left.merge(right)
+            timings[sketch_name] = (time.perf_counter() - start) / repetitions
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    print("Figure 9: microseconds per merge (pure Python)")
+    for name, seconds in sorted(timings.items(), key=lambda item: item[1]):
+        print(f"  {name:<18} {seconds * 1e6:10.1f} us/merge")
+
+    assert timings["MomentsSketch"] < timings["DDSketch"]
+    assert timings["DDSketch"] < timings["GKArray"]
+    assert timings["DDSketch"] < timings["HDRHistogram"]

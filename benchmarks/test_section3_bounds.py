@@ -1,0 +1,98 @@
+"""Section 3.3: distribution-dependent sketch size bounds.
+
+Evaluates Theorem 9 for the exponential and Pareto worked examples and checks
+them against the bucket span an actual sketch of sampled data needs.  The
+paper's observation that the bounds are loose in practice (Figure 7 shows
+~900 buckets where the Pareto bound allows thousands) is asserted too.
+"""
+
+from _bench_utils import run_once
+
+from repro.evaluation.report import format_figure_header, format_table
+from repro.theory import (
+    Exponential,
+    Pareto,
+    empirical_bucket_count,
+    empirical_required_buckets,
+    exponential_size_bound,
+    pareto_size_bound,
+)
+
+
+def test_section3_exponential_bound(benchmark, emit):
+    n = 100_000
+
+    def evaluate():
+        bound = exponential_size_bound(n)
+        empirical = empirical_required_buckets(Exponential(1.0), n, 0.5, seed=0)
+        used, _ = empirical_bucket_count(Exponential(1.0), n, seed=0)
+        return bound, empirical, used
+
+    bound, empirical, used = run_once(benchmark, evaluate)
+    emit(format_figure_header("Section 3.3", "Exponential sketch size bound (alpha=0.01)"))
+    emit(
+        format_table(
+            ["quantity", "buckets"],
+            [
+                ["Theorem 9 bound (upper-half quantiles)", f"{bound:.0f}"],
+                ["empirical requirement (sampled)", f"{empirical:.0f}"],
+                ["total non-empty buckets used", used],
+            ],
+        )
+    )
+
+    # The bound holds and is in the low hundreds, as the paper's worked
+    # example (~273 buckets for a million samples) suggests.
+    assert empirical < bound
+    assert 100 < bound < 500
+
+
+def test_section3_pareto_bound(benchmark, emit):
+    n = 100_000
+
+    def evaluate():
+        bound = pareto_size_bound(n)
+        empirical = empirical_required_buckets(Pareto(1.0, 1.0), n, 0.5, seed=0)
+        used, _ = empirical_bucket_count(Pareto(1.0, 1.0), n, seed=0)
+        return bound, empirical, used
+
+    bound, empirical, used = run_once(benchmark, evaluate)
+    emit(format_figure_header("Section 3.3", "Pareto sketch size bound (alpha=0.01)"))
+    emit(
+        format_table(
+            ["quantity", "buckets"],
+            [
+                ["Theorem 9 bound (upper-half quantiles)", f"{bound:.0f}"],
+                ["empirical requirement (sampled)", f"{empirical:.0f}"],
+                ["total non-empty buckets used", used],
+            ],
+        )
+    )
+
+    # The Pareto bound is in the thousands and holds with a lot of slack —
+    # the actual usage stays well under the default 2048 buckets (Figure 7).
+    assert empirical < bound
+    assert bound > 1_000
+    assert used < 2_048
+
+
+def test_section3_bound_scaling(benchmark, emit):
+    def evaluate():
+        rows = []
+        for n in (10_000, 100_000, 1_000_000):
+            rows.append(
+                [n, f"{exponential_size_bound(n):.0f}", f"{pareto_size_bound(n):.0f}"]
+            )
+        return rows
+
+    rows = run_once(benchmark, evaluate)
+    emit(format_figure_header("Section 3.3", "Bound growth with n"))
+    emit(format_table(["n", "exponential bound", "pareto bound"], rows))
+
+    # The exponential bound grows doubly-logarithmically (barely moves), the
+    # Pareto bound logarithmically.
+    exponential_bounds = [float(row[1]) for row in rows]
+    pareto_bounds = [float(row[2]) for row in rows]
+    assert exponential_bounds[-1] / exponential_bounds[0] < 1.5
+    assert pareto_bounds[-1] / pareto_bounds[0] < 3.0
+    assert pareto_bounds[-1] > pareto_bounds[0]

@@ -1,0 +1,50 @@
+"""Table 1: qualitative properties of the quantile sketching algorithms.
+
+Regenerates the (guarantee, range, mergeability) table and checks it against
+the behaviour of the actual implementations: DDSketch accepts arbitrary values
+and merges fully, HDR Histogram rejects out-of-range values, GKArray degrades
+with repeated merging (one-way), and the Moments sketch only promises average
+rank error.
+"""
+
+import pytest
+
+from repro.baselines import HDRHistogram
+from repro.core import DDSketch
+from repro.evaluation.report import format_figure_header, format_table
+from repro.evaluation.runner import table1_properties
+from repro.exceptions import UnsupportedOperationError
+
+from _bench_utils import run_once
+
+
+def test_table1_properties(benchmark, emit):
+    rows = run_once(benchmark, table1_properties)
+    emit(format_figure_header("Table 1", "Quantile sketching algorithms"))
+    emit(format_table(["sketch", "guarantee", "range", "mergeability"], rows))
+
+    table = {row[0]: row[1:] for row in rows}
+    assert table["DDSketch"] == ("relative", "arbitrary", "full")
+    assert table["HDRHistogram"] == ("relative", "bounded", "full")
+    assert table["GKArray"] == ("rank", "arbitrary", "one-way")
+    assert table["MomentsSketch"] == ("avg rank", "bounded", "full")
+
+
+def test_table1_range_claims_match_behaviour(benchmark):
+    def exercise():
+        # DDSketch: arbitrary range — twelve orders of magnitude and negatives.
+        ddsketch = DDSketch()
+        for value in (1e-6, 1e6, -42.0, 3.5e11):
+            ddsketch.add(value)
+        # HDR Histogram: bounded range — the same extreme value is rejected.
+        histogram = HDRHistogram(1.0, 1e6, 2)
+        rejected = False
+        try:
+            histogram.add(3.5e11)
+        except UnsupportedOperationError:
+            rejected = True
+        return ddsketch.count, rejected
+
+    count, rejected = run_once(benchmark, exercise)
+    assert count == 4
+    assert rejected

@@ -1,0 +1,34 @@
+"""Table 2: the sketch parameters used throughout the experiments.
+
+Regenerates the parameter table and checks that the sketch factory actually
+builds every sketch with those parameters.
+"""
+
+from _bench_utils import run_once
+
+from repro.evaluation.config import DEFAULT_PARAMETERS, build_all_sketches
+from repro.evaluation.report import format_figure_header, format_table
+from repro.evaluation.runner import table2_parameters
+
+
+def test_table2_parameters(benchmark, emit):
+    rows = run_once(benchmark, table2_parameters)
+    emit(format_figure_header("Table 2", "Experiment parameters"))
+    emit(format_table(["sketch", "parameters"], rows))
+
+    as_dict = dict(rows)
+    assert as_dict["DDSketch"] == "alpha = 0.01, m = 2048"
+    assert as_dict["HDR Histogram"] == "d = 2"
+    assert as_dict["GKArray"] == "epsilon = 0.01"
+    assert "k = 20" in as_dict["Moments sketch"]
+    assert "compression enabled" in as_dict["Moments sketch"]
+
+
+def test_factory_applies_table2_parameters(benchmark):
+    sketches = run_once(benchmark, build_all_sketches, "pareto")
+    assert sketches["DDSketch"].relative_accuracy == DEFAULT_PARAMETERS.ddsketch_relative_accuracy
+    assert sketches["DDSketch"].bin_limit == DEFAULT_PARAMETERS.ddsketch_bin_limit
+    assert sketches["GKArray"].rank_accuracy == DEFAULT_PARAMETERS.gk_rank_accuracy
+    assert sketches["HDRHistogram"].significant_digits == DEFAULT_PARAMETERS.hdr_significant_digits
+    assert sketches["MomentsSketch"].num_moments == DEFAULT_PARAMETERS.moments_num_moments
+    assert sketches["MomentsSketch"].compression is True

@@ -1,0 +1,12 @@
+"""Repository-level pytest configuration.
+
+Ensures the package under ``src/`` is importable even when the project has not
+been pip-installed (e.g. a fresh checkout in an offline environment).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

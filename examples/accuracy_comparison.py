@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Compare DDSketch against the paper's baselines on heavy-tailed data.
+
+Reproduces the core of the paper's evaluation (Figures 10 and 11) at laptop
+scale: builds every sketch of Table 2 over the three data sets, then prints
+the relative error and rank error of the p50/p95/p99 estimates per sketch.
+
+The headline to look for in the output: on the heavy-tailed ``pareto`` and
+``span`` data sets, DDSketch's relative error stays below 1% while GKArray's
+explodes at the p99 — the exact problem that motivated the sketch.
+
+Run with::
+
+    python examples/accuracy_comparison.py
+"""
+
+from repro.datasets import dataset_names
+from repro.evaluation import measure_accuracy
+from repro.evaluation.report import format_quantile_errors
+
+N_VALUES = 50_000
+QUANTILES = (0.5, 0.95, 0.99)
+
+
+def main() -> None:
+    for dataset in dataset_names():
+        measurement = measure_accuracy(dataset, N_VALUES, quantiles=QUANTILES, seed=0)
+
+        print("=" * 72)
+        print(f"Data set: {dataset}  (n = {N_VALUES})")
+        print("=" * 72)
+        print()
+        print("Relative error (DDSketch guarantees <= 0.01):")
+        print(format_quantile_errors(measurement.relative_errors, "sketch"))
+        print()
+        print("Rank error (GKArray guarantees <= 0.01):")
+        print(format_quantile_errors(measurement.rank_errors, "sketch"))
+        print()
+
+        ddsketch_worst = measurement.worst_relative_error("DDSketch")
+        gk_worst = measurement.worst_relative_error("GKArray")
+        print(
+            "DDSketch worst relative error: {:.4f}   GKArray worst relative error: {:.4f}"
+            "   (ratio: {:.1f}x)".format(ddsketch_worst, gk_worst, gk_worst / max(ddsketch_worst, 1e-12))
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: sketch a stream of latencies and query its quantiles.
+
+Demonstrates the core DDSketch API in under a minute:
+
+* create a sketch with a 1% relative-accuracy guarantee,
+* insert values (here: synthetic web-request latencies),
+* query quantiles, exact summaries and the sketch's memory footprint,
+* merge two sketches and serialize one for transport.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DDSketch
+from repro.datasets import web_latency_values
+
+
+def main() -> None:
+    # A DDSketch with the paper's default parameters: alpha = 1%, m = 2048.
+    sketch = DDSketch(relative_accuracy=0.01)
+
+    # Insert 100,000 synthetic request latencies (seconds, heavily skewed).
+    latencies = web_latency_values(100_000, seed=42)
+    for latency in latencies:
+        sketch.add(float(latency))
+
+    print("Inserted values :", int(sketch.count))
+    print("Exact min/max   : {:.3f} s / {:.3f} s".format(sketch.min, sketch.max))
+    print("Exact average   : {:.3f} s".format(sketch.avg))
+    print()
+    print("Quantile estimates (each within 1% of the true value):")
+    for quantile in (0.5, 0.75, 0.9, 0.95, 0.99, 0.999):
+        estimate = sketch.get_quantile_value(quantile)
+        print("  p{:<5g} = {:>8.3f} s".format(quantile * 100, estimate))
+    print()
+    print("Sketch footprint: {} buckets, ~{} bytes".format(sketch.num_buckets, sketch.size_in_bytes()))
+
+    # Sketches from different workers merge exactly (full mergeability).
+    other = DDSketch(relative_accuracy=0.01)
+    for latency in web_latency_values(50_000, seed=7):
+        other.add(float(latency))
+    sketch.merge(other)
+    print()
+    print("After merging a second worker's sketch:")
+    print("  combined count =", int(sketch.count))
+    print("  combined p99   = {:.3f} s".format(sketch.get_quantile_value(0.99)))
+
+    # Serialize for transport; the wire format is a few kilobytes.
+    payload = sketch.to_bytes()
+    restored = DDSketch.from_bytes(payload)
+    print()
+    print("Serialized size : {} bytes".format(len(payload)))
+    print("Round-trip p99  : {:.3f} s".format(restored.get_quantile_value(0.99)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Evaluate the Section 3 sketch-size bounds and compare against reality.
+
+The paper proves (Theorem 9) that for data whose logarithm is subexponential a
+DDSketch needs only O(log n) buckets to answer every quantile above a constant
+q with relative accuracy alpha, and works the bound out for exponential and
+Pareto data.  This script evaluates those bounds for a range of stream sizes
+and measures how many buckets a real sketch of sampled data actually needs —
+illustrating the paper's remark that the bounds are comfortably loose.
+
+Run with::
+
+    python examples/theory_bounds.py
+"""
+
+from repro.evaluation.report import format_table
+from repro.theory import (
+    Exponential,
+    Pareto,
+    empirical_bucket_count,
+    empirical_required_buckets,
+    exponential_size_bound,
+    pareto_size_bound,
+    theorem9_size_bound,
+)
+
+
+def main() -> None:
+    alpha = 0.01
+    print("Relative accuracy alpha = {:.2%}, failure probability delta = e^-10".format(alpha))
+    print()
+
+    print("Exponential(1) data — Theorem 9 vs a sampled sketch:")
+    rows = []
+    for n in (10_000, 100_000, 1_000_000):
+        bound = exponential_size_bound(n, alpha=alpha)
+        sample_n = min(n, 200_000)  # keep the empirical part fast
+        needed = empirical_required_buckets(Exponential(1.0), sample_n, 0.5, alpha, seed=0)
+        used, _ = empirical_bucket_count(Exponential(1.0), sample_n, alpha, seed=0)
+        rows.append([n, f"{bound:.0f}", f"{needed:.0f}", used])
+    print(format_table(["n", "Theorem 9 bound", "needed (sampled)", "buckets used"], rows))
+    print()
+
+    print("Pareto(1, 1) data — the paper's heavy-tail worked example:")
+    rows = []
+    for n in (10_000, 100_000, 1_000_000):
+        bound = pareto_size_bound(n, alpha=alpha)
+        sample_n = min(n, 200_000)
+        needed = empirical_required_buckets(Pareto(1.0, 1.0), sample_n, 0.5, alpha, seed=0)
+        used, _ = empirical_bucket_count(Pareto(1.0, 1.0), sample_n, alpha, seed=0)
+        rows.append([n, f"{bound:.0f}", f"{needed:.0f}", used])
+    print(format_table(["n", "Theorem 9 bound", "needed (sampled)", "buckets used"], rows))
+    print()
+
+    print("Take-aways (matching Section 3.3 and Figure 7 of the paper):")
+    print(" * the exponential bound barely grows with n (double-logarithmic),")
+    print(" * the Pareto bound is in the thousands, yet a real sketch of Pareto data")
+    print("   uses only a few hundred buckets — far below the default 2048 limit,")
+    print(" * so in practice the bucket-collapsing path is never exercised.")
+    print()
+
+    print("Generic Theorem 9 evaluation for other quantiles (Exponential(1), n = 1e6):")
+    rows = []
+    for quantile in (0.1, 0.25, 0.5):
+        bound = theorem9_size_bound(Exponential(1.0), 1_000_000, quantile, alpha)
+        rows.append([f"({quantile}, 1)", f"{bound:.0f}"])
+    print(format_table(["quantile range", "bucket bound"], rows))
+
+
+if __name__ == "__main__":
+    main()

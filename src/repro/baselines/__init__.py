@@ -1,0 +1,39 @@
+"""Baseline quantile sketches that DDSketch is evaluated against.
+
+Section 4 of the paper compares DDSketch with three other sketches, all of
+which are implemented here from scratch so that the full evaluation can run
+without external dependencies:
+
+* :class:`GKArray` — the Greenwald–Khanna variant used by Datadog
+  (rank-error guarantee, arbitrary range, one-way mergeable).
+* :class:`HDRHistogram` — the High Dynamic Range histogram
+  (relative-error-like guarantee via significant digits, bounded range,
+  fully mergeable).
+* :class:`MomentsSketch` — the moment-based sketch of Gan et al.
+  (average rank-error guarantee, bounded in practice, fully mergeable).
+
+Two additional sketches discussed in the related-work section are provided as
+extensions for completeness:
+
+* :class:`TDigest` — the biased rank-error sketch used by Elasticsearch.
+* :class:`KLLSketch` — the optimal randomized uniform rank-error sketch.
+
+:class:`ExactQuantiles` keeps every value and is the ground truth against
+which all error measurements are made.
+"""
+
+from repro.baselines.exact import ExactQuantiles
+from repro.baselines.gk import GKArray
+from repro.baselines.hdr import HDRHistogram
+from repro.baselines.moments import MomentsSketch
+from repro.baselines.tdigest import TDigest
+from repro.baselines.kll import KLLSketch
+
+__all__ = [
+    "ExactQuantiles",
+    "GKArray",
+    "HDRHistogram",
+    "MomentsSketch",
+    "TDigest",
+    "KLLSketch",
+]

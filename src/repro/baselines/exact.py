@@ -1,0 +1,172 @@
+"""Exact quantile computation, used as ground truth in every experiment.
+
+The paper defines the q-quantile of a multiset ``S`` of size ``n`` as the item
+of rank ``floor(1 + q * (n - 1))`` in the sorted multiset (the *lower*
+quantile).  :class:`ExactQuantiles` stores every inserted value and evaluates
+that definition exactly; it also reports exact ranks, which the rank-error
+measurements (Figure 11) need.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class ExactQuantiles:
+    """Stores the full data set and answers quantile/rank queries exactly.
+
+    Not a sketch: memory grows linearly with the number of inserted values.
+    It exists to provide the "Actual" series in the paper's figures and the
+    reference values for relative-error and rank-error measurements.
+    """
+
+    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
+        self._values: List[float] = []
+        self._sorted = True
+        if values is not None:
+            self.add_all(values)
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Insert ``value`` with integer multiplicity ``weight``."""
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be finite, got {value!r}")
+        repeat = int(weight)
+        if repeat <= 0 or repeat != weight:
+            raise IllegalArgumentError(
+                f"ExactQuantiles only supports positive integer weights, got {weight!r}"
+            )
+        self._values.extend([float(value)] * repeat)
+        self._sorted = False
+
+    def add_all(self, values: Iterable[float]) -> "ExactQuantiles":
+        """Insert every value from an iterable; returns ``self`` for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    def merge(self, other: "ExactQuantiles") -> None:
+        """Concatenate another exact container into this one."""
+        self._values.extend(other._values)
+        self._sorted = False
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> float:
+        """Number of values stored."""
+        return float(len(self._values))
+
+    @property
+    def values(self) -> Sequence[float]:
+        """The stored values in sorted order."""
+        self._ensure_sorted()
+        return tuple(self._values)
+
+    def get_quantile_value(self, quantile: float) -> Optional[float]:
+        """Exact lower q-quantile, or ``None`` for an empty container."""
+        if not self._values or quantile < 0 or quantile > 1:
+            return None
+        self._ensure_sorted()
+        index = int(math.floor(quantile * (len(self._values) - 1)))
+        return self._values[index]
+
+    def quantile(self, quantile: float) -> float:
+        """Exact lower q-quantile; raises on empty input or invalid quantile."""
+        if quantile < 0 or quantile > 1:
+            raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        if not self._values:
+            raise EmptySketchError("no values recorded")
+        value = self.get_quantile_value(quantile)
+        assert value is not None
+        return value
+
+    def get_quantiles(self, quantiles: Sequence[float]) -> List[Optional[float]]:
+        """Exact lower quantiles for several probabilities at once."""
+        return [self.get_quantile_value(q) for q in quantiles]
+
+    def rank(self, value: float) -> int:
+        """Number of stored values less than or equal to ``value``."""
+        self._ensure_sorted()
+        return bisect.bisect_right(self._values, value)
+
+    def rank_error(self, value: float, quantile: float) -> float:
+        """Normalized rank error of ``value`` as an estimate of the q-quantile.
+
+        Defined as ``|rank(value) - rank(actual)| / n``, the measure plotted in
+        Figure 11 of the paper.
+        """
+        if not self._values:
+            raise EmptySketchError("no values recorded")
+        self._ensure_sorted()
+        n = len(self._values)
+        actual_rank = int(math.floor(1 + quantile * (n - 1)))
+        estimated_rank = self.rank(value)
+        return abs(estimated_rank - actual_rank) / n
+
+    def relative_error(self, value: float, quantile: float) -> float:
+        """Relative error of ``value`` as an estimate of the q-quantile.
+
+        Defined as ``|value - actual| / |actual|`` (Definition 1 of the paper);
+        when the actual quantile is zero the absolute error is returned.
+        """
+        actual = self.quantile(quantile)
+        if actual == 0:
+            return abs(value - actual)
+        return abs(value - actual) / abs(actual)
+
+    @property
+    def min(self) -> float:
+        """Smallest stored value."""
+        if not self._values:
+            raise EmptySketchError("no values recorded")
+        self._ensure_sorted()
+        return self._values[0]
+
+    @property
+    def max(self) -> float:
+        """Largest stored value."""
+        if not self._values:
+            raise EmptySketchError("no values recorded")
+        self._ensure_sorted()
+        return self._values[-1]
+
+    @property
+    def sum(self) -> float:
+        """Sum of stored values."""
+        return math.fsum(self._values)
+
+    @property
+    def avg(self) -> float:
+        """Average of stored values."""
+        if not self._values:
+            raise EmptySketchError("no values recorded")
+        return self.sum / len(self._values)
+
+    def size_in_bytes(self) -> int:
+        """Memory model: 8 bytes per stored value."""
+        return 64 + 8 * len(self._values)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return f"ExactQuantiles(count={len(self._values)})"

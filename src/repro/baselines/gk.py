@@ -1,0 +1,312 @@
+"""GKArray: the Greenwald–Khanna rank-error quantile sketch (array variant).
+
+This is the baseline the paper calls GKArray: a practical reformulation of the
+Greenwald–Khanna summary where the summary is kept as a sorted array of
+``(value, g, delta)`` entries and new values are buffered and folded in
+batches.  It guarantees that the *rank* error of any quantile estimate is at
+most ``rank_accuracy * n``; it makes no relative-error promise, which is
+exactly the weakness Figure 10 of the paper exposes on heavy-tailed data.
+
+GKArray is only "one-way" mergeable: merging another sketch into this one
+keeps the rank-error guarantee (with the error adding up across merges), but
+the merge operation itself cannot be further distributed arbitrarily without
+degrading the guarantee (Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+@dataclass
+class _Entry:
+    """One tuple of the GK summary.
+
+    ``value`` is a data point kept by the summary, ``g`` is the gap between
+    this entry's minimum possible rank and the previous entry's, and ``delta``
+    is the uncertainty on this entry's rank.
+    """
+
+    value: float
+    g: int
+    delta: int
+
+
+class GKArray:
+    """Greenwald–Khanna quantile sketch with an insertion buffer.
+
+    Parameters
+    ----------
+    rank_accuracy:
+        The rank-error bound ``epsilon``: any q-quantile estimate has rank
+        within ``epsilon * n`` of the true q-quantile's rank.  The paper's
+        experiments use ``epsilon = 0.01`` (Table 2).
+    """
+
+    def __init__(self, rank_accuracy: float = 0.01) -> None:
+        if rank_accuracy <= 0 or rank_accuracy >= 1:
+            raise IllegalArgumentError(
+                f"rank_accuracy must be in (0, 1), got {rank_accuracy!r}"
+            )
+        self._rank_accuracy = float(rank_accuracy)
+        self._entries: List[_Entry] = []
+        self._incoming: List[float] = []
+        self._compress_threshold = max(int(1.0 / rank_accuracy) + 1, 2)
+        self._count = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._sum = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rank_accuracy(self) -> float:
+        """The guaranteed rank-error bound ``epsilon``."""
+        return self._rank_accuracy
+
+    @property
+    def count(self) -> float:
+        """Total number of inserted values."""
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Exact minimum inserted value."""
+        if self._count == 0:
+            raise EmptySketchError("the sketch is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum inserted value."""
+        if self._count == 0:
+            raise EmptySketchError("the sketch is empty")
+        return self._max
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of inserted values."""
+        return self._sum
+
+    @property
+    def avg(self) -> float:
+        """Exact average of inserted values."""
+        if self._count == 0:
+            raise EmptySketchError("the sketch is empty")
+        return self._sum / self._count
+
+    @property
+    def num_entries(self) -> int:
+        """Number of summary entries currently kept (after compression)."""
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no values have been inserted."""
+        return self._count == 0
+
+    def size_in_bytes(self) -> int:
+        """Memory model: 16 bytes per summary entry, 8 per buffered value."""
+        return 64 + 16 * len(self._entries) + 8 * len(self._incoming)
+
+    # ------------------------------------------------------------------ #
+    # Insertion
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Insert ``value`` (with positive integer multiplicity ``weight``)."""
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be finite, got {value!r}")
+        repeat = int(weight)
+        if repeat <= 0 or repeat != weight:
+            raise IllegalArgumentError(
+                f"GKArray only supports positive integer weights, got {weight!r}"
+            )
+        for _ in range(repeat):
+            self._incoming.append(value)
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._incoming) >= self._compress_threshold:
+                self._compress()
+
+    def add_all(self, values: Iterable[float]) -> "GKArray":
+        """Insert every value from an iterable; returns ``self`` for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Merging (one-way)
+    # ------------------------------------------------------------------ #
+
+    def merge(self, other: "GKArray") -> None:
+        """Fold ``other`` into this sketch (one-way merge).
+
+        The incoming sketch's entries are converted back into weighted samples
+        whose rank uncertainty is spread over the summary, so the resulting
+        rank error is bounded by the sum of both sketches' errors.
+        """
+        if not isinstance(other, GKArray):
+            raise IllegalArgumentError(f"cannot merge GKArray with {type(other).__name__}")
+        if other.is_empty:
+            return
+        if self.is_empty:
+            self._copy_from(other)
+            return
+
+        other_flushed = other.copy()
+        other_flushed._compress()
+        spread = int(other_flushed._rank_accuracy * (other_flushed._count - len(other_flushed._incoming)))
+        incoming_entries: List[_Entry] = []
+        remainder = 0
+        for entry in other_flushed._entries:
+            g = entry.g + remainder
+            if g > spread:
+                incoming_entries.append(_Entry(entry.value, g - spread, entry.delta + spread))
+                remainder = spread
+            else:
+                remainder = g
+        if remainder > 0 and incoming_entries:
+            incoming_entries[0] = _Entry(
+                incoming_entries[0].value,
+                incoming_entries[0].g + remainder,
+                incoming_entries[0].delta,
+            )
+        elif remainder > 0:
+            incoming_entries.append(_Entry(other_flushed._entries[-1].value, remainder, 0))
+
+        self._count += other_flushed._count
+        self._sum += other_flushed._sum
+        self._min = min(self._min, other_flushed._min)
+        self._max = max(self._max, other_flushed._max)
+        self._compress(extra_entries=incoming_entries)
+
+    def copy(self) -> "GKArray":
+        """Return a deep copy of this sketch."""
+        new = GKArray(self._rank_accuracy)
+        new._entries = [_Entry(e.value, e.g, e.delta) for e in self._entries]
+        new._incoming = list(self._incoming)
+        new._count = self._count
+        new._min = self._min
+        new._max = self._max
+        new._sum = self._sum
+        return new
+
+    def _copy_from(self, other: "GKArray") -> None:
+        copied = other.copy()
+        self._rank_accuracy = copied._rank_accuracy
+        self._entries = copied._entries
+        self._incoming = copied._incoming
+        self._count = copied._count
+        self._min = copied._min
+        self._max = copied._max
+        self._sum = copied._sum
+
+    # ------------------------------------------------------------------ #
+    # Quantile queries
+    # ------------------------------------------------------------------ #
+
+    def get_quantile_value(self, quantile: float) -> Optional[float]:
+        """Return an epsilon-rank-accurate estimate of the q-quantile."""
+        if quantile < 0 or quantile > 1 or self._count == 0:
+            return None
+        if self._incoming:
+            self._compress()
+        if not self._entries:
+            return None
+
+        rank = int(quantile * (self._count - 1)) + 1
+        spread = int(self._rank_accuracy * (self._count - 1))
+        g_sum = 0
+        index = 0
+        while index < len(self._entries):
+            g_sum += self._entries[index].g
+            if g_sum + self._entries[index].delta > rank + spread:
+                break
+            index += 1
+        if index == 0:
+            return self._min
+        if index == len(self._entries):
+            return self._entries[-1].value
+        return self._entries[index - 1].value
+
+    def get_quantiles(self, quantiles: Sequence[float]) -> List[Optional[float]]:
+        """Return estimates for several quantiles at once."""
+        return [self.get_quantile_value(q) for q in quantiles]
+
+    # ------------------------------------------------------------------ #
+    # Compression
+    # ------------------------------------------------------------------ #
+
+    def _compress(self, extra_entries: Optional[List[_Entry]] = None) -> None:
+        """Fold buffered values (and optional merged entries) into the summary.
+
+        Rebuilds the summary from the union of the existing entries, the
+        sorted buffer, and any entries from a merge, then greedily removes
+        entries whose removal keeps every remaining entry's rank uncertainty
+        within ``2 * epsilon * n``.
+
+        Every item inserted between two existing summary entries inherits the
+        rank uncertainty of its successor (``delta = g_succ + delta_succ - 1``,
+        the standard Greenwald–Khanna insertion rule); without it the summary
+        silently loses track of how uncertain the new tuple's rank is and the
+        error compounds across compression rounds.
+        """
+        removal_threshold = 2.0 * self._rank_accuracy * (self._count - 1)
+
+        new_items = [_Entry(value, 1, 0) for value in sorted(self._incoming)]
+        if extra_entries:
+            new_items = sorted(
+                new_items + [_Entry(e.value, e.g, e.delta) for e in extra_entries],
+                key=lambda e: e.value,
+            )
+
+        # Merge new items into the existing (sorted) summary, assigning each
+        # new item the uncertainty of the existing entry that follows it.
+        merged: List[_Entry] = []
+        old_entries = self._entries
+        old_index = 0
+        for item in new_items:
+            while old_index < len(old_entries) and old_entries[old_index].value <= item.value:
+                merged.append(old_entries[old_index])
+                old_index += 1
+            if old_index < len(old_entries):
+                successor = old_entries[old_index]
+                item = _Entry(
+                    item.value,
+                    item.g,
+                    item.delta + successor.g + successor.delta - 1,
+                )
+            merged.append(item)
+        merged.extend(old_entries[old_index:])
+
+        # Greedy compression: drop an entry when its weight can be absorbed by
+        # the next entry without exceeding the uncertainty budget.
+        compressed: List[_Entry] = []
+        for entry in merged:
+            if compressed:
+                previous = compressed[-1]
+                if previous.g + entry.g + entry.delta <= removal_threshold:
+                    # Absorb the previous entry into this one.
+                    entry = _Entry(entry.value, previous.g + entry.g, entry.delta)
+                    compressed.pop()
+            compressed.append(entry)
+
+        self._entries = compressed
+        self._incoming = []
+
+    def __repr__(self) -> str:
+        return (
+            f"GKArray(rank_accuracy={self._rank_accuracy!r}, count={self._count!r}, "
+            f"num_entries={len(self._entries)})"
+        )

@@ -1,0 +1,247 @@
+"""t-digest: a biased rank-error quantile sketch (Dunning & Ertl).
+
+The t-digest is discussed in the paper's related work as the sketch used by
+Elasticsearch for its percentile aggregations: it keeps a bounded number of
+centroids whose sizes are constrained by a scale function that makes clusters
+near the extreme quantiles tiny, giving much better *rank* accuracy at the
+tails than uniform rank-error sketches.  Like GK, it is only one-way
+mergeable, and like every rank-error sketch it offers no relative-error
+guarantee on heavy-tailed data.
+
+This implementation follows the "merging digest" formulation: incoming points
+are buffered and periodically merged with the existing centroids in a single
+pass constrained by the ``k1`` scale function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+@dataclass
+class _Centroid:
+    """A cluster of values represented by its mean and total weight."""
+
+    mean: float
+    weight: float
+
+
+class TDigest:
+    """Merging t-digest with the ``k1`` (arcsine) scale function.
+
+    Parameters
+    ----------
+    compression:
+        The ``delta`` compression parameter; the digest keeps roughly
+        ``2 * compression`` centroids.  Larger values give better accuracy and
+        a bigger sketch.
+    buffer_size:
+        Number of incoming points buffered before a merge pass runs.
+    """
+
+    def __init__(self, compression: float = 100.0, buffer_size: int = 512) -> None:
+        if compression < 10:
+            raise IllegalArgumentError(f"compression must be at least 10, got {compression!r}")
+        if buffer_size < 1:
+            raise IllegalArgumentError(f"buffer_size must be positive, got {buffer_size!r}")
+        self._compression = float(compression)
+        self._buffer_size = int(buffer_size)
+        self._centroids: List[_Centroid] = []
+        self._buffer: List[_Centroid] = []
+        self._count = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._sum = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def compression(self) -> float:
+        """The delta compression parameter."""
+        return self._compression
+
+    @property
+    def count(self) -> float:
+        """Total inserted weight."""
+        return self._count
+
+    @property
+    def min(self) -> float:
+        """Exact minimum inserted value."""
+        if self._count == 0:
+            raise EmptySketchError("the digest is empty")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum inserted value."""
+        if self._count == 0:
+            raise EmptySketchError("the digest is empty")
+        return self._max
+
+    @property
+    def sum(self) -> float:
+        """Exact (weighted) sum of inserted values."""
+        return self._sum
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no values have been inserted."""
+        return self._count == 0
+
+    @property
+    def num_centroids(self) -> int:
+        """Number of centroids currently kept (after compression)."""
+        return len(self._centroids)
+
+    def size_in_bytes(self) -> int:
+        """Memory model: 16 bytes per centroid plus the insertion buffer."""
+        return 64 + 16 * len(self._centroids) + 16 * len(self._buffer)
+
+    # ------------------------------------------------------------------ #
+    # Insertion and merging
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Insert ``value`` with multiplicity ``weight``."""
+        if weight <= 0 or math.isnan(weight) or math.isinf(weight):
+            raise IllegalArgumentError(f"weight must be a positive finite number, got {weight!r}")
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be finite, got {value!r}")
+        self._buffer.append(_Centroid(float(value), float(weight)))
+        self._count += weight
+        self._sum += value * weight
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._buffer) >= self._buffer_size:
+            self._merge_buffer()
+
+    def add_all(self, values: Iterable[float]) -> "TDigest":
+        """Insert every value from an iterable; returns ``self`` for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    def merge(self, other: "TDigest") -> None:
+        """Fold another digest into this one (one-way merge)."""
+        if not isinstance(other, TDigest):
+            raise IllegalArgumentError(f"cannot merge TDigest with {type(other).__name__}")
+        if other.is_empty:
+            return
+        for centroid in other._centroids + other._buffer:
+            self._buffer.append(_Centroid(centroid.mean, centroid.weight))
+        self._count += other._count
+        self._sum += other._sum
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        self._merge_buffer()
+
+    def copy(self) -> "TDigest":
+        """Return a deep copy of this digest."""
+        new = TDigest(self._compression, self._buffer_size)
+        new._centroids = [_Centroid(c.mean, c.weight) for c in self._centroids]
+        new._buffer = [_Centroid(c.mean, c.weight) for c in self._buffer]
+        new._count = self._count
+        new._min = self._min
+        new._max = self._max
+        new._sum = self._sum
+        return new
+
+    # ------------------------------------------------------------------ #
+    # Quantile queries
+    # ------------------------------------------------------------------ #
+
+    def get_quantile_value(self, quantile: float) -> Optional[float]:
+        """Estimate the q-quantile by interpolating between centroids."""
+        if quantile < 0 or quantile > 1 or self._count == 0:
+            return None
+        self._merge_buffer()
+        if not self._centroids:
+            return None
+        if len(self._centroids) == 1:
+            return self._centroids[0].mean
+        if quantile == 0:
+            return self._min
+        if quantile == 1:
+            return self._max
+
+        target = quantile * self._count
+        cumulative = 0.0
+        for index, centroid in enumerate(self._centroids):
+            lower_edge = cumulative
+            cumulative += centroid.weight
+            if cumulative >= target:
+                # Interpolate within this centroid between its neighbours.
+                previous_mean = self._centroids[index - 1].mean if index > 0 else self._min
+                next_mean = (
+                    self._centroids[index + 1].mean
+                    if index < len(self._centroids) - 1
+                    else self._max
+                )
+                position = (target - lower_edge) / max(centroid.weight, 1e-12)
+                if position < 0.5:
+                    left = (previous_mean + centroid.mean) / 2.0
+                    return left + (centroid.mean - left) * (position * 2.0)
+                right = (next_mean + centroid.mean) / 2.0
+                return centroid.mean + (right - centroid.mean) * ((position - 0.5) * 2.0)
+        return self._max
+
+    def get_quantiles(self, quantiles: Sequence[float]) -> List[Optional[float]]:
+        """Return estimates for several quantiles at once."""
+        return [self.get_quantile_value(q) for q in quantiles]
+
+    # ------------------------------------------------------------------ #
+    # Compression machinery
+    # ------------------------------------------------------------------ #
+
+    def _scale_limit(self, k: float) -> float:
+        """Inverse of the k1 scale function: quantile limit for index ``k``."""
+        bounded = max(min(k / self._compression, 1.0), 0.0)
+        return (math.sin(math.pi * (bounded - 0.5)) + 1.0) / 2.0
+
+    def _scale_index(self, quantile: float) -> float:
+        """The k1 scale function: maps a quantile to a cluster index."""
+        bounded = max(min(quantile, 1.0), 0.0)
+        return self._compression * (math.asin(2.0 * bounded - 1.0) / math.pi + 0.5)
+
+    def _merge_buffer(self) -> None:
+        if not self._buffer:
+            return
+        pending = sorted(self._centroids + self._buffer, key=lambda c: c.mean)
+        self._buffer = []
+        total = sum(c.weight for c in pending)
+
+        merged: List[_Centroid] = []
+        current = _Centroid(pending[0].mean, pending[0].weight)
+        weight_so_far = 0.0
+        k_limit = self._scale_index(0.0) + 1.0
+        q_limit = self._scale_limit(k_limit) * total
+
+        for centroid in pending[1:]:
+            if weight_so_far + current.weight + centroid.weight <= q_limit:
+                # Merge into the current cluster (weighted mean update).
+                combined = current.weight + centroid.weight
+                current.mean += (centroid.mean - current.mean) * centroid.weight / combined
+                current.weight = combined
+            else:
+                merged.append(current)
+                weight_so_far += current.weight
+                k_limit = self._scale_index(weight_so_far / total) + 1.0
+                q_limit = self._scale_limit(k_limit) * total
+                current = _Centroid(centroid.mean, centroid.weight)
+        merged.append(current)
+        self._centroids = merged
+
+    def __repr__(self) -> str:
+        return (
+            f"TDigest(compression={self._compression!r}, count={self._count!r}, "
+            f"num_centroids={len(self._centroids)})"
+        )

@@ -1,0 +1,191 @@
+"""Command-line interface for the DDSketch reproduction.
+
+Four subcommands cover the common workflows:
+
+``sketch``
+    Read one number per line (stdin or a file), build a DDSketch and print the
+    requested quantiles along with exact count/min/max/average.
+
+``generate``
+    Emit values from one of the evaluation data sets (pareto / span / power),
+    one per line — handy for piping into ``sketch`` or external tools.
+
+``evaluate``
+    Run the Figure 10/11-style accuracy comparison for one data set and print
+    the per-sketch relative and rank errors.
+
+``bounds``
+    Evaluate the Section 3 sketch-size bounds for a given stream size.
+
+Run ``python -m repro --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.ddsketch import DDSketch
+from repro.datasets.registry import dataset_names, get_dataset
+from repro.evaluation.accuracy import measure_accuracy
+from repro.evaluation.report import format_quantile_errors, format_table
+from repro.exceptions import ReproError
+from repro.theory.bounds import exponential_size_bound, pareto_size_bound
+
+
+def _parse_quantiles(raw: str) -> List[float]:
+    quantiles = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        quantile = float(part)
+        if not 0 <= quantile <= 1:
+            raise argparse.ArgumentTypeError(f"quantile {quantile} is not in [0, 1]")
+        quantiles.append(quantile)
+    if not quantiles:
+        raise argparse.ArgumentTypeError("at least one quantile is required")
+    return quantiles
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DDSketch reproduction: sketch streams, generate data sets, run experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sketch = subparsers.add_parser("sketch", help="sketch numbers from a file or stdin")
+    sketch.add_argument("input", nargs="?", default="-", help="input file (default: stdin)")
+    sketch.add_argument(
+        "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
+    )
+    sketch.add_argument("--bin-limit", type=int, default=2048, help="bucket limit m (default: 2048)")
+    sketch.add_argument(
+        "--quantiles",
+        type=_parse_quantiles,
+        default=[0.5, 0.75, 0.9, 0.95, 0.99],
+        help="comma-separated quantiles (default: 0.5,0.75,0.9,0.95,0.99)",
+    )
+
+    generate = subparsers.add_parser("generate", help="emit values from an evaluation data set")
+    generate.add_argument("dataset", choices=list(dataset_names()))
+    generate.add_argument("--size", type=int, default=10_000, help="number of values (default: 10000)")
+    generate.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+
+    evaluate = subparsers.add_parser("evaluate", help="accuracy comparison on one data set")
+    evaluate.add_argument("dataset", choices=list(dataset_names()))
+    evaluate.add_argument("--size", type=int, default=20_000, help="stream size (default: 20000)")
+    evaluate.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    evaluate.add_argument(
+        "--quantiles", type=_parse_quantiles, default=[0.5, 0.95, 0.99], help="quantiles to evaluate"
+    )
+
+    bounds = subparsers.add_parser("bounds", help="evaluate the Section 3 size bounds")
+    bounds.add_argument("--size", type=int, default=1_000_000, help="stream size n (default: 1e6)")
+    bounds.add_argument(
+        "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
+    )
+
+    return parser
+
+
+def _read_values(source: str, stdin=None) -> Iterable[float]:
+    stream = stdin if source == "-" else open(source, "r", encoding="utf-8")
+    try:
+        for line in stream:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield float(line)
+    finally:
+        if source != "-":
+            stream.close()
+
+
+def _run_sketch(args: argparse.Namespace, stdin, stdout) -> int:
+    sketch = DDSketch(relative_accuracy=args.relative_accuracy, bin_limit=args.bin_limit)
+    for value in _read_values(args.input, stdin):
+        sketch.add(value)
+    if sketch.is_empty:
+        print("no values read", file=stdout)
+        return 1
+    rows = [
+        ["count", f"{int(sketch.count)}"],
+        ["min", f"{sketch.min:.6g}"],
+        ["max", f"{sketch.max:.6g}"],
+        ["average", f"{sketch.avg:.6g}"],
+        ["buckets", f"{sketch.num_buckets}"],
+        ["bytes", f"{sketch.size_in_bytes()}"],
+    ]
+    for quantile in args.quantiles:
+        rows.append([f"p{quantile * 100:g}", f"{sketch.get_quantile_value(quantile):.6g}"])
+    print(format_table(["statistic", "value"], rows), file=stdout)
+    return 0
+
+
+def _run_generate(args: argparse.Namespace, stdout) -> int:
+    spec = get_dataset(args.dataset)
+    for value in spec.generator(args.size, args.seed):
+        print(f"{float(value):.9g}", file=stdout)
+    return 0
+
+
+def _run_evaluate(args: argparse.Namespace, stdout) -> int:
+    measurement = measure_accuracy(
+        args.dataset, args.size, quantiles=tuple(args.quantiles), seed=args.seed
+    )
+    print(f"dataset: {args.dataset}   n = {args.size}", file=stdout)
+    print("", file=stdout)
+    print("relative error:", file=stdout)
+    print(format_quantile_errors(measurement.relative_errors, "sketch"), file=stdout)
+    print("", file=stdout)
+    print("rank error:", file=stdout)
+    print(format_quantile_errors(measurement.rank_errors, "sketch"), file=stdout)
+    return 0
+
+
+def _run_bounds(args: argparse.Namespace, stdout) -> int:
+    rows = [
+        [
+            "exponential(1)",
+            f"{exponential_size_bound(args.size, alpha=args.relative_accuracy):.0f}",
+        ],
+        ["pareto(1, 1)", f"{pareto_size_bound(args.size, alpha=args.relative_accuracy):.0f}"],
+    ]
+    print(
+        f"Theorem 9 bucket bounds for n = {args.size}, alpha = {args.relative_accuracy}",
+        file=stdout,
+    )
+    print(format_table(["distribution", "bucket bound"], rows), file=stdout)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "sketch":
+            return _run_sketch(args, stdin, stdout)
+        if args.command == "generate":
+            return _run_generate(args, stdout)
+        if args.command == "evaluate":
+            return _run_evaluate(args, stdout)
+        if args.command == "bounds":
+            return _run_bounds(args, stdout)
+    except ReproError as error:
+        print(f"error: {error}", file=stdout)
+        return 2
+    except ValueError as error:
+        print(f"error: invalid input ({error})", file=stdout)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,460 @@
+"""DDSketch: a fast, fully-mergeable quantile sketch with relative-error guarantees.
+
+This module implements the sketch described in Section 2 of the paper.  The
+sketch assigns every value to a logarithmically-sized bucket (via a
+:class:`~repro.mapping.KeyMapping`), counts per-bucket weights in a
+:class:`~repro.store.Store`, and answers quantile queries by walking the
+buckets in key order until the cumulative count passes the requested rank.
+Values within any bucket are within a relative distance ``alpha`` of the
+bucket's representative value (Lemma 2), so every reported quantile is an
+``alpha``-accurate estimate (Proposition 3).
+
+On top of the paper's positive-value sketch, this implementation adds the
+extensions discussed in Section 2.2:
+
+* a mirrored second store for negative values,
+* a dedicated counter for zero (and near-zero) values,
+* exact tracking of count, sum, min and max,
+* weighted insertion and deletion,
+* merging of sketches that share the same mapping (fully mergeable), and
+* serialization to/from plain dictionaries (see :mod:`repro.serialization`
+  for compact binary encodings).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.exceptions import (
+    EmptySketchError,
+    IllegalArgumentError,
+    UnequalSketchParametersError,
+)
+from repro.mapping import KeyMapping, LogarithmicMapping
+from repro.mapping.base import mapping_registry
+from repro.store import CollapsingLowestDenseStore, CollapsingHighestDenseStore, Store
+
+#: Default number of buckets for the bounded default sketch; matches the
+#: paper's experiments (Table 2) where m = 2048 covers values from roughly
+#: 80 microseconds to 1 year at alpha = 0.01.
+DEFAULT_BIN_LIMIT = 2048
+
+#: Default relative accuracy; matches the paper's experiments (Table 2).
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+
+class BaseDDSketch:
+    """Quantile sketch with relative-error guarantees over arbitrary reals.
+
+    This class implements the sketch mechanics for a given key mapping and a
+    pair of stores; the ready-to-use configurations live in
+    :mod:`repro.core.presets` and :class:`DDSketch` below.
+
+    Parameters
+    ----------
+    mapping:
+        The :class:`~repro.mapping.KeyMapping` translating values to bucket
+        keys; its ``relative_accuracy`` is the sketch's accuracy guarantee.
+    store:
+        Bucket store for positive values.
+    negative_store:
+        Bucket store for the magnitudes of negative values.
+    zero_count:
+        Initial weight of the zero bucket (used when deserializing).
+    """
+
+    def __init__(
+        self,
+        mapping: KeyMapping,
+        store: Store,
+        negative_store: Store,
+        zero_count: float = 0.0,
+    ) -> None:
+        self._mapping = mapping
+        self._store = store
+        self._negative_store = negative_store
+        self._zero_count = float(zero_count)
+
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._count = float(zero_count)
+        self._sum = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Scalar summaries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def relative_accuracy(self) -> float:
+        """The relative accuracy ``alpha`` guaranteed for quantile estimates."""
+        return self._mapping.relative_accuracy
+
+    @property
+    def gamma(self) -> float:
+        """The bucket growth factor ``(1 + alpha) / (1 - alpha)``."""
+        return self._mapping.gamma
+
+    @property
+    def mapping(self) -> KeyMapping:
+        """The key mapping used by this sketch."""
+        return self._mapping
+
+    @property
+    def store(self) -> Store:
+        """The store holding positive-value buckets."""
+        return self._store
+
+    @property
+    def negative_store(self) -> Store:
+        """The store holding negative-value buckets (keyed by magnitude)."""
+        return self._negative_store
+
+    @property
+    def count(self) -> float:
+        """Total inserted weight."""
+        return self._count
+
+    @property
+    def zero_count(self) -> float:
+        """Weight assigned to the dedicated zero bucket."""
+        return self._zero_count
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of all inserted values (weighted)."""
+        return self._sum
+
+    @property
+    def avg(self) -> float:
+        """Exact average of all inserted values (weighted)."""
+        if self._count <= 0:
+            raise EmptySketchError("cannot compute the average of an empty sketch")
+        return self._sum / self._count
+
+    @property
+    def min(self) -> float:
+        """Exact minimum inserted value."""
+        if self._count <= 0:
+            raise EmptySketchError("cannot compute the minimum of an empty sketch")
+        return self._min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum inserted value."""
+        if self._count <= 0:
+            raise EmptySketchError("cannot compute the maximum of an empty sketch")
+        return self._max
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no weight has been inserted (or everything was deleted)."""
+        return self._count <= 0
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of non-empty buckets across both stores (plus the zero bucket)."""
+        zero_bucket = 1 if self._zero_count > 0 else 0
+        return self._store.num_buckets + self._negative_store.num_buckets + zero_bucket
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint in bytes (see :meth:`Store.size_in_bytes`)."""
+        # 5 scalar summaries of 8 bytes each on top of the two stores.
+        return self._store.size_in_bytes() + self._negative_store.size_in_bytes() + 40
+
+    # ------------------------------------------------------------------ #
+    # Insertion and deletion
+    # ------------------------------------------------------------------ #
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Insert ``value`` into the sketch with multiplicity ``weight``.
+
+        ``weight`` may be fractional but must be positive.  Values whose
+        magnitude is below the mapping's smallest indexable value are counted
+        in the dedicated zero bucket (Section 2.2 of the paper).
+        """
+        if weight <= 0 or math.isnan(weight) or math.isinf(weight):
+            raise IllegalArgumentError(f"weight must be a positive finite number, got {weight!r}")
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be a finite number, got {value!r}")
+
+        if value > self._mapping.min_possible:
+            self._store.add(self._mapping.key(value), weight)
+        elif value < -self._mapping.min_possible:
+            self._negative_store.add(self._mapping.key(-value), weight)
+        else:
+            self._zero_count += weight
+
+        self._count += weight
+        self._sum += value * weight
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def delete(self, value: float, weight: float = 1.0) -> None:
+        """Remove ``weight`` worth of ``value`` from the sketch.
+
+        Deletion is supported because the bucket boundaries do not depend on
+        the data (Section 2.1).  The exact ``min``/``max``/``sum`` summaries
+        become upper/lower bounds after a deletion since the sketch cannot
+        know whether the deleted value was the extreme one.
+        """
+        if weight <= 0 or math.isnan(weight) or math.isinf(weight):
+            raise IllegalArgumentError(f"weight must be a positive finite number, got {weight!r}")
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be a finite number, got {value!r}")
+        if self._count <= 0:
+            return
+
+        removable = min(weight, self._count)
+        if value > self._mapping.min_possible:
+            self._store.remove(self._mapping.key(value), removable)
+        elif value < -self._mapping.min_possible:
+            self._negative_store.remove(self._mapping.key(-value), removable)
+        else:
+            self._zero_count = max(0.0, self._zero_count - removable)
+
+        self._count = max(0.0, self._count - removable)
+        self._sum -= value * removable
+        if self._count == 0:
+            self._min = float("inf")
+            self._max = float("-inf")
+            self._sum = 0.0
+
+    def add_all(self, values: Iterable[float]) -> "BaseDDSketch":
+        """Insert every value from an iterable; returns ``self`` for chaining."""
+        for value in values:
+            self.add(value)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Quantile queries
+    # ------------------------------------------------------------------ #
+
+    def get_quantile_value(self, quantile: float) -> Optional[float]:
+        """Return an ``alpha``-accurate estimate of the ``quantile``-quantile.
+
+        Uses the paper's lower-quantile definition: the returned estimate is
+        within relative distance ``alpha`` of the item whose rank is
+        ``floor(1 + q * (n - 1))`` in the sorted multiset.  Returns ``None``
+        for an empty sketch or a quantile outside ``[0, 1]``.
+        """
+        if quantile < 0 or quantile > 1 or self._count == 0:
+            return None
+
+        rank = quantile * (self._count - 1)
+        negative_count = self._negative_store.count
+        if rank < negative_count:
+            reversed_rank = negative_count - 1 - rank
+            key = self._negative_store.key_at_rank(reversed_rank, lower=False)
+            return -self._mapping.value(key)
+        if rank < self._zero_count + negative_count:
+            return 0.0
+        key = self._store.key_at_rank(rank - self._zero_count - negative_count)
+        return self._mapping.value(key)
+
+    def get_quantiles(self, quantiles: Sequence[float]) -> List[Optional[float]]:
+        """Return estimates for several quantiles at once."""
+        return [self.get_quantile_value(q) for q in quantiles]
+
+    def quantile(self, quantile: float) -> float:
+        """Like :meth:`get_quantile_value` but raises on empty/invalid input."""
+        if quantile < 0 or quantile > 1:
+            raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        if self._count == 0:
+            raise EmptySketchError("cannot query a quantile of an empty sketch")
+        value = self.get_quantile_value(quantile)
+        assert value is not None
+        return value
+
+    def get_rank_value(self, rank: float) -> Optional[float]:
+        """Return the estimated value at an absolute ``rank`` in ``[0, count)``."""
+        if self._count == 0 or rank < 0 or rank >= self._count:
+            return None
+        return self.get_quantile_value(rank / max(self._count - 1, 1))
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+
+    def mergeable_with(self, other: "BaseDDSketch") -> bool:
+        """Whether ``other`` uses compatible bucket boundaries."""
+        return self._mapping == other._mapping
+
+    def merge(self, other: "BaseDDSketch") -> None:
+        """Fold ``other`` into this sketch (full mergeability, Algorithm 4).
+
+        Because bucket boundaries are fixed by ``gamma`` and not by the data,
+        merging is a per-key sum of counters and is associative and
+        commutative: merging sketches in any order or shape of tree yields
+        exactly the same result as sketching the concatenated stream.
+        """
+        if not isinstance(other, BaseDDSketch):
+            raise IllegalArgumentError(f"cannot merge DDSketch with {type(other).__name__}")
+        if not self.mergeable_with(other):
+            raise UnequalSketchParametersError(
+                "cannot merge sketches with different mappings: "
+                f"{self._mapping!r} vs {other._mapping!r}"
+            )
+        if other.is_empty:
+            return
+
+        self._store.merge(other._store)
+        self._negative_store.merge(other._negative_store)
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._sum += other._sum
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
+    def __iadd__(self, other: "BaseDDSketch") -> "BaseDDSketch":
+        self.merge(other)
+        return self
+
+    def copy(self) -> "BaseDDSketch":
+        """Return a deep copy of this sketch."""
+        new = type(self).__new__(type(self))
+        BaseDDSketch.__init__(
+            new,
+            mapping=self._mapping,
+            store=self._store.copy(),
+            negative_store=self._negative_store.copy(),
+            zero_count=self._zero_count,
+        )
+        new._min = self._min
+        new._max = self._max
+        new._count = self._count
+        new._sum = self._sum
+        return new
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly representation of the full sketch state."""
+        return {
+            "mapping": self._mapping.to_dict(),
+            "store": self._store.to_dict(),
+            "negative_store": self._negative_store.to_dict(),
+            "zero_count": self._zero_count,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count > 0 else None,
+            "max": self._max if self._count > 0 else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BaseDDSketch":
+        """Rebuild a sketch from :meth:`to_dict` output."""
+        from repro.serialization.json_codec import store_from_dict
+
+        mapping = KeyMapping.from_dict(payload["mapping"])
+        store = store_from_dict(payload["store"])
+        negative_store = store_from_dict(payload["negative_store"])
+        sketch = cls.__new__(cls)
+        BaseDDSketch.__init__(
+            sketch,
+            mapping=mapping,
+            store=store,
+            negative_store=negative_store,
+            zero_count=payload.get("zero_count", 0.0),
+        )
+        sketch._count = payload.get("count", store.count + negative_store.count + sketch._zero_count)
+        sketch._sum = payload.get("sum", 0.0)
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        sketch._min = float("inf") if minimum is None else float(minimum)
+        sketch._max = float("-inf") if maximum is None else float(maximum)
+        return sketch
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact binary format (see :mod:`repro.serialization`)."""
+        from repro.serialization.binary_codec import encode_sketch
+
+        return encode_sketch(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "BaseDDSketch":
+        """Deserialize from the compact binary format."""
+        from repro.serialization.binary_codec import decode_sketch
+
+        return decode_sketch(payload, sketch_cls=cls)
+
+    # ------------------------------------------------------------------ #
+    # Dunder helpers
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return int(self._count)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(relative_accuracy={self.relative_accuracy!r}, "
+            f"count={self._count!r}, num_buckets={self.num_buckets})"
+        )
+
+
+class DDSketch(BaseDDSketch):
+    """The default DDSketch configuration.
+
+    Uses the memory-optimal logarithmic mapping with bounded collapsing dense
+    stores (lowest buckets collapse for positive values, highest for negative
+    magnitudes), matching the configuration evaluated in the paper:
+    ``alpha = 0.01`` and ``m = 2048`` buckets by default (Table 2).
+
+    Examples
+    --------
+    >>> sketch = DDSketch(relative_accuracy=0.01)
+    >>> for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+    ...     sketch.add(value)
+    >>> round(sketch.get_quantile_value(0.5), 1)
+    3.0
+    """
+
+    def __init__(
+        self,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        bin_limit: int = DEFAULT_BIN_LIMIT,
+        mapping: Optional[KeyMapping] = None,
+    ) -> None:
+        if mapping is None:
+            mapping = LogarithmicMapping(relative_accuracy)
+        elif mapping.relative_accuracy != relative_accuracy and relative_accuracy != DEFAULT_RELATIVE_ACCURACY:
+            raise IllegalArgumentError(
+                "pass either relative_accuracy or an explicit mapping, not conflicting values"
+            )
+        if bin_limit <= 0:
+            raise IllegalArgumentError(f"bin_limit must be positive, got {bin_limit!r}")
+        super().__init__(
+            mapping=mapping,
+            store=CollapsingLowestDenseStore(bin_limit=bin_limit),
+            negative_store=CollapsingHighestDenseStore(bin_limit=bin_limit),
+        )
+        self._bin_limit = bin_limit
+
+    @property
+    def bin_limit(self) -> int:
+        """Maximum number of buckets per store before collapsing begins."""
+        return self._bin_limit
+
+    def copy(self) -> "DDSketch":
+        new = type(self)(
+            relative_accuracy=self.relative_accuracy,
+            bin_limit=self._bin_limit,
+            mapping=self._mapping,
+        )
+        new._store = self._store.copy()
+        new._negative_store = self._negative_store.copy()
+        new._zero_count = self._zero_count
+        new._min = self._min
+        new._max = self._max
+        new._count = self._count
+        new._sum = self._sum
+        return new

@@ -1,0 +1,74 @@
+"""The common protocol implemented by every quantile sketch in this package.
+
+The evaluation harness (Section 4 of the paper) compares DDSketch with
+GKArray, HDR Histogram, and the Moments sketch.  To drive all of them with the
+same workload code, every sketch — the core contribution and every baseline —
+implements the small :class:`QuantileSketch` protocol defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class QuantileSketch(Protocol):
+    """Structural protocol shared by DDSketch and every baseline sketch."""
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        """Insert ``value`` with multiplicity ``weight`` into the sketch."""
+        ...
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch of the same type and parameters into this one."""
+        ...
+
+    def get_quantile_value(self, quantile: float) -> Optional[float]:
+        """Return an estimate of the ``quantile``-quantile, or None if empty."""
+        ...
+
+    @property
+    def count(self) -> float:
+        """Total weight inserted so far."""
+        ...
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint of the sketch in bytes."""
+        ...
+
+
+@dataclass(frozen=True)
+class SketchMetadata:
+    """Static properties of a sketch algorithm, as summarized in Table 1."""
+
+    name: str
+    guarantee: str  # "relative", "rank", or "avg rank"
+    value_range: str  # "arbitrary" or "bounded"
+    mergeability: str  # "full" or "one-way"
+
+
+#: Table 1 of the paper: properties of the quantile sketching algorithms.
+TABLE1_METADATA = {
+    "DDSketch": SketchMetadata("DDSketch", "relative", "arbitrary", "full"),
+    "HDRHistogram": SketchMetadata("HDRHistogram", "relative", "bounded", "full"),
+    "GKArray": SketchMetadata("GKArray", "rank", "arbitrary", "one-way"),
+    "MomentsSketch": SketchMetadata("MomentsSketch", "avg rank", "bounded", "full"),
+}
+
+
+def sketch_metadata(name: str) -> SketchMetadata:
+    """Return the Table 1 metadata row for a sketch algorithm by name."""
+    return TABLE1_METADATA[name]
+
+
+def add_all(sketch: QuantileSketch, values: Iterable[float]) -> QuantileSketch:
+    """Insert every value of an iterable into ``sketch`` and return it."""
+    for value in values:
+        sketch.add(value)
+    return sketch
+
+
+def quantiles_of(sketch: QuantileSketch, quantiles: Iterable[float]) -> List[Optional[float]]:
+    """Query several quantiles from a sketch at once."""
+    return [sketch.get_quantile_value(q) for q in quantiles]

@@ -1,0 +1,49 @@
+"""Data-set generators for the paper's evaluation (Section 4.1, Figure 5).
+
+Three data sets drive the experiments:
+
+* ``pareto`` — synthetic values from a Pareto distribution with ``a = b = 1``,
+  exactly as in the paper.
+* ``span`` — distributed-trace span durations.  The paper uses Datadog's
+  internal trace data, which is not public; :mod:`repro.datasets.span`
+  generates a synthetic substitute with the same two properties that matter
+  (integer nanosecond durations covering roughly ``1e2``–``1.9e12`` and a
+  heavy tail).
+* ``power`` — household global active power readings.  The paper uses the UCI
+  "Individual household electric power consumption" data set, which requires a
+  download; :mod:`repro.datasets.power` generates a synthetic substitute that
+  matches its published marginal distribution (bimodal, 0.1–11 kW, dense and
+  light-tailed).
+
+:mod:`repro.datasets.registry` exposes all of them by name for the evaluation
+harness, and :mod:`repro.datasets.synthetic` provides the plain distribution
+generators (exponential, lognormal, ...) used by the theory checks and the
+monitoring examples.
+"""
+
+from repro.datasets.synthetic import (
+    pareto_values,
+    exponential_values,
+    lognormal_values,
+    uniform_values,
+    normal_values,
+    web_latency_values,
+)
+from repro.datasets.span import span_values
+from repro.datasets.power import power_values
+from repro.datasets.registry import DATASETS, DatasetSpec, get_dataset, dataset_names
+
+__all__ = [
+    "pareto_values",
+    "exponential_values",
+    "lognormal_values",
+    "uniform_values",
+    "normal_values",
+    "web_latency_values",
+    "span_values",
+    "power_values",
+    "DATASETS",
+    "DatasetSpec",
+    "get_dataset",
+    "dataset_names",
+]

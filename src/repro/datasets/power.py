@@ -1,0 +1,53 @@
+"""Synthetic substitute for the paper's ``power`` data set.
+
+The paper's third data set is the global active power column of the UCI
+"Individual household electric power consumption" data set (2,075,259
+one-minute readings, December 2006 to November 2010).  The original requires a
+download, so this module generates a synthetic equivalent matching the
+published marginal distribution of the measurements:
+
+* readings are kilowatt values between roughly ``0.08`` and ``11.12``,
+* the distribution is bimodal — a large mass around 0.2–0.6 kW (baseline /
+  standby load) and a secondary, wider mode around 1–2 kW (appliances on),
+* the tail is short: the maximum is about an order of magnitude above the
+  median, in stark contrast to the two heavy-tailed data sets.
+
+That last property is what the ``power`` data set contributes to the
+evaluation: on dense, light-tailed data every sketch does reasonably well
+(right-hand column of Figures 10 and 11), so it acts as the control workload.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import IllegalArgumentError
+
+#: Value range of the UCI global active power measurements, in kilowatts.
+POWER_MIN_KW = 0.076
+POWER_MAX_KW = 11.122
+
+
+def power_values(size: int, seed: Optional[int] = None) -> np.ndarray:
+    """Generate ``size`` synthetic household power readings in kilowatts.
+
+    Deterministic for a given ``seed``; values are floats with the same
+    granularity as the original data (multiples of 2 watts).
+    """
+    if size < 0:
+        raise IllegalArgumentError(f"size must be non-negative, got {size!r}")
+    size = int(size)
+    rng = np.random.default_rng(seed)
+
+    # Mixture: standby load, evening appliance load, heating / cooking peaks.
+    component = rng.choice(3, size=size, p=[0.62, 0.28, 0.10])
+    standby = rng.lognormal(mean=np.log(0.32), sigma=0.35, size=size)
+    appliances = rng.lognormal(mean=np.log(1.4), sigma=0.45, size=size)
+    peaks = rng.lognormal(mean=np.log(3.2), sigma=0.40, size=size)
+    values = np.where(component == 0, standby, np.where(component == 1, appliances, peaks))
+
+    values = np.clip(values, POWER_MIN_KW, POWER_MAX_KW)
+    # The original meter reports with 2-watt resolution.
+    return np.round(values * 500.0) / 500.0

@@ -1,0 +1,94 @@
+"""Registry mapping data-set names to their generators and sketch settings.
+
+The evaluation harness iterates over the three named data sets of the paper
+(``pareto``, ``span``, ``power``); each entry records how to generate values
+and the sketch parameters that depend on the data range (most importantly the
+HDR Histogram's trackable range, which has to be fixed up front — that is the
+bounded-range limitation Table 1 calls out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.power import POWER_MAX_KW, POWER_MIN_KW, power_values
+from repro.datasets.span import SPAN_MAX_NS, SPAN_MIN_NS, span_values
+from repro.datasets.synthetic import pareto_values
+from repro.exceptions import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Description of one evaluation data set.
+
+    Attributes
+    ----------
+    name:
+        Identifier used throughout the benchmarks (``pareto`` / ``span`` /
+        ``power``).
+    generator:
+        Callable ``(size, seed) -> np.ndarray`` producing the values.
+    hdr_range:
+        ``(lowest_discernible_value, highest_trackable_value)`` to configure
+        the HDR Histogram baseline for this data set's value range.
+    description:
+        Human-readable summary (shown in benchmark reports).
+    heavy_tailed:
+        Whether the data set has a heavy upper tail — the property that drives
+        the relative-error gap between DDSketch and the rank-error sketches.
+    """
+
+    name: str
+    generator: Callable[[int, Optional[int]], np.ndarray]
+    hdr_range: Tuple[float, float]
+    description: str
+    heavy_tailed: bool
+
+
+DATASETS: Dict[str, DatasetSpec] = {
+    "pareto": DatasetSpec(
+        name="pareto",
+        generator=lambda size, seed=None: pareto_values(size, shape=1.0, scale=1.0, seed=seed),
+        hdr_range=(0.01, 1.0e9),
+        description="Synthetic Pareto(a=1, b=1) values, the heaviest tail (paper Section 4.1)",
+        heavy_tailed=True,
+    ),
+    "span": DatasetSpec(
+        name="span",
+        generator=span_values,
+        hdr_range=(SPAN_MIN_NS, SPAN_MAX_NS),
+        description=(
+            "Synthetic substitute for Datadog trace span durations: integer "
+            "nanoseconds spanning ~10 orders of magnitude with a heavy tail"
+        ),
+        heavy_tailed=True,
+    ),
+    "power": DatasetSpec(
+        name="power",
+        generator=power_values,
+        hdr_range=(POWER_MIN_KW / 10.0, POWER_MAX_KW * 10.0),
+        description=(
+            "Synthetic substitute for the UCI household global active power "
+            "readings: dense, light-tailed kilowatt values"
+        ),
+        heavy_tailed=False,
+    ),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Names of the registered data sets, in the paper's order."""
+    return tuple(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a data set by name; raises for unknown names."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise IllegalArgumentError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None

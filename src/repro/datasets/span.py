@@ -1,0 +1,69 @@
+"""Synthetic substitute for the paper's ``span`` data set.
+
+The paper's ``span`` data set consists of span durations from the distributed
+traces Datadog received over a few hours: integers in nanoseconds ranging from
+``100`` to ``1.9e12`` (about half an hour), i.e. roughly ten orders of
+magnitude of dynamic range with a heavy tail.  The raw data is proprietary, so
+this module generates a synthetic equivalent that preserves the two properties
+the evaluation depends on:
+
+* an enormous dynamic range (micro-second cache hits up to half-hour batch
+  jobs), which is what blows up bounded-range sketches and the Moments sketch
+  (Figure 10, middle column), and
+* a heavy upper tail, which is what separates relative-error sketches from
+  rank-error sketches at the p95/p99.
+
+The generator mixes several lognormal populations (in-process calls, RPC
+calls, database queries, external API calls, background jobs) with a Pareto
+tail and rounds to integer nanoseconds, clipped to the same span of values the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import IllegalArgumentError
+
+#: Range of the paper's span durations, in nanoseconds.
+SPAN_MIN_NS = 100.0
+SPAN_MAX_NS = 1.9e12
+
+#: Mixture components: (probability, lognormal mu of the duration in ns, sigma).
+_COMPONENTS = (
+    (0.30, np.log(2.0e3), 1.0),   # in-process spans: ~2 microseconds
+    (0.30, np.log(2.0e5), 1.2),   # intra-datacenter RPCs: ~200 microseconds
+    (0.25, np.log(5.0e6), 1.3),   # database queries: ~5 milliseconds
+    (0.10, np.log(2.0e8), 1.5),   # external API calls: ~200 milliseconds
+    (0.05, np.log(5.0e9), 1.8),   # background jobs: ~5 seconds
+)
+
+
+def span_values(size: int, seed: Optional[int] = None) -> np.ndarray:
+    """Generate ``size`` synthetic span durations in integer nanoseconds.
+
+    Deterministic for a given ``seed``.  Values are floats holding integer
+    nanosecond counts in ``[SPAN_MIN_NS, SPAN_MAX_NS]``.
+    """
+    if size < 0:
+        raise IllegalArgumentError(f"size must be non-negative, got {size!r}")
+    size = int(size)
+    rng = np.random.default_rng(seed)
+
+    probabilities = np.array([component[0] for component in _COMPONENTS])
+    mus = np.array([component[1] for component in _COMPONENTS])
+    sigmas = np.array([component[2] for component in _COMPONENTS])
+
+    component_index = rng.choice(len(_COMPONENTS), size=size, p=probabilities)
+    values = rng.lognormal(mean=mus[component_index], sigma=sigmas[component_index])
+
+    # A small fraction of spans hit retries/timeouts and land on a Pareto tail
+    # stretching to the half-hour mark.
+    tail_mask = rng.random(size) < 0.002
+    tail_values = 1.0e9 * (rng.pareto(0.9, size=size) + 1.0)
+    values = np.where(tail_mask, np.maximum(values, tail_values), values)
+
+    values = np.clip(values, SPAN_MIN_NS, SPAN_MAX_NS)
+    return np.floor(values)

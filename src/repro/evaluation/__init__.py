@@ -1,0 +1,57 @@
+"""Evaluation harness reproducing the experiments of Section 4.
+
+The modules here generate the data behind every table and figure of the
+paper's evaluation:
+
+* :mod:`repro.evaluation.config` — the sketch configurations of Table 2 and
+  the factory that instantiates every sketch under comparison.
+* :mod:`repro.evaluation.accuracy` — relative-error and rank-error
+  measurements (Figures 4, 10, 11).
+* :mod:`repro.evaluation.memory` — sketch size measurements (Figures 6, 7).
+* :mod:`repro.evaluation.timing` — add and merge timing (Figures 8, 9).
+* :mod:`repro.evaluation.runner` — per-figure experiment drivers producing
+  structured results.
+* :mod:`repro.evaluation.report` — plain-text table/series formatting used by
+  the benchmark harness output and EXPERIMENTS.md.
+"""
+
+from repro.evaluation.config import (
+    ExperimentParameters,
+    DEFAULT_PARAMETERS,
+    SKETCH_NAMES,
+    build_sketch,
+    build_all_sketches,
+    bench_scale,
+    n_sweep,
+)
+from repro.evaluation.accuracy import (
+    AccuracyMeasurement,
+    measure_accuracy,
+    relative_error,
+    rank_error,
+)
+from repro.evaluation.memory import measure_sketch_sizes, measure_ddsketch_bins
+from repro.evaluation.timing import time_add, time_merge, TimingResult
+from repro.evaluation.report import format_table, format_series, format_figure_header
+
+__all__ = [
+    "ExperimentParameters",
+    "DEFAULT_PARAMETERS",
+    "SKETCH_NAMES",
+    "build_sketch",
+    "build_all_sketches",
+    "bench_scale",
+    "n_sweep",
+    "AccuracyMeasurement",
+    "measure_accuracy",
+    "relative_error",
+    "rank_error",
+    "measure_sketch_sizes",
+    "measure_ddsketch_bins",
+    "time_add",
+    "time_merge",
+    "TimingResult",
+    "format_table",
+    "format_series",
+    "format_figure_header",
+]

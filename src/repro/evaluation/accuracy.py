@@ -1,0 +1,174 @@
+"""Accuracy measurements: relative error and rank error of quantile estimates.
+
+These are the two error measures of the paper's evaluation:
+
+* *relative error* (Definition 1): ``|estimate - actual| / actual`` — the
+  quantity DDSketch bounds by ``alpha`` (Figure 10);
+* *rank error*: ``|rank(estimate) - rank(actual)| / n`` — the quantity GK
+  bounds by ``epsilon`` (Figure 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.exact import ExactQuantiles
+from repro.datasets.registry import get_dataset
+from repro.evaluation.config import (
+    DEFAULT_PARAMETERS,
+    ExperimentParameters,
+    SKETCH_NAMES,
+    build_sketch,
+)
+from repro.exceptions import IllegalArgumentError
+
+#: Quantiles reported in Figures 10 and 11 of the paper.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def relative_error(estimate: float, actual: float) -> float:
+    """Relative error of an estimate (Definition 1 of the paper).
+
+    When the actual value is zero the absolute error is returned instead so
+    the measure stays finite.
+    """
+    if actual == 0:
+        return abs(estimate - actual)
+    return abs(estimate - actual) / abs(actual)
+
+
+def rank_error(estimate: float, quantile: float, exact: ExactQuantiles) -> float:
+    """Normalized rank error of an estimate of the q-quantile."""
+    return exact.rank_error(estimate, quantile)
+
+
+@dataclass
+class AccuracyMeasurement:
+    """Errors of every sketch on one data set at one stream size."""
+
+    dataset: str
+    n_values: int
+    quantiles: Sequence[float]
+    relative_errors: Dict[str, Dict[float, float]] = field(default_factory=dict)
+    rank_errors: Dict[str, Dict[float, float]] = field(default_factory=dict)
+
+    def worst_relative_error(self, sketch_name: str) -> float:
+        """Largest relative error of ``sketch_name`` across the quantiles."""
+        return max(self.relative_errors[sketch_name].values())
+
+    def worst_rank_error(self, sketch_name: str) -> float:
+        """Largest rank error of ``sketch_name`` across the quantiles."""
+        return max(self.rank_errors[sketch_name].values())
+
+
+def measure_accuracy(
+    dataset_name: str,
+    n_values: int,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    sketch_names: Sequence[str] = SKETCH_NAMES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    num_trials: int = 1,
+    seed: int = 0,
+) -> AccuracyMeasurement:
+    """Measure relative and rank errors of each sketch on one data set.
+
+    The errors are averaged over ``num_trials`` independent streams (the paper
+    plots average errors); a single trial is the default because the variance
+    is small for the stream sizes used in the benchmarks.
+    """
+    if n_values <= 0:
+        raise IllegalArgumentError(f"n_values must be positive, got {n_values!r}")
+    if num_trials <= 0:
+        raise IllegalArgumentError(f"num_trials must be positive, got {num_trials!r}")
+
+    dataset = get_dataset(dataset_name)
+    accumulated_rel: Dict[str, Dict[float, List[float]]] = {
+        name: {q: [] for q in quantiles} for name in sketch_names
+    }
+    accumulated_rank: Dict[str, Dict[float, List[float]]] = {
+        name: {q: [] for q in quantiles} for name in sketch_names
+    }
+
+    for trial in range(num_trials):
+        values = dataset.generator(n_values, seed + trial)
+        exact = ExactQuantiles(values.tolist())
+        for name in sketch_names:
+            sketch = build_sketch(name, dataset, parameters)
+            for value in values:
+                sketch.add(float(value))
+            for quantile in quantiles:
+                estimate = sketch.get_quantile_value(quantile)
+                assert estimate is not None
+                accumulated_rel[name][quantile].append(
+                    relative_error(estimate, exact.quantile(quantile))
+                )
+                accumulated_rank[name][quantile].append(exact.rank_error(estimate, quantile))
+
+    measurement = AccuracyMeasurement(
+        dataset=dataset_name, n_values=n_values, quantiles=tuple(quantiles)
+    )
+    for name in sketch_names:
+        measurement.relative_errors[name] = {
+            q: float(np.mean(errors)) for q, errors in accumulated_rel[name].items()
+        }
+        measurement.rank_errors[name] = {
+            q: float(np.mean(errors)) for q, errors in accumulated_rank[name].items()
+        }
+    return measurement
+
+
+def measure_batched_quantile_tracking(
+    quantiles: Sequence[float] = (0.5, 0.75, 0.9, 0.99),
+    num_batches: int = 20,
+    batch_size: int = 100_000,
+    relative_accuracy: float = 0.01,
+    rank_accuracy: float = 0.005,
+    seed: int = 0,
+    generator=None,
+) -> Dict[str, Dict[float, List[float]]]:
+    """Reproduce Figure 4: track quantiles over a stream of batches.
+
+    Feeds ``num_batches`` batches of ``batch_size`` values into a
+    relative-error sketch (DDSketch) and a rank-error sketch (GKArray), and
+    records each sketch's estimate (and the exact value) for every requested
+    quantile after every batch.
+
+    Returns a mapping ``series[estimator][quantile] -> list of per-batch
+    values`` with estimators ``"actual"``, ``"relative_error_sketch"`` and
+    ``"rank_error_sketch"``.
+    """
+    from repro.baselines.gk import GKArray
+    from repro.core.ddsketch import DDSketch
+    from repro.datasets.synthetic import web_latency_values
+
+    if generator is None:
+        generator = web_latency_values
+
+    ddsketch = DDSketch(relative_accuracy=relative_accuracy)
+    gk = GKArray(rank_accuracy=rank_accuracy)
+    exact = ExactQuantiles()
+
+    series: Dict[str, Dict[float, List[float]]] = {
+        "actual": {q: [] for q in quantiles},
+        "relative_error_sketch": {q: [] for q in quantiles},
+        "rank_error_sketch": {q: [] for q in quantiles},
+    }
+    for batch in range(num_batches):
+        values = generator(batch_size, seed + batch)
+        for value in values:
+            value = float(value)
+            ddsketch.add(value)
+            gk.add(value)
+            exact.add(value)
+        for quantile in quantiles:
+            series["actual"][quantile].append(exact.quantile(quantile))
+            series["relative_error_sketch"][quantile].append(
+                float(ddsketch.get_quantile_value(quantile))
+            )
+            series["rank_error_sketch"][quantile].append(
+                float(gk.get_quantile_value(quantile))
+            )
+    return series

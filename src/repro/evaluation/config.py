@@ -1,0 +1,154 @@
+"""Experiment configuration: the sketch parameters of Table 2.
+
+The paper compares four sketches with the parameters below (Table 2); the
+factory functions here build each of them, configured per data set where
+necessary (HDR Histogram needs its trackable range up front).
+
+=================  ==========================================
+sketch             parameters
+=================  ==========================================
+DDSketch           ``alpha = 0.01``, ``m = 2048``
+DDSketch (fast)    same, with the interpolated key mapping
+HDR Histogram      ``2`` significant digits
+GKArray            ``epsilon = 0.01``
+Moments sketch     ``k = 20`` moments, arcsinh compression on
+=================  ==========================================
+
+Two extension sketches from the related-work section (t-digest and KLL) can be
+requested explicitly but are not part of the default comparison set.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines import GKArray, HDRHistogram, KLLSketch, MomentsSketch, TDigest
+from repro.core import DDSketch, FastDDSketch
+from repro.datasets.registry import DatasetSpec, get_dataset
+from repro.exceptions import IllegalArgumentError
+
+#: Names of the sketches compared in the paper's figures, in plotting order.
+SKETCH_NAMES: Tuple[str, ...] = (
+    "DDSketch",
+    "DDSketch (fast)",
+    "GKArray",
+    "HDRHistogram",
+    "MomentsSketch",
+)
+
+#: Extension sketches available to the harness but not in the paper's figures.
+EXTENSION_SKETCH_NAMES: Tuple[str, ...] = ("TDigest", "KLL")
+
+
+@dataclass(frozen=True)
+class ExperimentParameters:
+    """Sketch parameters used across all experiments (Table 2)."""
+
+    ddsketch_relative_accuracy: float = 0.01
+    ddsketch_bin_limit: int = 2048
+    hdr_significant_digits: int = 2
+    gk_rank_accuracy: float = 0.01
+    moments_num_moments: int = 20
+    moments_compression: bool = True
+    tdigest_compression: float = 100.0
+    kll_k: int = 200
+
+    def as_table_rows(self) -> List[Tuple[str, str]]:
+        """Rows of Table 2: (sketch, parameter summary)."""
+        return [
+            (
+                "DDSketch",
+                f"alpha = {self.ddsketch_relative_accuracy}, m = {self.ddsketch_bin_limit}",
+            ),
+            ("HDR Histogram", f"d = {self.hdr_significant_digits}"),
+            ("GKArray", f"epsilon = {self.gk_rank_accuracy}"),
+            (
+                "Moments sketch",
+                f"k = {self.moments_num_moments}, "
+                f"compression {'enabled' if self.moments_compression else 'disabled'}",
+            ),
+        ]
+
+
+#: The exact configuration of the paper's experiments.
+DEFAULT_PARAMETERS = ExperimentParameters()
+
+
+def build_sketch(
+    name: str,
+    dataset: Optional[DatasetSpec] = None,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+):
+    """Instantiate the sketch called ``name``, configured for ``dataset``.
+
+    ``dataset`` is required for HDR Histogram (its range must be fixed up
+    front) and ignored by the other sketches.
+    """
+    if name == "DDSketch":
+        return DDSketch(
+            relative_accuracy=parameters.ddsketch_relative_accuracy,
+            bin_limit=parameters.ddsketch_bin_limit,
+        )
+    if name == "DDSketch (fast)":
+        return FastDDSketch(
+            relative_accuracy=parameters.ddsketch_relative_accuracy,
+            bin_limit=parameters.ddsketch_bin_limit,
+        )
+    if name == "GKArray":
+        return GKArray(rank_accuracy=parameters.gk_rank_accuracy)
+    if name == "HDRHistogram":
+        if dataset is None:
+            raise IllegalArgumentError("HDRHistogram needs a dataset to size its range")
+        lowest, highest = dataset.hdr_range
+        return HDRHistogram(
+            lowest_discernible_value=lowest,
+            highest_trackable_value=highest,
+            significant_digits=parameters.hdr_significant_digits,
+        )
+    if name == "MomentsSketch":
+        return MomentsSketch(
+            num_moments=parameters.moments_num_moments,
+            compression=parameters.moments_compression,
+        )
+    if name == "TDigest":
+        return TDigest(compression=parameters.tdigest_compression)
+    if name == "KLL":
+        return KLLSketch(k=parameters.kll_k, seed=0)
+    raise IllegalArgumentError(f"unknown sketch name {name!r}")
+
+
+def build_all_sketches(
+    dataset_name: str,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    include_extensions: bool = False,
+) -> Dict[str, object]:
+    """Build every sketch in the comparison set, keyed by display name."""
+    dataset = get_dataset(dataset_name)
+    names = SKETCH_NAMES + (EXTENSION_SKETCH_NAMES if include_extensions else ())
+    return {name: build_sketch(name, dataset, parameters) for name in names}
+
+
+def bench_scale() -> float:
+    """Scale factor for benchmark workload sizes.
+
+    The paper sweeps ``n`` up to ``1e8`` on JVM implementations; pure-Python
+    benchmarks default to much smaller sweeps so the whole suite runs in
+    minutes.  Set the ``REPRO_BENCH_SCALE`` environment variable (e.g. to 10
+    or 100) to enlarge every sweep proportionally.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise IllegalArgumentError(f"REPRO_BENCH_SCALE must be a number, got {raw!r}") from None
+    if scale <= 0:
+        raise IllegalArgumentError(f"REPRO_BENCH_SCALE must be positive, got {scale!r}")
+    return scale
+
+
+def n_sweep(base: Tuple[int, ...] = (1_000, 10_000, 100_000)) -> List[int]:
+    """The sweep of stream sizes used by the per-figure experiments."""
+    scale = bench_scale()
+    return [max(int(n * scale), 1) for n in base]

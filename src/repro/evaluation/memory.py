@@ -1,0 +1,74 @@
+"""Sketch memory measurements (Figures 6 and 7 of the paper).
+
+Sizes are taken from each sketch's :meth:`size_in_bytes` memory model, which
+estimates what a tight native implementation would allocate (8-byte counters
+plus structural overhead) so that the comparison is between the data
+structures themselves and not CPython object overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.registry import get_dataset
+from repro.evaluation.config import (
+    DEFAULT_PARAMETERS,
+    ExperimentParameters,
+    SKETCH_NAMES,
+    build_sketch,
+)
+from repro.exceptions import IllegalArgumentError
+
+
+def measure_sketch_sizes(
+    dataset_name: str,
+    n_values_sweep: Sequence[int],
+    sketch_names: Sequence[str] = SKETCH_NAMES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[int, int]]]:
+    """Sketch size in bytes as a function of the stream size (Figure 6).
+
+    Returns ``{sketch_name: [(n, size_in_bytes), ...]}`` with one entry per
+    value of ``n_values_sweep``.
+    """
+    dataset = get_dataset(dataset_name)
+    results: Dict[str, List[Tuple[int, int]]] = {name: [] for name in sketch_names}
+    for n_values in n_values_sweep:
+        if n_values <= 0:
+            raise IllegalArgumentError(f"n_values must be positive, got {n_values!r}")
+        values = dataset.generator(int(n_values), seed)
+        for name in sketch_names:
+            sketch = build_sketch(name, dataset, parameters)
+            for value in values:
+                sketch.add(float(value))
+            results[name].append((int(n_values), sketch.size_in_bytes()))
+    return results
+
+
+def measure_ddsketch_bins(
+    dataset_name: str,
+    n_values_sweep: Sequence[int],
+    relative_accuracy: float = 0.01,
+    bin_limit: int = 2048,
+    seed: int = 0,
+) -> List[Tuple[int, int]]:
+    """Number of non-empty DDSketch buckets as a function of n (Figure 7).
+
+    The paper's Figure 7 shows that even after ``1e10`` Pareto values the
+    number of buckets stays around 900 — less than half the 2048 limit — so
+    the collapsing mechanism never kicks in for realistic data.
+    """
+    from repro.core.ddsketch import DDSketch
+
+    dataset = get_dataset(dataset_name)
+    series: List[Tuple[int, int]] = []
+    for n_values in n_values_sweep:
+        if n_values <= 0:
+            raise IllegalArgumentError(f"n_values must be positive, got {n_values!r}")
+        sketch = DDSketch(relative_accuracy=relative_accuracy, bin_limit=bin_limit)
+        values = dataset.generator(int(n_values), seed)
+        for value in values:
+            sketch.add(float(value))
+        series.append((int(n_values), sketch.num_buckets))
+    return series

@@ -1,0 +1,86 @@
+"""Plain-text formatting of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent (fixed-width aligned tables, one series
+per sketch) and are also used to assemble EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table.
+
+    Every cell is converted with ``str``; columns are padded to the widest
+    cell.  Returns a single string with newlines (no trailing newline).
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index >= len(widths):
+                widths.append(len(cell))
+            else:
+                widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        padded = [str(cell).ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "  ".join(padded).rstrip()
+
+    lines = [render_row([str(h) for h in headers])]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, List[Tuple[float, float]]],
+    x_label: str = "n",
+    y_label: str = "value",
+    float_format: str = "{:.6g}",
+) -> str:
+    """Render ``{series_name: [(x, y), ...]}`` as an aligned table.
+
+    The x values of the first series define the rows; every series contributes
+    one column.  Used for the Figure 6–11 style sweeps.
+    """
+    names = list(series)
+    if not names:
+        return "(no data)"
+    x_values = [x for x, _ in series[names[0]]]
+    headers = [x_label] + names
+    rows = []
+    for row_index, x in enumerate(x_values):
+        row = [float_format.format(x) if isinstance(x, float) else str(x)]
+        for name in names:
+            points = series[name]
+            if row_index < len(points):
+                row.append(float_format.format(points[row_index][1]))
+            else:
+                row.append("-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_figure_header(figure: str, description: str) -> str:
+    """Banner line identifying which paper artifact a benchmark regenerates."""
+    title = f"{figure}: {description}"
+    rule = "=" * len(title)
+    return f"{rule}\n{title}\n{rule}"
+
+
+def format_quantile_errors(
+    errors: Dict[str, Dict[float, float]], metric_name: str
+) -> str:
+    """Render per-sketch, per-quantile errors as a table (Figures 10/11 rows)."""
+    quantiles = sorted({q for per_sketch in errors.values() for q in per_sketch})
+    headers = [metric_name] + [f"p{int(q * 100)}" if q < 1 else "p100" for q in quantiles]
+    rows = []
+    for sketch_name, per_quantile in errors.items():
+        row = [sketch_name] + [
+            "{:.3e}".format(per_quantile[q]) if q in per_quantile else "-" for q in quantiles
+        ]
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,177 @@
+"""Per-figure experiment drivers.
+
+Each function regenerates the data behind one table or figure of the paper and
+returns it as plain Python structures; the benchmark modules under
+``benchmarks/`` call these, print the series via :mod:`repro.evaluation.report`
+and assert the qualitative findings (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.exact import ExactQuantiles
+from repro.core.protocol import TABLE1_METADATA
+from repro.datasets.registry import dataset_names, get_dataset
+from repro.evaluation.accuracy import (
+    DEFAULT_QUANTILES,
+    AccuracyMeasurement,
+    measure_accuracy,
+    measure_batched_quantile_tracking,
+)
+from repro.evaluation.config import (
+    DEFAULT_PARAMETERS,
+    ExperimentParameters,
+    SKETCH_NAMES,
+    n_sweep,
+)
+from repro.evaluation.memory import measure_ddsketch_bins, measure_sketch_sizes
+from repro.evaluation.timing import TimingResult, time_all_adds, time_all_merges
+from repro.monitoring.pipeline import MonitoringSimulation, SimulationReport
+
+
+def table1_properties() -> List[Tuple[str, str, str, str]]:
+    """Table 1: (sketch, guarantee, range, mergeability) for each algorithm."""
+    return [
+        (meta.name, meta.guarantee, meta.value_range, meta.mergeability)
+        for meta in TABLE1_METADATA.values()
+    ]
+
+
+def table2_parameters(
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+) -> List[Tuple[str, str]]:
+    """Table 2: the sketch parameters used throughout the experiments."""
+    return parameters.as_table_rows()
+
+
+def figure2_latency_timeseries(
+    num_hosts: int = 8,
+    requests_per_interval: int = 2_000,
+    num_intervals: int = 24,
+    seed: int = 0,
+) -> SimulationReport:
+    """Figure 2: average vs p50/p75 latency of a web endpoint over time."""
+    simulation = MonitoringSimulation(
+        num_hosts=num_hosts,
+        requests_per_interval=requests_per_interval,
+        num_intervals=num_intervals,
+        seed=seed,
+    )
+    return simulation.run()
+
+
+def figure3_histogram(
+    n_values: int = 200_000, num_bins: int = 50, seed: int = 0
+) -> Dict[str, List[Tuple[float, int]]]:
+    """Figure 3: histograms of web response times, p0–p95 and p0–p100.
+
+    Returns two named histograms as ``[(bin_right_edge, count), ...]``.
+    """
+    from repro.datasets.synthetic import web_latency_values
+
+    values = np.sort(web_latency_values(n_values, seed))
+    p95 = values[int(0.95 * (len(values) - 1))]
+
+    def build(upper: float) -> List[Tuple[float, int]]:
+        subset = values[values <= upper]
+        counts, edges = np.histogram(subset, bins=num_bins)
+        return [(float(edges[index + 1]), int(count)) for index, count in enumerate(counts)]
+
+    return {"p0_p95": build(float(p95)), "p0_p100": build(float(values[-1]))}
+
+
+def figure4_quantile_tracking(
+    num_batches: int = 20,
+    batch_size: int = 100_000,
+    seed: int = 0,
+) -> Dict[str, Dict[float, List[float]]]:
+    """Figure 4: actual vs rank-error-sketch vs relative-error-sketch quantiles."""
+    return measure_batched_quantile_tracking(
+        num_batches=num_batches, batch_size=batch_size, seed=seed
+    )
+
+
+def figure5_dataset_histograms(
+    n_values: int = 100_000, num_bins: int = 40, seed: int = 0
+) -> Dict[str, List[Tuple[float, int]]]:
+    """Figure 5: histograms of the pareto, span and power data sets."""
+    histograms: Dict[str, List[Tuple[float, int]]] = {}
+    for name in dataset_names():
+        values = get_dataset(name).generator(n_values, seed)
+        counts, edges = np.histogram(values, bins=num_bins)
+        histograms[name] = [
+            (float(edges[index + 1]), int(count)) for index, count in enumerate(counts)
+        ]
+    return histograms
+
+
+def figure6_sketch_sizes(
+    n_values_sweep: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, List[Tuple[int, int]]]]:
+    """Figure 6: sketch size in bytes vs stream size, per data set."""
+    sweep = list(n_values_sweep) if n_values_sweep is not None else n_sweep()
+    names = list(datasets) if datasets is not None else list(dataset_names())
+    return {
+        dataset: measure_sketch_sizes(dataset, sweep, seed=seed) for dataset in names
+    }
+
+
+def figure7_bin_counts(
+    n_values_sweep: Optional[Sequence[int]] = None, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """Figure 7: number of DDSketch buckets vs stream size on the pareto data."""
+    sweep = list(n_values_sweep) if n_values_sweep is not None else n_sweep()
+    return measure_ddsketch_bins("pareto", sweep, seed=seed)
+
+
+def figure8_add_times(
+    dataset: str = "pareto", n_values: int = 50_000, seed: int = 0
+) -> Dict[str, TimingResult]:
+    """Figure 8: average time to add a value, per sketch."""
+    return time_all_adds(dataset, n_values, seed=seed)
+
+
+def figure9_merge_times(
+    dataset: str = "pareto", n_values: int = 50_000, seed: int = 0
+) -> Dict[str, TimingResult]:
+    """Figure 9: average time to merge two same-size sketches, per sketch."""
+    return time_all_merges(dataset, n_values, seed=seed)
+
+
+def figure10_relative_errors(
+    n_values_sweep: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    seed: int = 0,
+) -> Dict[str, Dict[int, AccuracyMeasurement]]:
+    """Figure 10: relative error of p50/p95/p99 estimates, per data set and n."""
+    sweep = list(n_values_sweep) if n_values_sweep is not None else n_sweep()
+    names = list(datasets) if datasets is not None else list(dataset_names())
+    results: Dict[str, Dict[int, AccuracyMeasurement]] = {}
+    for dataset in names:
+        results[dataset] = {
+            n: measure_accuracy(dataset, n, quantiles=quantiles, seed=seed) for n in sweep
+        }
+    return results
+
+
+def figure11_rank_errors(
+    n_values_sweep: Optional[Sequence[int]] = None,
+    datasets: Optional[Sequence[str]] = None,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    seed: int = 0,
+) -> Dict[str, Dict[int, AccuracyMeasurement]]:
+    """Figure 11: rank error of p50/p95/p99 estimates, per data set and n.
+
+    The same measurement run as Figure 10 — an :class:`AccuracyMeasurement`
+    carries both error kinds — kept as a separate entry point so each figure
+    has its own benchmark.
+    """
+    return figure10_relative_errors(
+        n_values_sweep=n_values_sweep, datasets=datasets, quantiles=quantiles, seed=seed
+    )

@@ -1,0 +1,132 @@
+"""Insertion and merge timing (Figures 8 and 9 of the paper).
+
+The absolute numbers measured here are for pure-Python implementations and are
+therefore orders of magnitude above the paper's JVM measurements; what the
+benchmarks check (and what EXPERIMENTS.md reports) is the *relative ordering*
+of the sketches: the interpolated-mapping DDSketch is the fastest DDSketch
+variant at insertion, GKArray is the slowest inserter, the Moments sketch has
+by far the fastest merge, and HDR Histogram's merge cost scales with its large
+bucket array.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.datasets.registry import get_dataset
+from repro.evaluation.config import (
+    DEFAULT_PARAMETERS,
+    ExperimentParameters,
+    SKETCH_NAMES,
+    build_sketch,
+)
+from repro.exceptions import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Timing of one operation for one sketch."""
+
+    sketch: str
+    dataset: str
+    n_values: int
+    seconds_total: float
+
+    @property
+    def nanos_per_operation(self) -> float:
+        """Average time per ``add`` (or per merged value) in nanoseconds."""
+        return self.seconds_total / max(self.n_values, 1) * 1e9
+
+
+def time_add(
+    sketch_name: str,
+    dataset_name: str,
+    n_values: int,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+) -> TimingResult:
+    """Time adding ``n_values`` values of a data set to an empty sketch (Figure 8)."""
+    if n_values <= 0:
+        raise IllegalArgumentError(f"n_values must be positive, got {n_values!r}")
+    dataset = get_dataset(dataset_name)
+    values = [float(v) for v in dataset.generator(int(n_values), seed)]
+    sketch = build_sketch(sketch_name, dataset, parameters)
+    add = sketch.add
+    start = time.perf_counter()
+    for value in values:
+        add(value)
+    elapsed = time.perf_counter() - start
+    return TimingResult(
+        sketch=sketch_name, dataset=dataset_name, n_values=int(n_values), seconds_total=elapsed
+    )
+
+
+def time_merge(
+    sketch_name: str,
+    dataset_name: str,
+    n_values: int,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+    repetitions: int = 5,
+) -> TimingResult:
+    """Time merging two sketches of ``n_values / 2`` values each (Figure 9).
+
+    The merge target is re-created for every repetition so repeated merges do
+    not grow the sketch, and the reported time is the average over
+    ``repetitions`` merges.
+    """
+    if n_values <= 1:
+        raise IllegalArgumentError(f"n_values must be at least 2, got {n_values!r}")
+    dataset = get_dataset(dataset_name)
+    values = [float(v) for v in dataset.generator(int(n_values), seed)]
+    half = len(values) // 2
+
+    left_template = build_sketch(sketch_name, dataset, parameters)
+    right = build_sketch(sketch_name, dataset, parameters)
+    for value in values[:half]:
+        left_template.add(value)
+    for value in values[half:]:
+        right.add(value)
+
+    total = 0.0
+    for _ in range(max(repetitions, 1)):
+        left = left_template.copy() if hasattr(left_template, "copy") else left_template
+        start = time.perf_counter()
+        left.merge(right)
+        total += time.perf_counter() - start
+    return TimingResult(
+        sketch=sketch_name,
+        dataset=dataset_name,
+        n_values=int(n_values),
+        seconds_total=total / max(repetitions, 1),
+    )
+
+
+def time_all_adds(
+    dataset_name: str,
+    n_values: int,
+    sketch_names: Sequence[str] = SKETCH_NAMES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+) -> Dict[str, TimingResult]:
+    """Insertion timing for every sketch in the comparison set."""
+    return {
+        name: time_add(name, dataset_name, n_values, parameters, seed)
+        for name in sketch_names
+    }
+
+
+def time_all_merges(
+    dataset_name: str,
+    n_values: int,
+    sketch_names: Sequence[str] = SKETCH_NAMES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+) -> Dict[str, TimingResult]:
+    """Merge timing for every sketch in the comparison set."""
+    return {
+        name: time_merge(name, dataset_name, n_values, parameters, seed)
+        for name in sketch_names
+    }

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to distinguish the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class IllegalArgumentError(ReproError, ValueError):
+    """An argument is outside the domain accepted by the callee.
+
+    Raised, for instance, when a relative accuracy is not in ``(0, 1)``, when a
+    quantile is not in ``[0, 1]``, or when a negative weight is supplied.
+    """
+
+
+class UnequalSketchParametersError(ReproError, ValueError):
+    """Two sketches with incompatible parameters were combined.
+
+    DDSketch instances can only be merged when they use the same ``gamma``
+    (equivalently, the same relative accuracy and index offset); merging two
+    sketches with different bucket boundaries would silently destroy the
+    relative-error guarantee, so the library refuses to do it.
+    """
+
+
+class EmptySketchError(ReproError, ValueError):
+    """A value query (quantile, min, max, average) was made on an empty sketch."""
+
+
+class UnsupportedOperationError(ReproError, RuntimeError):
+    """The requested operation is not supported by this sketch variant.
+
+    For example, the bounded-range HDR Histogram baseline cannot record values
+    outside its configured range, and the Moments sketch cannot delete values.
+    """
+
+
+class DeserializationError(ReproError, ValueError):
+    """A serialized sketch payload could not be decoded."""

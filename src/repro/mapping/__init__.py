@@ -1,0 +1,27 @@
+"""Index mappings between positive values and integer bucket indices.
+
+A *key mapping* defines the bucket layout of a DDSketch: it maps any positive
+float ``x`` to an integer key such that all values sharing a key are within a
+relative distance ``alpha`` of the value returned for that key.  The paper's
+Section 2 defines the memory-optimal :class:`LogarithmicMapping`; Section 4
+evaluates faster variants ("DDSketch (fast)") that approximate the logarithm
+using the binary representation of floats at the cost of slightly more buckets.
+"""
+
+from repro.mapping.base import KeyMapping, MIN_SAFE_FLOAT, MAX_SAFE_FLOAT
+from repro.mapping.logarithmic import LogarithmicMapping
+from repro.mapping.interpolated import (
+    LinearlyInterpolatedMapping,
+    QuadraticallyInterpolatedMapping,
+    CubicallyInterpolatedMapping,
+)
+
+__all__ = [
+    "KeyMapping",
+    "LogarithmicMapping",
+    "LinearlyInterpolatedMapping",
+    "QuadraticallyInterpolatedMapping",
+    "CubicallyInterpolatedMapping",
+    "MIN_SAFE_FLOAT",
+    "MAX_SAFE_FLOAT",
+]

@@ -1,0 +1,34 @@
+"""The memory-optimal logarithmic key mapping.
+
+This is the mapping defined in Section 2 of the paper: bucket ``i`` holds the
+values in ``(gamma**(i-1), gamma**i]`` where ``gamma = (1+alpha)/(1-alpha)``.
+Computing the key requires an exact logarithm, which is the most expensive of
+the mappings but yields the smallest possible number of buckets for a given
+relative accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.mapping.base import KeyMapping
+
+
+class LogarithmicMapping(KeyMapping):
+    """Exact logarithmic mapping: ``key(x) = ceil(log(x) / log(gamma))``.
+
+    Memory-optimal under the relative-accuracy constraint; used by the
+    "DDSketch" configuration in the paper's evaluation (as opposed to
+    "DDSketch (fast)", which uses an interpolated mapping).
+    """
+
+    def __init__(self, relative_accuracy: float, offset: float = 0.0) -> None:
+        super().__init__(relative_accuracy, offset)
+        # log(x) * multiplier == log_gamma(x)
+        self._multiplier *= 1.0
+
+    def _log_gamma(self, value: float) -> float:
+        return math.log(value) * self._multiplier
+
+    def _pow_gamma(self, key: float) -> float:
+        return math.exp(key / self._multiplier)

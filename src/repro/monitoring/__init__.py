@@ -1,0 +1,35 @@
+"""Distributed-monitoring substrate: the paper's motivating scenario.
+
+The introduction of the paper (Figures 1–3) motivates DDSketch with a
+distributed web application: every container records the latency of the
+requests it handles, periodically ships a summary to a central monitoring
+system, and the monitoring system must answer quantile queries over arbitrary
+aggregations (across hosts and across time) without ever seeing the raw data.
+
+This package implements that pipeline end to end:
+
+* :class:`MetricAgent` — the per-container agent recording values into a
+  sketch and flushing it once per interval (serialized, as it would be on the
+  wire).
+* :class:`Aggregator` — the ingestion tier that merges incoming sketch
+  payloads per metric and time interval.
+* :class:`SketchTimeSeries` — per-metric storage of one merged sketch per
+  interval, supporting quantile series and time-window rollups.
+* :class:`MonitoringSimulation` — a deterministic simulation of a fleet of
+  hosts producing skewed request latencies, used by the Figure 2 benchmark and
+  the ``distributed_monitoring`` example.
+"""
+
+from repro.monitoring.agent import MetricAgent, SketchPayload
+from repro.monitoring.aggregator import Aggregator
+from repro.monitoring.timeseries import SketchTimeSeries
+from repro.monitoring.pipeline import MonitoringSimulation, SimulationReport
+
+__all__ = [
+    "MetricAgent",
+    "SketchPayload",
+    "Aggregator",
+    "SketchTimeSeries",
+    "MonitoringSimulation",
+    "SimulationReport",
+]

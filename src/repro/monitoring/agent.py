@@ -1,0 +1,121 @@
+"""Per-container metric agent.
+
+A :class:`MetricAgent` is the component running next to the application code
+(Figure 1 of the paper): it records raw measurements into a DDSketch and, once
+per flush interval, emits the serialized sketch together with routing metadata
+and resets its local state.  Because the sketch is fully mergeable, the
+monitoring backend can combine payloads from any number of agents and flush
+intervals without losing the accuracy guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.exceptions import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class SketchPayload:
+    """A flushed sketch as it would travel to the monitoring backend."""
+
+    host: str
+    metric: str
+    interval_start: float
+    interval_length: float
+    payload: bytes
+
+    def decode(self) -> BaseDDSketch:
+        """Deserialize the sketch carried by this payload."""
+        return BaseDDSketch.from_bytes(self.payload)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Number of bytes this payload puts on the wire."""
+        return len(self.payload)
+
+
+class MetricAgent:
+    """Records values for one or more metrics and flushes sketches per interval.
+
+    Parameters
+    ----------
+    host:
+        Identifier of the container/host this agent runs on.
+    sketch_factory:
+        Zero-argument callable creating a fresh sketch for each metric and
+        interval; defaults to the paper's configuration
+        (``DDSketch(relative_accuracy=0.01)``).
+    interval_length:
+        Length of a flush interval in seconds (only recorded in the payload
+        metadata; the agent itself is driven explicitly via :meth:`flush`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        interval_length: float = 1.0,
+    ) -> None:
+        if interval_length <= 0:
+            raise IllegalArgumentError(f"interval_length must be positive, got {interval_length!r}")
+        self._host = str(host)
+        self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
+        self._interval_length = float(interval_length)
+        self._sketches: Dict[str, BaseDDSketch] = {}
+        self._records = 0
+
+    @property
+    def host(self) -> str:
+        """Identifier of the host this agent runs on."""
+        return self._host
+
+    @property
+    def interval_length(self) -> float:
+        """Flush interval length in seconds."""
+        return self._interval_length
+
+    @property
+    def pending_metrics(self) -> List[str]:
+        """Metrics with unflushed data."""
+        return sorted(self._sketches)
+
+    @property
+    def records_since_flush(self) -> int:
+        """Number of values recorded since the last flush."""
+        return self._records
+
+    def record(self, metric: str, value: float, weight: float = 1.0) -> None:
+        """Record one measurement for ``metric``."""
+        sketch = self._sketches.get(metric)
+        if sketch is None:
+            sketch = self._sketch_factory()
+            self._sketches[metric] = sketch
+        sketch.add(value, weight)
+        self._records += 1
+
+    def flush(self, interval_start: float) -> List[SketchPayload]:
+        """Serialize and return the pending sketches, then reset local state.
+
+        Returns one payload per metric that received data during the interval;
+        an agent with no data returns an empty list (transient containers that
+        served no request send nothing, as in the paper's deployment).
+        """
+        payloads = [
+            SketchPayload(
+                host=self._host,
+                metric=metric,
+                interval_start=float(interval_start),
+                interval_length=self._interval_length,
+                payload=sketch.to_bytes(),
+            )
+            for metric, sketch in sorted(self._sketches.items())
+        ]
+        self._sketches = {}
+        self._records = 0
+        return payloads
+
+    def __repr__(self) -> str:
+        return f"MetricAgent(host={self._host!r}, pending_metrics={self.pending_metrics})"

@@ -1,0 +1,140 @@
+"""Ingestion tier: merges sketch payloads from many agents.
+
+The :class:`Aggregator` models the paper's "monitoring system" box (Figure 1):
+it receives serialized sketches from any number of agents, groups them by
+metric, and maintains a :class:`~repro.monitoring.SketchTimeSeries` per
+metric.  Because merging is associative and commutative, payloads can arrive
+out of order, from transient containers, or be routed through intermediate
+aggregators, and the final answer is identical to a single sketch over the
+raw stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.exceptions import EmptySketchError
+from repro.monitoring.agent import SketchPayload
+from repro.monitoring.timeseries import SketchTimeSeries
+
+
+class Aggregator:
+    """Receives sketch payloads and serves quantile queries per metric.
+
+    Parameters
+    ----------
+    interval_length:
+        Storage interval used for every metric's time series.
+    sketch_factory:
+        Factory for per-interval sketches (only used when raw values are
+        ingested directly; payload ingestion reuses the decoded sketches).
+    """
+
+    def __init__(
+        self,
+        interval_length: float = 1.0,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+    ) -> None:
+        self._interval_length = float(interval_length)
+        self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
+        self._series: Dict[str, SketchTimeSeries] = {}
+        self._payloads_received = 0
+        self._bytes_received = 0
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metrics(self) -> List[str]:
+        """Names of the metrics with stored data."""
+        return sorted(self._series)
+
+    @property
+    def payloads_received(self) -> int:
+        """Number of payloads ingested so far."""
+        return self._payloads_received
+
+    @property
+    def bytes_received(self) -> int:
+        """Total wire bytes ingested so far."""
+        return self._bytes_received
+
+    def series(self, metric: str) -> SketchTimeSeries:
+        """The time series for ``metric`` (created on first use)."""
+        existing = self._series.get(metric)
+        if existing is None:
+            existing = SketchTimeSeries(
+                metric,
+                interval_length=self._interval_length,
+                sketch_factory=self._sketch_factory,
+            )
+            self._series[metric] = existing
+        return existing
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, payload: SketchPayload) -> None:
+        """Decode one payload and merge it into the matching metric/interval."""
+        sketch = payload.decode()
+        self.series(payload.metric).ingest_sketch(payload.interval_start, sketch)
+        self._payloads_received += 1
+        self._bytes_received += payload.size_in_bytes
+
+    def ingest_many(self, payloads: Iterable[SketchPayload]) -> int:
+        """Ingest an iterable of payloads; returns how many were processed."""
+        processed = 0
+        for payload in payloads:
+            self.ingest(payload)
+            processed += 1
+        return processed
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def quantile(
+        self,
+        metric: str,
+        quantile: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> float:
+        """Quantile of ``metric`` over the time window ``[start, end)``."""
+        if metric not in self._series:
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        rollup = self._series[metric].rollup(start, end)
+        value = rollup.get_quantile_value(quantile)
+        if value is None:
+            raise EmptySketchError(f"no data for metric {metric!r} in the requested window")
+        return value
+
+    def quantile_series(self, metric: str, quantile: float) -> List[Tuple[float, float]]:
+        """Per-interval quantile estimates for ``metric``."""
+        if metric not in self._series:
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        return self._series[metric].quantile_series(quantile)
+
+    def average_series(self, metric: str) -> List[Tuple[float, float]]:
+        """Per-interval averages for ``metric`` (exact)."""
+        if metric not in self._series:
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        return self._series[metric].average_series()
+
+    def count(self, metric: str) -> float:
+        """Total number of recorded values for ``metric``."""
+        if metric not in self._series:
+            return 0.0
+        return self._series[metric].total_count
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint of every stored sketch."""
+        return sum(series.size_in_bytes() for series in self._series.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregator(metrics={self.metrics}, payloads_received={self._payloads_received})"
+        )

@@ -1,0 +1,185 @@
+"""End-to-end simulation of the paper's motivating monitoring scenario.
+
+:class:`MonitoringSimulation` reproduces the setting of Figures 1 and 2: a
+fleet of hosts serving a web endpoint, each recording skewed request latencies
+into a local agent, flushing a sketch every interval, and a central aggregator
+answering quantile queries over any host/time aggregation.  The simulation
+also keeps the exact raw values so the benchmarks can verify that the
+distributed pipeline's answers match a single sketch (and how close they are
+to the exact quantiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.exact import ExactQuantiles
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.datasets.synthetic import web_latency_values
+from repro.exceptions import IllegalArgumentError
+from repro.monitoring.agent import MetricAgent
+from repro.monitoring.aggregator import Aggregator
+
+
+@dataclass
+class SimulationReport:
+    """Summary of one simulation run, consumed by benchmarks and examples."""
+
+    metric: str
+    num_hosts: int
+    num_intervals: int
+    requests_per_interval: int
+    total_requests: int
+    bytes_on_wire: int
+    average_series: List[Tuple[float, float]] = field(default_factory=list)
+    p50_series: List[Tuple[float, float]] = field(default_factory=list)
+    p75_series: List[Tuple[float, float]] = field(default_factory=list)
+    p99_series: List[Tuple[float, float]] = field(default_factory=list)
+    overall_quantiles: Dict[float, float] = field(default_factory=dict)
+    exact_quantiles: Dict[float, float] = field(default_factory=dict)
+
+    def max_relative_error(self) -> float:
+        """Worst relative error of the pipeline's overall quantiles vs exact."""
+        worst = 0.0
+        for quantile, estimate in self.overall_quantiles.items():
+            actual = self.exact_quantiles[quantile]
+            if actual != 0:
+                worst = max(worst, abs(estimate - actual) / abs(actual))
+        return worst
+
+
+class MonitoringSimulation:
+    """Simulates a fleet of hosts reporting latency sketches to an aggregator.
+
+    Parameters
+    ----------
+    num_hosts:
+        Number of containers/hosts serving the endpoint.
+    requests_per_interval:
+        Requests handled by the whole fleet per flush interval.
+    num_intervals:
+        Number of flush intervals to simulate.
+    relative_accuracy:
+        Accuracy of the DDSketches used by the agents and the aggregator.
+    latency_generator:
+        Callable ``(size, seed) -> np.ndarray`` producing the request
+        latencies of one interval; defaults to the skewed web-latency mixture
+        of the paper's Figure 3.
+    seed:
+        Seed for deterministic workloads.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int = 8,
+        requests_per_interval: int = 5000,
+        num_intervals: int = 24,
+        relative_accuracy: float = 0.01,
+        latency_generator: Optional[Callable[[int, Optional[int]], np.ndarray]] = None,
+        seed: Optional[int] = 0,
+        metric: str = "web.request.latency",
+    ) -> None:
+        if num_hosts < 1:
+            raise IllegalArgumentError(f"num_hosts must be positive, got {num_hosts!r}")
+        if requests_per_interval < 1:
+            raise IllegalArgumentError(
+                f"requests_per_interval must be positive, got {requests_per_interval!r}"
+            )
+        if num_intervals < 1:
+            raise IllegalArgumentError(f"num_intervals must be positive, got {num_intervals!r}")
+        self._num_hosts = int(num_hosts)
+        self._requests_per_interval = int(requests_per_interval)
+        self._num_intervals = int(num_intervals)
+        self._relative_accuracy = float(relative_accuracy)
+        self._latency_generator = latency_generator or web_latency_values
+        self._seed = seed
+        self._metric = metric
+
+        sketch_factory = lambda: DDSketch(relative_accuracy=self._relative_accuracy)  # noqa: E731
+        self._agents = [
+            MetricAgent(host=f"host-{index:03d}", sketch_factory=sketch_factory)
+            for index in range(self._num_hosts)
+        ]
+        self._aggregator = Aggregator(interval_length=1.0, sketch_factory=sketch_factory)
+        self._exact = ExactQuantiles()
+        self._bytes_on_wire = 0
+        self._intervals_run = 0
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def aggregator(self) -> Aggregator:
+        """The central aggregator accumulating every flushed sketch."""
+        return self._aggregator
+
+    @property
+    def exact(self) -> ExactQuantiles:
+        """Exact record of every latency generated so far (for verification)."""
+        return self._exact
+
+    @property
+    def metric(self) -> str:
+        """Name of the simulated metric."""
+        return self._metric
+
+    @property
+    def intervals_run(self) -> int:
+        """Number of intervals simulated so far."""
+        return self._intervals_run
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+
+    def run_interval(self, interval_index: Optional[int] = None) -> int:
+        """Simulate one flush interval; returns the number of requests handled."""
+        index = self._intervals_run if interval_index is None else int(interval_index)
+        seed = None if self._seed is None else self._seed + index
+        latencies = self._latency_generator(self._requests_per_interval, seed)
+        rng = np.random.default_rng(None if seed is None else seed + 10_000)
+        assignments = rng.integers(0, self._num_hosts, size=len(latencies))
+
+        for latency, host_index in zip(latencies, assignments):
+            self._agents[host_index].record(self._metric, float(latency))
+            self._exact.add(float(latency))
+
+        timestamp = float(index)
+        for agent in self._agents:
+            for payload in agent.flush(timestamp):
+                self._bytes_on_wire += payload.size_in_bytes
+                self._aggregator.ingest(payload)
+        self._intervals_run += 1
+        return len(latencies)
+
+    def run(self) -> SimulationReport:
+        """Run the configured number of intervals and build the report."""
+        while self._intervals_run < self._num_intervals:
+            self.run_interval()
+        return self.report()
+
+    def report(self, quantiles: Sequence[float] = (0.5, 0.75, 0.9, 0.95, 0.99)) -> SimulationReport:
+        """Build a :class:`SimulationReport` from the current state."""
+        overall = {
+            quantile: self._aggregator.quantile(self._metric, quantile)
+            for quantile in quantiles
+        }
+        exact = {quantile: self._exact.quantile(quantile) for quantile in quantiles}
+        return SimulationReport(
+            metric=self._metric,
+            num_hosts=self._num_hosts,
+            num_intervals=self._intervals_run,
+            requests_per_interval=self._requests_per_interval,
+            total_requests=int(self._exact.count),
+            bytes_on_wire=self._bytes_on_wire,
+            average_series=self._aggregator.average_series(self._metric),
+            p50_series=self._aggregator.quantile_series(self._metric, 0.5),
+            p75_series=self._aggregator.quantile_series(self._metric, 0.75),
+            p99_series=self._aggregator.quantile_series(self._metric, 0.99),
+            overall_quantiles=overall,
+            exact_quantiles=exact,
+        )

@@ -1,0 +1,189 @@
+"""Per-metric time series of merged sketches.
+
+The monitoring backend keeps, for every metric, one merged sketch per time
+interval.  Thanks to full mergeability, any rollup — a coarser time
+granularity, a dashboard window, a month-long SLO report — is obtained by
+merging the per-interval sketches, with exactly the same accuracy guarantee as
+if a single sketch had seen all the raw data (Algorithm 4 / Table 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class SketchTimeSeries:
+    """A time-indexed collection of sketches for a single metric.
+
+    Parameters
+    ----------
+    metric:
+        Name of the metric this series stores.
+    interval_length:
+        Length of one storage interval in seconds; timestamps are snapped down
+        to interval boundaries.
+    sketch_factory:
+        Factory used to create the per-interval sketches when data arrives.
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        interval_length: float = 1.0,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+    ) -> None:
+        if interval_length <= 0:
+            raise IllegalArgumentError(f"interval_length must be positive, got {interval_length!r}")
+        self._metric = str(metric)
+        self._interval_length = float(interval_length)
+        self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
+        self._buckets: Dict[float, BaseDDSketch] = {}
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def metric(self) -> str:
+        """Metric name."""
+        return self._metric
+
+    @property
+    def interval_length(self) -> float:
+        """Storage interval length in seconds."""
+        return self._interval_length
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of intervals holding data."""
+        return len(self._buckets)
+
+    @property
+    def total_count(self) -> float:
+        """Total weight across every interval."""
+        return sum(sketch.count for sketch in self._buckets.values())
+
+    def intervals(self) -> List[float]:
+        """Sorted interval start times holding data."""
+        return sorted(self._buckets)
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint of all stored sketches."""
+        return sum(sketch.size_in_bytes() for sketch in self._buckets.values())
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def _bucket_start(self, timestamp: float) -> float:
+        return math.floor(timestamp / self._interval_length) * self._interval_length
+
+    def ingest_sketch(self, timestamp: float, sketch: BaseDDSketch) -> None:
+        """Merge a sketch into the interval containing ``timestamp``."""
+        start = self._bucket_start(timestamp)
+        existing = self._buckets.get(start)
+        if existing is None:
+            self._buckets[start] = sketch.copy()
+        else:
+            existing.merge(sketch)
+
+    def ingest_value(self, timestamp: float, value: float, weight: float = 1.0) -> None:
+        """Record a single raw value into the interval containing ``timestamp``."""
+        start = self._bucket_start(timestamp)
+        sketch = self._buckets.get(start)
+        if sketch is None:
+            sketch = self._sketch_factory()
+            self._buckets[start] = sketch
+        sketch.add(value, weight)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def sketch_at(self, timestamp: float) -> Optional[BaseDDSketch]:
+        """The sketch of the interval containing ``timestamp``, if any."""
+        return self._buckets.get(self._bucket_start(timestamp))
+
+    def rollup(self, start: Optional[float] = None, end: Optional[float] = None) -> BaseDDSketch:
+        """Merge every interval in ``[start, end)`` into a single sketch.
+
+        With both bounds omitted the rollup covers the whole series.  The
+        result is a *new* sketch; the stored per-interval sketches are not
+        modified.
+        """
+        if not self._buckets:
+            raise EmptySketchError(f"no data stored for metric {self._metric!r}")
+        selected = [
+            sketch
+            for interval_start, sketch in sorted(self._buckets.items())
+            if (start is None or interval_start >= self._bucket_start(start))
+            and (end is None or interval_start < end)
+        ]
+        if not selected:
+            raise EmptySketchError(
+                f"no data for metric {self._metric!r} in [{start!r}, {end!r})"
+            )
+        merged = selected[0].copy()
+        for sketch in selected[1:]:
+            merged.merge(sketch)
+        return merged
+
+    def quantile_series(self, quantile: float) -> List[Tuple[float, float]]:
+        """Per-interval quantile estimates: ``[(interval_start, value), ...]``."""
+        series = []
+        for interval_start in sorted(self._buckets):
+            value = self._buckets[interval_start].get_quantile_value(quantile)
+            if value is not None:
+                series.append((interval_start, value))
+        return series
+
+    def average_series(self) -> List[Tuple[float, float]]:
+        """Per-interval averages (exact, from the sketches' sum/count)."""
+        return [
+            (interval_start, self._buckets[interval_start].avg)
+            for interval_start in sorted(self._buckets)
+            if self._buckets[interval_start].count > 0
+        ]
+
+    def quantile_over_windows(
+        self, quantile: float, window_length: float
+    ) -> List[Tuple[float, float]]:
+        """Quantile estimates rolled up to coarser windows of ``window_length``.
+
+        This is the "roll up the sums and counts to graph ... over much larger
+        intervals" operation from the paper's introduction, except that thanks
+        to mergeability it works for quantiles, not just averages.
+        """
+        if window_length <= 0:
+            raise IllegalArgumentError(f"window_length must be positive, got {window_length!r}")
+        windows: Dict[float, BaseDDSketch] = {}
+        for interval_start, sketch in self._buckets.items():
+            window_start = math.floor(interval_start / window_length) * window_length
+            existing = windows.get(window_start)
+            if existing is None:
+                windows[window_start] = sketch.copy()
+            else:
+                existing.merge(sketch)
+        series = []
+        for window_start in sorted(windows):
+            value = windows[window_start].get_quantile_value(quantile)
+            if value is not None:
+                series.append((window_start, value))
+        return series
+
+    def __iter__(self) -> Iterator[Tuple[float, BaseDDSketch]]:
+        for interval_start in sorted(self._buckets):
+            yield interval_start, self._buckets[interval_start]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchTimeSeries(metric={self._metric!r}, intervals={len(self._buckets)}, "
+            f"total_count={self.total_count!r})"
+        )

@@ -1,0 +1,44 @@
+"""Serialization of sketches for transport between processes and hosts.
+
+Mergeability is only useful in a distributed system if sketches can travel:
+workers serialize their per-interval sketches and ship them to an aggregator
+which deserializes and merges them (Figure 1 of the paper).  Two codecs are
+provided:
+
+* :mod:`repro.serialization.json_codec` — a human-readable dictionary/JSON
+  representation, convenient for debugging and interoperability tests.
+* :mod:`repro.serialization.binary_codec` — a compact binary format using
+  variable-length integers and delta-encoded bucket keys, representative of
+  what a production agent would put on the wire.
+"""
+
+from repro.serialization.encoding import (
+    encode_varint,
+    decode_varint,
+    encode_zigzag,
+    decode_zigzag,
+    encode_float,
+    decode_float,
+    VarintReader,
+)
+from repro.serialization.json_codec import (
+    sketch_to_json,
+    sketch_from_json,
+    store_from_dict,
+)
+from repro.serialization.binary_codec import encode_sketch, decode_sketch
+
+__all__ = [
+    "encode_varint",
+    "decode_varint",
+    "encode_zigzag",
+    "decode_zigzag",
+    "encode_float",
+    "decode_float",
+    "VarintReader",
+    "sketch_to_json",
+    "sketch_from_json",
+    "store_from_dict",
+    "encode_sketch",
+    "decode_sketch",
+]

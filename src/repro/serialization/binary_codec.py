@@ -1,0 +1,175 @@
+"""Compact binary serialization for DDSketch.
+
+The wire format mirrors what a production metrics agent would send: a small
+header describing the mapping, followed by the three bucket groups (negative
+magnitudes, zero, positives).  Bucket keys are delta-encoded (zig-zag varints)
+and counts are 8-byte floats, so a typical 1%-accuracy sketch of a latency
+distribution fits in a few kilobytes.
+
+Format (all multi-byte integers are varints unless noted)::
+
+    magic        2 bytes   b"DD"
+    version      varint    currently 1
+    mapping type varint    index into _MAPPING_CODES
+    rel accuracy float64
+    offset       float64
+    zero count   float64
+    count        float64
+    sum          float64
+    min          float64   (NaN when the sketch is empty)
+    max          float64   (NaN when the sketch is empty)
+    store type   varint    index into _STORE_CODES (positive store)
+    bin limit    varint    0 when the store is unbounded
+    n buckets    varint
+    buckets      n * (zig-zag delta key, float64 count)
+    store type   varint    (negative store; same layout as the positive one)
+    ...
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Tuple, Type
+
+from repro.exceptions import DeserializationError
+from repro.mapping import (
+    CubicallyInterpolatedMapping,
+    KeyMapping,
+    LinearlyInterpolatedMapping,
+    LogarithmicMapping,
+    QuadraticallyInterpolatedMapping,
+)
+from repro.serialization.encoding import (
+    VarintReader,
+    encode_float,
+    encode_varint,
+    encode_zigzag,
+)
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+    Store,
+)
+
+_MAGIC = b"DD"
+_VERSION = 1
+
+_MAPPING_CODES: List[Type[KeyMapping]] = [
+    LogarithmicMapping,
+    LinearlyInterpolatedMapping,
+    QuadraticallyInterpolatedMapping,
+    CubicallyInterpolatedMapping,
+]
+
+_STORE_CODES: List[Type[Store]] = [
+    DenseStore,
+    SparseStore,
+    CollapsingLowestDenseStore,
+    CollapsingHighestDenseStore,
+]
+
+
+def _encode_store(store: Store) -> bytes:
+    out = bytearray()
+    out += encode_varint(_STORE_CODES.index(type(store)))
+    bin_limit = getattr(store, "bin_limit", 0) or 0
+    out += encode_varint(int(bin_limit))
+    buckets = list(store)
+    out += encode_varint(len(buckets))
+    previous_key = 0
+    for bucket in buckets:
+        out += encode_zigzag(bucket.key - previous_key)
+        out += encode_float(bucket.count)
+        previous_key = bucket.key
+    return bytes(out)
+
+
+def _decode_store(reader: VarintReader) -> Store:
+    store_code = reader.read_varint()
+    if store_code >= len(_STORE_CODES):
+        raise DeserializationError(f"unknown store code {store_code}")
+    store_cls = _STORE_CODES[store_code]
+    bin_limit = reader.read_varint()
+    kwargs: Dict[str, Any] = {}
+    if store_cls in (CollapsingLowestDenseStore, CollapsingHighestDenseStore):
+        kwargs["bin_limit"] = bin_limit if bin_limit > 0 else 2048
+    store = store_cls(**kwargs)
+    num_buckets = reader.read_varint()
+    key = 0
+    for _ in range(num_buckets):
+        key += reader.read_zigzag()
+        count = reader.read_float()
+        store.add(key, count)
+    return store
+
+
+def encode_sketch(sketch: Any) -> bytes:
+    """Serialize a :class:`~repro.core.BaseDDSketch` to compact bytes."""
+    mapping = sketch.mapping
+    out = bytearray()
+    out += _MAGIC
+    out += encode_varint(_VERSION)
+    out += encode_varint(_MAPPING_CODES.index(type(mapping)))
+    out += encode_float(mapping.relative_accuracy)
+    out += encode_float(mapping.offset)
+    out += encode_float(sketch.zero_count)
+    out += encode_float(sketch.count)
+    out += encode_float(sketch.sum)
+    if sketch.count > 0:
+        out += encode_float(sketch.min)
+        out += encode_float(sketch.max)
+    else:
+        out += encode_float(math.nan)
+        out += encode_float(math.nan)
+    out += _encode_store(sketch.store)
+    out += _encode_store(sketch.negative_store)
+    return bytes(out)
+
+
+def decode_sketch(payload: bytes, sketch_cls: Any = None) -> Any:
+    """Deserialize a sketch produced by :func:`encode_sketch`."""
+    from repro.core.ddsketch import BaseDDSketch
+
+    if sketch_cls is None:
+        sketch_cls = BaseDDSketch
+    if payload[:2] != _MAGIC:
+        raise DeserializationError("payload does not start with the DDSketch magic bytes")
+    reader = VarintReader(payload[2:])
+    version = reader.read_varint()
+    if version != _VERSION:
+        raise DeserializationError(f"unsupported format version {version}")
+    mapping_code = reader.read_varint()
+    if mapping_code >= len(_MAPPING_CODES):
+        raise DeserializationError(f"unknown mapping code {mapping_code}")
+    relative_accuracy = reader.read_float()
+    offset = reader.read_float()
+    mapping = _MAPPING_CODES[mapping_code](relative_accuracy, offset=offset)
+    zero_count = reader.read_float()
+    count = reader.read_float()
+    total = reader.read_float()
+    minimum = reader.read_float()
+    maximum = reader.read_float()
+    store = _decode_store(reader)
+    negative_store = _decode_store(reader)
+
+    sketch = sketch_cls.__new__(sketch_cls)
+    BaseDDSketch.__init__(
+        sketch,
+        mapping=mapping,
+        store=store,
+        negative_store=negative_store,
+        zero_count=zero_count,
+    )
+    sketch._count = count
+    sketch._sum = total
+    sketch._min = float("inf") if math.isnan(minimum) else minimum
+    sketch._max = float("-inf") if math.isnan(maximum) else maximum
+    return sketch
+
+
+def _round_trip_size(sketch: Any) -> Tuple[int, int]:
+    """Return (encoded size in bytes, number of buckets); used by benchmarks."""
+    encoded = encode_sketch(sketch)
+    return len(encoded), sketch.num_buckets

@@ -1,0 +1,71 @@
+"""JSON (dictionary) serialization for sketches and stores.
+
+The JSON codec favours readability and interoperability over compactness: the
+bucket contents are stored as a ``{key: count}`` object, and the mapping and
+store types are stored by name so the exact sketch configuration round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Type
+
+from repro.exceptions import DeserializationError
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+    Store,
+)
+
+
+def _store_registry() -> Dict[str, Type[Store]]:
+    return {
+        "DenseStore": DenseStore,
+        "SparseStore": SparseStore,
+        "CollapsingLowestDenseStore": CollapsingLowestDenseStore,
+        "CollapsingHighestDenseStore": CollapsingHighestDenseStore,
+    }
+
+
+def store_from_dict(payload: Dict[str, Any]) -> Store:
+    """Rebuild a store from the output of :meth:`Store.to_dict`."""
+    registry = _store_registry()
+    type_name = payload.get("type")
+    if type_name not in registry:
+        raise DeserializationError(f"unknown store type {type_name!r}")
+    store_cls = registry[type_name]
+    kwargs: Dict[str, Any] = {}
+    if type_name in ("CollapsingLowestDenseStore", "CollapsingHighestDenseStore"):
+        kwargs["bin_limit"] = int(payload.get("bin_limit", 2048))
+    store = store_cls(**kwargs)
+    bins = payload.get("bins", {})
+    for key, count in bins.items():
+        store.add(int(key), float(count))
+    return store
+
+
+def sketch_to_json(sketch: Any) -> str:
+    """Serialize any :class:`~repro.core.BaseDDSketch` to a JSON string."""
+    return json.dumps(sketch.to_dict(), sort_keys=True)
+
+
+def sketch_from_json(payload: str, sketch_cls: Any = None) -> Any:
+    """Deserialize a sketch from :func:`sketch_to_json` output.
+
+    ``sketch_cls`` defaults to :class:`repro.core.BaseDDSketch`; pass a
+    subclass to get an instance of that type (its stores are restored from the
+    payload, not re-created from the subclass defaults).
+    """
+    from repro.core.ddsketch import BaseDDSketch
+
+    if sketch_cls is None:
+        sketch_cls = BaseDDSketch
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise DeserializationError(f"invalid JSON payload: {exc}") from exc
+    if not isinstance(data, dict):
+        raise DeserializationError("expected a JSON object at the top level")
+    return sketch_cls.from_dict(data)

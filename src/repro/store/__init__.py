@@ -1,0 +1,34 @@
+"""Bucket stores: the counter containers backing a DDSketch.
+
+The paper's Section 2.2 discusses several ways to hold the bucket counters in
+memory; this package provides each of them behind a single :class:`Store`
+interface so that the sketch logic is independent of the storage strategy:
+
+* :class:`DenseStore` — a contiguous, growable array of counters covering the
+  range between the minimum and maximum used keys (fast, memory proportional
+  to the covered key range).
+* :class:`SparseStore` — a dictionary from key to counter (memory proportional
+  to the number of non-empty buckets, slower per insertion).
+* :class:`CollapsingLowestDenseStore` — a dense store with a bound ``m`` on
+  the number of buckets that collapses the lowest buckets together when the
+  bound is exceeded (Algorithm 3 / 4 of the paper).
+* :class:`CollapsingHighestDenseStore` — same, collapsing from the highest
+  keys instead; used for the negative-value half of a full sketch.
+"""
+
+from repro.store.base import Store, Bucket
+from repro.store.dense import DenseStore
+from repro.store.sparse import SparseStore
+from repro.store.collapsing import (
+    CollapsingLowestDenseStore,
+    CollapsingHighestDenseStore,
+)
+
+__all__ = [
+    "Store",
+    "Bucket",
+    "DenseStore",
+    "SparseStore",
+    "CollapsingLowestDenseStore",
+    "CollapsingHighestDenseStore",
+]

@@ -1,0 +1,186 @@
+"""Abstract interface for DDSketch bucket stores."""
+
+from __future__ import annotations
+
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.exceptions import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A single (key, count) pair exposed when iterating over a store."""
+
+    key: int
+    count: float
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.key, self.count))
+
+
+class Store(ABC):
+    """A mapping from integer keys to non-negative counts.
+
+    Stores are the only stateful component of a DDSketch besides a handful of
+    scalar summaries; every concrete store supports weighted insertion,
+    merging with another store of any concrete type, rank queries, and
+    iteration in key order.
+    """
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def add(self, key: int, weight: float = 1.0) -> None:
+        """Increase the counter of ``key`` by ``weight`` (default 1)."""
+
+    def remove(self, key: int, weight: float = 1.0) -> None:
+        """Decrease the counter of ``key`` by ``weight``.
+
+        The counter is clamped at zero: removing more weight than present
+        empties the bucket rather than going negative.  Subclasses may
+        override this with a more efficient implementation.
+        """
+        self.add(key, -weight)
+
+    @abstractmethod
+    def merge(self, other: "Store") -> None:
+        """Add every (key, count) pair of ``other`` into this store."""
+
+    @abstractmethod
+    def copy(self) -> "Store":
+        """Return a deep copy of this store."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Remove every bucket, leaving an empty store."""
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abstractmethod
+    def count(self) -> float:
+        """The total weight across all buckets."""
+
+    @abstractmethod
+    def key_at_rank(self, rank: float, lower: bool = True) -> int:
+        """Return the key whose bucket contains the item of the given rank.
+
+        Buckets are scanned in increasing key order and their counts summed;
+        the returned key is the first one whose cumulative count exceeds
+        ``rank`` (strictly, when ``lower`` is true — matching the paper's
+        lower-quantile definition) or reaches it (when ``lower`` is false).
+        """
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Bucket]:
+        """Iterate over non-empty buckets in increasing key order."""
+
+    def reversed(self) -> Iterator[Bucket]:
+        """Iterate over non-empty buckets in decreasing key order."""
+        return iter(sorted(self, key=lambda bucket: -bucket.key))
+
+    @property
+    @abstractmethod
+    def min_key(self) -> int:
+        """The smallest key with a non-zero count.
+
+        Raises :class:`~repro.exceptions.EmptySketchError` when empty.
+        """
+
+    @property
+    @abstractmethod
+    def max_key(self) -> int:
+        """The largest key with a non-zero count.
+
+        Raises :class:`~repro.exceptions.EmptySketchError` when empty.
+        """
+
+    @property
+    def num_buckets(self) -> int:
+        """The number of non-empty buckets."""
+        return sum(1 for _ in self)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the store holds no weight at all."""
+        return self.count <= 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection / serialization
+    # ------------------------------------------------------------------ #
+
+    def size_in_bytes(self) -> int:
+        """Estimate of the memory footprint of this store in bytes.
+
+        The estimate is a model of what a tight native implementation would
+        use (8-byte counters plus per-structure overhead) rather than the
+        Python object graph size, so that cross-sketch memory comparisons
+        (Figure 6 of the paper) are meaningful and not dominated by
+        interpreter overhead.
+        """
+        return 64 + 8 * max(self.num_buckets, 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-friendly description of this store's contents."""
+        return {
+            "type": type(self).__name__,
+            "bins": {str(bucket.key): bucket.count for bucket in self},
+        }
+
+    def key_counts(self) -> Dict[int, float]:
+        """Return the store contents as a plain ``{key: count}`` dictionary."""
+        return {bucket.key: bucket.count for bucket in self}
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _validate_weight(weight: float) -> float:
+        if weight != weight or weight == float("inf"):
+            raise IllegalArgumentError(f"weight must be a finite number, got {weight!r}")
+        return float(weight)
+
+    def __len__(self) -> int:
+        return self.num_buckets
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Store):
+            return NotImplemented
+        return self.key_counts() == other.key_counts()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(count={self.count!r}, num_buckets={self.num_buckets})"
+
+
+def python_object_size(store: Store) -> int:
+    """Best-effort size of the actual Python objects backing a store.
+
+    Useful for sanity checks; benchmark comparisons use
+    :meth:`Store.size_in_bytes` instead so results are not dominated by
+    CPython object overhead.
+    """
+    seen = set()
+    total = 0
+    stack = [store]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.extend(obj.__dict__.values())
+    return total

@@ -1,0 +1,228 @@
+"""Contiguous (dense) bucket store.
+
+A dense store keeps one counter per key in a contiguous Python list covering
+the span between the smallest and largest key seen so far.  Insertion is an
+index computation plus an increment, which makes it the fastest store, at the
+cost of memory proportional to the covered key span rather than to the number
+of non-empty buckets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.store.base import Bucket, Store
+
+#: Number of bins allocated at a time when the store needs to grow.
+CHUNK_SIZE = 128
+
+
+class DenseStore(Store):
+    """Growable contiguous store of bucket counters.
+
+    Parameters
+    ----------
+    chunk_size:
+        Allocation granularity; the backing list always grows by a multiple of
+        this many bins to amortize resizing.
+    """
+
+    def __init__(self, chunk_size: int = CHUNK_SIZE) -> None:
+        if chunk_size <= 0:
+            raise IllegalArgumentError(f"chunk_size must be positive, got {chunk_size!r}")
+        self._chunk_size = int(chunk_size)
+        self._bins: List[float] = []
+        self._offset = 0  # key of self._bins[0]
+        self._count = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, key: int, weight: float = 1.0) -> None:
+        weight = self._validate_weight(weight)
+        if weight == 0.0:
+            return
+        if weight < 0.0:
+            self.remove(key, -weight)
+            return
+        index = self._get_index(key)
+        self._bins[index] += weight
+        self._count += weight
+
+    def remove(self, key: int, weight: float = 1.0) -> None:
+        """Decrease the counter of ``key`` by ``weight``, clamped at zero."""
+        weight = self._validate_weight(weight)
+        if weight < 0.0:
+            raise IllegalArgumentError("cannot remove a negative weight")
+        if weight == 0.0 or not self._bins:
+            return
+        index = key - self._offset
+        if index < 0 or index >= len(self._bins):
+            return
+        removed = min(self._bins[index], weight)
+        self._bins[index] -= removed
+        self._count -= removed
+        if self._count < 1e-12:
+            # Guard against float drift leaving a spurious residue.
+            if all(value <= 1e-12 for value in self._bins):
+                self.clear()
+
+    def merge(self, other: Store) -> None:
+        if other.is_empty:
+            return
+        if isinstance(other, DenseStore) and self._count > 0:
+            # Fast path: direct bin addition.  An empty target instead goes
+            # through add() so its window gets anchored by actual weight.
+            self._merge_dense(other)
+            return
+        for bucket in other:
+            self.add(bucket.key, bucket.count)
+
+    def _merge_dense(self, other: "DenseStore") -> None:
+        """Merge another dense store by direct bin addition.
+
+        This is the fast path that makes DDSketch merges cheap (Figure 9 of
+        the paper): once the backing array covers the other store's key range
+        (or the window has collapsed appropriately), merging is a single pass
+        of float additions.
+        """
+        min_key = other.min_key
+        max_key = other.max_key
+        # Make sure the allocation (or collapsed window) accounts for the
+        # incoming key range; collapsing subclasses move their window here.
+        self._extend_range(min_key, max_key)
+        bins = self._bins
+        last_index = len(bins) - 1
+        offset_difference = other._offset - self._offset
+        for index, value in enumerate(other._bins):
+            if value <= 0:
+                continue
+            target = index + offset_difference
+            if target < 0:
+                target = 0
+            elif target > last_index:
+                target = last_index
+            bins[target] += value
+        self._count += other._count
+
+    def copy(self) -> "DenseStore":
+        new = type(self)(chunk_size=self._chunk_size)
+        new._bins = list(self._bins)
+        new._offset = self._offset
+        new._count = self._count
+        return new
+
+    def clear(self) -> None:
+        self._bins = []
+        self._offset = 0
+        self._count = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def count(self) -> float:
+        return self._count
+
+    @property
+    def min_key(self) -> int:
+        for index, value in enumerate(self._bins):
+            if value > 0:
+                return index + self._offset
+        raise EmptySketchError("the store is empty")
+
+    @property
+    def max_key(self) -> int:
+        for index in range(len(self._bins) - 1, -1, -1):
+            if self._bins[index] > 0:
+                return index + self._offset
+        raise EmptySketchError("the store is empty")
+
+    def key_at_rank(self, rank: float, lower: bool = True) -> int:
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        running = 0.0
+        for index, value in enumerate(self._bins):
+            if value <= 0:
+                continue
+            running += value
+            if (lower and running > rank) or (not lower and running >= rank + 1):
+                return index + self._offset
+        return self.max_key
+
+    def __iter__(self) -> Iterator[Bucket]:
+        for index, value in enumerate(self._bins):
+            if value > 0:
+                yield Bucket(index + self._offset, value)
+
+    @property
+    def num_buckets(self) -> int:
+        return sum(1 for value in self._bins if value > 0)
+
+    @property
+    def key_span(self) -> int:
+        """Number of keys covered by the backing array (allocated bins)."""
+        return len(self._bins)
+
+    def size_in_bytes(self) -> int:
+        # Model: 8 bytes per allocated counter plus fixed overhead, matching
+        # what a flat array-of-doubles implementation would use.
+        return 64 + 8 * len(self._bins)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        payload["chunk_size"] = self._chunk_size
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Internal index management
+    # ------------------------------------------------------------------ #
+
+    def _get_index(self, key: int) -> int:
+        """Return the list index for ``key``, growing the backing list if needed."""
+        if not self._bins:
+            self._initialize(key)
+            return key - self._offset
+        if key < self._offset:
+            self._extend_below(key)
+        elif key >= self._offset + len(self._bins):
+            self._extend_above(key)
+        return key - self._offset
+
+    def _initialize(self, key: int) -> None:
+        self._bins = [0.0] * self._chunk_size
+        self._offset = key - self._chunk_size // 2
+
+    def _extend_range(self, min_key: int, max_key: int) -> None:
+        """Grow the allocation so it covers ``[min_key, max_key]``.
+
+        Bounded subclasses override this to move their window (and fold
+        whatever falls outside of it) instead of growing without limit.
+        """
+        if not self._bins:
+            self._initialize(min_key)
+        if min_key < self._offset:
+            self._extend_below(min_key)
+        if max_key >= self._offset + len(self._bins):
+            self._extend_above(max_key)
+
+    def _extend_below(self, key: int) -> None:
+        missing = self._offset - key
+        grow_by = int(math.ceil(missing / self._chunk_size)) * self._chunk_size
+        self._bins = [0.0] * grow_by + self._bins
+        self._offset -= grow_by
+
+    def _extend_above(self, key: int) -> None:
+        missing = key - (self._offset + len(self._bins)) + 1
+        grow_by = int(math.ceil(missing / self._chunk_size)) * self._chunk_size
+        self._bins.extend([0.0] * grow_by)
+
+    def _key_range_hint(self) -> Optional[range]:
+        """Range of keys currently covered by the allocation (for testing)."""
+        if not self._bins:
+            return None
+        return range(self._offset, self._offset + len(self._bins))

@@ -1,0 +1,43 @@
+"""Section 3 of the paper: distribution-dependent sketch size bounds.
+
+DDSketch only keeps its relative-error guarantee for a q-quantile while the
+bucket containing that quantile has not been collapsed, which by Proposition 4
+holds whenever ``x_max <= x_q * gamma**(m - 1)``.  Section 3 turns this into
+probabilistic size bounds for data drawn i.i.d. from subexponential families
+(and, via a log transform, for Pareto data).  This package evaluates those
+bounds numerically and provides the empirical verification the benchmarks use
+to show the bounds hold (and how loose they are in practice — the paper notes
+the actual bucket count for Pareto data is far below the bound).
+"""
+
+from repro.theory.distributions import (
+    Exponential,
+    Pareto,
+    LogNormal,
+    subexponential_parameters,
+)
+from repro.theory.bounds import (
+    sample_quantile_lower_bound,
+    sample_maximum_upper_bound,
+    theorem9_size_bound,
+    exponential_size_bound,
+    pareto_size_bound,
+    required_buckets,
+    empirical_bucket_count,
+    empirical_required_buckets,
+)
+
+__all__ = [
+    "Exponential",
+    "Pareto",
+    "LogNormal",
+    "subexponential_parameters",
+    "sample_quantile_lower_bound",
+    "sample_maximum_upper_bound",
+    "theorem9_size_bound",
+    "exponential_size_bound",
+    "pareto_size_bound",
+    "required_buckets",
+    "empirical_bucket_count",
+    "empirical_required_buckets",
+]

@@ -1,0 +1,176 @@
+"""Distributions used by the Section 3 size-bound analysis.
+
+Each distribution exposes its CDF, quantile function and mean plus the
+``(sigma, b)`` subexponential parameters used by Theorem 7/9 of the paper
+(the exponential distribution with rate ``lambda`` is subexponential with
+parameters ``(2 / lambda, 2 / lambda)``; the paper analyzes Pareto data by
+taking logarithms, which turn Pareto(a, b) into b-shifted Exponential(a)).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import IllegalArgumentError
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential distribution with rate ``rate`` (mean ``1 / rate``)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise IllegalArgumentError(f"rate must be positive, got {self.rate!r}")
+
+    def cdf(self, value: float) -> float:
+        """``P(X <= value)``."""
+        if value < 0:
+            return 0.0
+        return 1.0 - math.exp(-self.rate * value)
+
+    def quantile(self, probability: float) -> float:
+        """Inverse CDF."""
+        if not 0 <= probability < 1:
+            raise IllegalArgumentError(f"probability must be in [0, 1), got {probability!r}")
+        return -math.log(1.0 - probability) / self.rate
+
+    @property
+    def mean(self) -> float:
+        """Expected value."""
+        return 1.0 / self.rate
+
+    def subexponential_parameters(self) -> Tuple[float, float]:
+        """The ``(sigma, b)`` parameters used by the paper: ``(2/rate, 2/rate)``."""
+        return 2.0 / self.rate, 2.0 / self.rate
+
+    def sample(self, size: int, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. values."""
+        return np.random.default_rng(seed).exponential(scale=1.0 / self.rate, size=int(size))
+
+
+@dataclass(frozen=True)
+class Pareto:
+    """Pareto distribution with shape ``a`` and scale ``b`` (support ``[b, inf)``)."""
+
+    a: float = 1.0
+    b: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0 or self.b <= 0:
+            raise IllegalArgumentError("Pareto parameters a and b must be positive")
+
+    def cdf(self, value: float) -> float:
+        """``P(X <= value)``."""
+        if value < self.b:
+            return 0.0
+        return 1.0 - (self.b / value) ** self.a
+
+    def quantile(self, probability: float) -> float:
+        """Inverse CDF."""
+        if not 0 <= probability < 1:
+            raise IllegalArgumentError(f"probability must be in [0, 1), got {probability!r}")
+        return self.b / (1.0 - probability) ** (1.0 / self.a)
+
+    @property
+    def mean(self) -> float:
+        """Expected value (infinite when ``a <= 1``)."""
+        if self.a <= 1:
+            return math.inf
+        return self.a * self.b / (self.a - 1)
+
+    def log_transformed(self) -> Exponential:
+        """If ``X ~ Pareto(a, b)`` then ``log(X / b) ~ Exponential(a)`` (Section 3.3)."""
+        return Exponential(rate=self.a)
+
+    def sample(self, size: int, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. values."""
+        uniforms = np.random.default_rng(seed).random(int(size))
+        return self.b / np.power(1.0 - uniforms, 1.0 / self.a)
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Lognormal distribution: ``exp(N(mu, sigma**2))``."""
+
+    mu: float = 0.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise IllegalArgumentError(f"sigma must be positive, got {self.sigma!r}")
+
+    def cdf(self, value: float) -> float:
+        """``P(X <= value)``."""
+        if value <= 0:
+            return 0.0
+        return 0.5 * (1.0 + math.erf((math.log(value) - self.mu) / (self.sigma * math.sqrt(2.0))))
+
+    def quantile(self, probability: float) -> float:
+        """Inverse CDF (via the normal quantile)."""
+        if not 0 < probability < 1:
+            raise IllegalArgumentError(f"probability must be in (0, 1), got {probability!r}")
+        return math.exp(self.mu + self.sigma * _normal_quantile(probability))
+
+    @property
+    def mean(self) -> float:
+        """Expected value."""
+        return math.exp(self.mu + self.sigma ** 2 / 2.0)
+
+    def sample(self, size: int, seed: Optional[int] = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. values."""
+        return np.random.default_rng(seed).lognormal(mean=self.mu, sigma=self.sigma, size=int(size))
+
+
+def _normal_quantile(probability: float) -> float:
+    """Standard normal quantile via the Acklam rational approximation.
+
+    Accurate to about 1e-9 over (0, 1), which is plenty for the bound
+    evaluations; avoids a SciPy dependency.
+    """
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    p_high = 1 - p_low
+    p = probability
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+def subexponential_parameters(distribution) -> Tuple[float, float]:
+    """The ``(sigma, b)`` subexponential parameters of a distribution.
+
+    Only the exponential distribution (and distributions reducible to it) have
+    closed-form parameters in the paper; other inputs raise.
+    """
+    if isinstance(distribution, Exponential):
+        return distribution.subexponential_parameters()
+    if isinstance(distribution, Pareto):
+        return distribution.log_transformed().subexponential_parameters()
+    raise IllegalArgumentError(
+        f"no subexponential parameters known for {type(distribution).__name__}"
+    )

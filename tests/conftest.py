@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DDSketch
+from repro.baselines.exact import ExactQuantiles
+
+#: Quantiles checked throughout the accuracy tests.
+STANDARD_QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic random generator for test workloads."""
+    return random.Random(20190612)
+
+
+@pytest.fixture
+def pareto_stream(rng: random.Random):
+    """A moderately sized Pareto(1, 1) stream (heavy-tailed)."""
+    return [rng.paretovariate(1.0) for _ in range(20_000)]
+
+
+@pytest.fixture
+def exponential_stream(rng: random.Random):
+    """An exponential stream (light subexponential tail)."""
+    return [rng.expovariate(1.0) for _ in range(20_000)]
+
+
+@pytest.fixture
+def mixed_sign_stream(rng: random.Random):
+    """A stream with negative values, zeros and positive values."""
+    values = []
+    for _ in range(5_000):
+        kind = rng.random()
+        if kind < 0.4:
+            values.append(rng.expovariate(0.5))
+        elif kind < 0.8:
+            values.append(-rng.expovariate(0.5))
+        else:
+            values.append(0.0)
+    return values
+
+
+@pytest.fixture
+def default_sketch() -> DDSketch:
+    """A DDSketch with the paper's default parameters."""
+    return DDSketch(relative_accuracy=0.01)
+
+
+def exact_of(values) -> ExactQuantiles:
+    """Convenience: exact quantiles of a list of values."""
+    return ExactQuantiles(values)
+
+
+def assert_relative_accuracy(sketch, values, alpha, quantiles=STANDARD_QUANTILES) -> None:
+    """Assert that sketch quantiles are within ``alpha`` of the exact ones.
+
+    A tiny tolerance on top of ``alpha`` absorbs floating-point rounding at
+    the bucket boundaries (the guarantee is tight, so estimates can sit
+    exactly at ``alpha`` relative distance).
+    """
+    exact = ExactQuantiles(values)
+    tolerance = alpha * (1 + 1e-9) + 1e-12
+    for quantile in quantiles:
+        estimate = sketch.get_quantile_value(quantile)
+        actual = exact.quantile(quantile)
+        assert estimate is not None
+        if actual == 0:
+            assert abs(estimate) <= tolerance
+        else:
+            relative_error = abs(estimate - actual) / abs(actual)
+            assert relative_error <= tolerance, (
+                f"relative error {relative_error} exceeds alpha={alpha} at q={quantile} "
+                f"(estimate={estimate}, actual={actual})"
+            )

@@ -1,0 +1,114 @@
+"""Tests for the exact quantile reference implementation."""
+
+import math
+
+import pytest
+
+from repro.baselines import ExactQuantiles
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class TestQuantiles:
+    def test_lower_quantile_definition(self):
+        # Paper: x_q is the item of rank floor(1 + q (n - 1)).
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        exact = ExactQuantiles(values)
+        assert exact.quantile(0.0) == 10.0
+        assert exact.quantile(0.24) == 10.0
+        assert exact.quantile(0.25) == 20.0
+        assert exact.quantile(0.5) == 30.0
+        assert exact.quantile(0.99) == 40.0
+        assert exact.quantile(1.0) == 50.0
+
+    def test_single_value(self):
+        exact = ExactQuantiles([7.0])
+        for quantile in (0.0, 0.3, 1.0):
+            assert exact.quantile(quantile) == 7.0
+
+    def test_unsorted_insertion_order_does_not_matter(self):
+        a = ExactQuantiles([3.0, 1.0, 2.0])
+        b = ExactQuantiles([1.0, 2.0, 3.0])
+        for quantile in (0.0, 0.5, 1.0):
+            assert a.quantile(quantile) == b.quantile(quantile)
+
+    def test_empty_raises(self):
+        exact = ExactQuantiles()
+        with pytest.raises(EmptySketchError):
+            exact.quantile(0.5)
+        assert exact.get_quantile_value(0.5) is None
+
+    def test_invalid_quantile_raises(self):
+        exact = ExactQuantiles([1.0])
+        with pytest.raises(IllegalArgumentError):
+            exact.quantile(2.0)
+
+    def test_weighted_add_repeats(self):
+        exact = ExactQuantiles()
+        exact.add(5.0, weight=3)
+        assert exact.count == 3
+        assert exact.quantile(0.5) == 5.0
+
+    def test_non_integer_weight_rejected(self):
+        exact = ExactQuantiles()
+        with pytest.raises(IllegalArgumentError):
+            exact.add(1.0, weight=0.5)
+
+    def test_nonfinite_value_rejected(self):
+        exact = ExactQuantiles()
+        with pytest.raises(IllegalArgumentError):
+            exact.add(float("inf"))
+
+
+class TestSummaries:
+    def test_min_max_sum_avg(self):
+        values = [4.0, 2.0, 8.0]
+        exact = ExactQuantiles(values)
+        assert exact.min == 2.0
+        assert exact.max == 8.0
+        assert exact.sum == pytest.approx(14.0)
+        assert exact.avg == pytest.approx(14.0 / 3.0)
+
+    def test_merge_concatenates(self):
+        left = ExactQuantiles([1.0, 2.0])
+        right = ExactQuantiles([3.0, 4.0])
+        left.merge(right)
+        assert left.count == 4
+        assert left.quantile(1.0) == 4.0
+
+    def test_values_property_is_sorted(self):
+        exact = ExactQuantiles([3.0, 1.0, 2.0])
+        assert list(exact.values) == [1.0, 2.0, 3.0]
+
+    def test_size_in_bytes_linear(self):
+        small = ExactQuantiles([1.0] * 10)
+        large = ExactQuantiles([1.0] * 1000)
+        assert large.size_in_bytes() > small.size_in_bytes() * 50
+
+
+class TestErrorMeasures:
+    def test_rank_counts_values_at_or_below(self):
+        exact = ExactQuantiles([1.0, 2.0, 2.0, 3.0])
+        assert exact.rank(0.5) == 0
+        assert exact.rank(1.0) == 1
+        assert exact.rank(2.0) == 3
+        assert exact.rank(10.0) == 4
+
+    def test_rank_error_of_exact_estimate_is_zero(self):
+        values = [float(v) for v in range(1, 101)]
+        exact = ExactQuantiles(values)
+        assert exact.rank_error(exact.quantile(0.5), 0.5) == 0.0
+
+    def test_rank_error_of_shifted_estimate(self):
+        values = [float(v) for v in range(1, 101)]
+        exact = ExactQuantiles(values)
+        # Estimating the median with the value of rank 60 is a 10% rank error.
+        assert exact.rank_error(60.0, 0.5) == pytest.approx(0.10)
+
+    def test_relative_error(self):
+        exact = ExactQuantiles([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert exact.relative_error(110.0, 1.0) == pytest.approx(0.10)
+        assert exact.relative_error(exact.quantile(0.5), 0.5) == 0.0
+
+    def test_relative_error_of_zero_actual_uses_absolute(self):
+        exact = ExactQuantiles([0.0, 0.0, 1.0])
+        assert exact.relative_error(0.5, 0.0) == pytest.approx(0.5)

@@ -1,0 +1,149 @@
+"""Tests for the GKArray baseline (rank-error guarantee, one-way merge)."""
+
+import random
+
+import pytest
+
+from repro.baselines import ExactQuantiles, GKArray
+from repro.exceptions import IllegalArgumentError
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+
+
+def max_rank_error(sketch, exact, quantiles=QUANTILES):
+    return max(
+        exact.rank_error(sketch.get_quantile_value(quantile), quantile) for quantile in quantiles
+    )
+
+
+class TestBasics:
+    def test_rejects_invalid_epsilon(self):
+        with pytest.raises(IllegalArgumentError):
+            GKArray(0.0)
+        with pytest.raises(IllegalArgumentError):
+            GKArray(1.0)
+
+    def test_empty_sketch(self):
+        sketch = GKArray(0.01)
+        assert sketch.is_empty
+        assert sketch.get_quantile_value(0.5) is None
+
+    def test_summaries_exact(self):
+        sketch = GKArray(0.01)
+        for value in (5.0, 1.0, 3.0):
+            sketch.add(value)
+        assert sketch.count == 3
+        assert sketch.min == 1.0
+        assert sketch.max == 5.0
+        assert sketch.sum == pytest.approx(9.0)
+        assert sketch.avg == pytest.approx(3.0)
+
+    def test_small_streams_are_exact(self):
+        # For n <= 1/epsilon every value is retained, so quantiles are exact
+        # (the paper points this out when discussing Figures 10 and 11).
+        values = [float(v) for v in range(1, 51)]
+        sketch = GKArray(0.02)
+        exact = ExactQuantiles()
+        for value in values:
+            sketch.add(value)
+            exact.add(value)
+        for quantile in QUANTILES:
+            assert sketch.get_quantile_value(quantile) == exact.quantile(quantile)
+
+    def test_rejects_fractional_weight(self):
+        sketch = GKArray(0.01)
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(1.0, weight=0.5)
+
+    def test_weighted_add_as_repeats(self):
+        sketch = GKArray(0.05)
+        sketch.add(2.0, weight=10)
+        assert sketch.count == 10
+
+
+class TestRankErrorGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.005, 0.01, 0.05])
+    def test_rank_error_within_epsilon_uniform(self, epsilon, rng):
+        values = [rng.random() * 1000 for _ in range(20_000)]
+        sketch = GKArray(epsilon)
+        exact = ExactQuantiles()
+        for value in values:
+            sketch.add(value)
+            exact.add(value)
+        # Batched insertion gives a 2-epsilon style bound in the worst case;
+        # allow a modest constant factor on top of epsilon.
+        assert max_rank_error(sketch, exact) <= 2.5 * epsilon
+
+    def test_rank_error_within_epsilon_pareto(self, pareto_stream):
+        epsilon = 0.01
+        sketch = GKArray(epsilon)
+        exact = ExactQuantiles(pareto_stream)
+        for value in pareto_stream:
+            sketch.add(value)
+        assert max_rank_error(sketch, exact) <= 2.5 * epsilon
+
+    def test_relative_error_large_on_heavy_tail(self, pareto_stream):
+        # The motivating observation of the paper: a rank-error sketch can be
+        # orders of magnitude off in *value* on heavy-tailed data.
+        sketch = GKArray(0.01)
+        for value in pareto_stream:
+            sketch.add(value)
+        exact = ExactQuantiles(pareto_stream)
+        p99_relative_error = exact.relative_error(sketch.get_quantile_value(0.99), 0.99)
+        assert p99_relative_error > 0.05  # far worse than DDSketch's 0.01
+
+    def test_summary_is_compact(self, pareto_stream):
+        sketch = GKArray(0.01)
+        for value in pareto_stream:
+            sketch.add(value)
+        # O(1/epsilon log(epsilon n)) entries; far fewer than n.
+        assert sketch.num_entries < len(pareto_stream) / 20
+
+
+class TestMerge:
+    def test_merge_preserves_count_and_extremes(self, rng):
+        values = [rng.expovariate(0.1) for _ in range(10_000)]
+        left = GKArray(0.01)
+        right = GKArray(0.01)
+        for value in values[:5000]:
+            left.add(value)
+        for value in values[5000:]:
+            right.add(value)
+        left.merge(right)
+        assert left.count == len(values)
+        assert left.min == min(values)
+        assert left.max == max(values)
+
+    def test_merge_keeps_rank_error_reasonable(self, rng):
+        values = [rng.random() * 100 for _ in range(20_000)]
+        parts = [GKArray(0.01) for _ in range(4)]
+        exact = ExactQuantiles(values)
+        for index, value in enumerate(values):
+            parts[index % 4].add(value)
+        merged = parts[0]
+        for part in parts[1:]:
+            merged.merge(part)
+        # One-way merging accumulates error: each merge can add up to epsilon.
+        assert max_rank_error(merged, exact) <= 4 * 2.5 * 0.01
+
+    def test_merge_empty_cases(self):
+        empty = GKArray(0.01)
+        full = GKArray(0.01)
+        for value in (1.0, 2.0, 3.0):
+            full.add(value)
+        full.merge(GKArray(0.01))
+        assert full.count == 3
+        empty.merge(full)
+        assert empty.count == 3
+
+    def test_merge_type_check(self):
+        with pytest.raises(IllegalArgumentError):
+            GKArray(0.01).merge("nope")
+
+    def test_copy_is_independent(self):
+        sketch = GKArray(0.01)
+        sketch.add(1.0)
+        duplicate = sketch.copy()
+        duplicate.add(2.0)
+        assert sketch.count == 1
+        assert duplicate.count == 2

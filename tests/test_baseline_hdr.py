@@ -1,0 +1,130 @@
+"""Tests for the HDR Histogram baseline (relative error, bounded range)."""
+
+import pytest
+
+from repro.baselines import ExactQuantiles, HDRHistogram
+from repro.exceptions import (
+    EmptySketchError,
+    IllegalArgumentError,
+    UnequalSketchParametersError,
+    UnsupportedOperationError,
+)
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(IllegalArgumentError):
+            HDRHistogram(lowest_discernible_value=0.0)
+        with pytest.raises(IllegalArgumentError):
+            HDRHistogram(lowest_discernible_value=10.0, highest_trackable_value=15.0)
+        with pytest.raises(IllegalArgumentError):
+            HDRHistogram(significant_digits=9)
+
+    def test_size_is_fixed_by_configuration_not_data(self):
+        histogram = HDRHistogram(1.0, 1e6, 2)
+        before = histogram.size_in_bytes()
+        for value in range(1, 1000):
+            histogram.add(float(value))
+        assert histogram.size_in_bytes() == before
+
+    def test_wider_range_needs_more_memory(self):
+        narrow = HDRHistogram(1.0, 1e4, 2)
+        wide = HDRHistogram(1.0, 1e12, 2)
+        assert wide.size_in_bytes() > narrow.size_in_bytes()
+
+    def test_more_digits_needs_more_memory(self):
+        coarse = HDRHistogram(1.0, 1e6, 1)
+        fine = HDRHistogram(1.0, 1e6, 3)
+        assert fine.size_in_bytes() > coarse.size_in_bytes()
+
+
+class TestBoundedRange:
+    def test_rejects_values_above_range(self):
+        histogram = HDRHistogram(1.0, 1000.0, 2)
+        with pytest.raises(UnsupportedOperationError):
+            histogram.add(1001.0)
+
+    def test_rejects_negative_values(self):
+        histogram = HDRHistogram(1.0, 1000.0, 2)
+        with pytest.raises(UnsupportedOperationError):
+            histogram.add(-1.0)
+
+    def test_values_below_lowest_discernible_are_lumped(self):
+        histogram = HDRHistogram(1.0, 1000.0, 2)
+        histogram.add(0.25)
+        histogram.add(0.75)
+        assert histogram.count == 2
+
+
+class TestAccuracy:
+    def test_relative_error_within_significant_digits(self, rng):
+        # Two significant digits should give roughly 1% value accuracy when
+        # the unit is small relative to the values.
+        values = [rng.paretovariate(1.0) for _ in range(20_000)]
+        histogram = HDRHistogram(0.001, 1e9, 2)
+        exact = ExactQuantiles(values)
+        for value in values:
+            histogram.add(value)
+        for quantile in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+            estimate = histogram.get_quantile_value(quantile)
+            actual = exact.quantile(quantile)
+            assert abs(estimate - actual) / actual <= 0.011
+
+    def test_min_max_exact(self):
+        histogram = HDRHistogram(0.01, 1e6, 2)
+        for value in (3.5, 0.7, 99.0):
+            histogram.add(value)
+        assert histogram.min == 0.7
+        assert histogram.max == 99.0
+
+    def test_quantile_zero_and_one(self, rng):
+        values = [rng.uniform(1, 1000) for _ in range(1000)]
+        histogram = HDRHistogram(0.01, 1e6, 2)
+        for value in values:
+            histogram.add(value)
+        assert histogram.get_quantile_value(0.0) == pytest.approx(min(values), rel=0.02)
+        assert histogram.get_quantile_value(1.0) == pytest.approx(max(values), rel=0.02)
+
+    def test_empty_histogram(self):
+        histogram = HDRHistogram()
+        assert histogram.get_quantile_value(0.5) is None
+        with pytest.raises(EmptySketchError):
+            _ = histogram.min
+
+
+class TestMerge:
+    def test_full_merge_equals_single_histogram(self, rng):
+        values = [rng.paretovariate(1.2) for _ in range(10_000)]
+        config = dict(lowest_discernible_value=0.01, highest_trackable_value=1e8, significant_digits=2)
+        left = HDRHistogram(**config)
+        right = HDRHistogram(**config)
+        reference = HDRHistogram(**config)
+        for index, value in enumerate(values):
+            (left if index % 2 == 0 else right).add(value)
+            reference.add(value)
+        left.merge(right)
+        assert left.count == reference.count
+        for quantile in (0.1, 0.5, 0.9, 0.99):
+            assert left.get_quantile_value(quantile) == reference.get_quantile_value(quantile)
+
+    def test_merge_rejects_different_layouts(self):
+        with pytest.raises(UnequalSketchParametersError):
+            HDRHistogram(1.0, 1e6, 2).merge(HDRHistogram(1.0, 1e6, 3))
+
+    def test_merge_type_check(self):
+        with pytest.raises(IllegalArgumentError):
+            HDRHistogram().merge(42)
+
+    def test_copy_independent(self):
+        histogram = HDRHistogram(1.0, 1e6, 2)
+        histogram.add(10.0)
+        duplicate = histogram.copy()
+        duplicate.add(20.0)
+        assert histogram.count == 1
+        assert duplicate.count == 2
+
+    def test_weighted_add(self):
+        histogram = HDRHistogram(1.0, 1e6, 2)
+        histogram.add(50.0, weight=4.0)
+        assert histogram.count == pytest.approx(4.0)
+        assert histogram.sum == pytest.approx(200.0)

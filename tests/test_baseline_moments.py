@@ -1,0 +1,134 @@
+"""Tests for the Moments sketch baseline (moment-based quantile estimation)."""
+
+import pytest
+
+from repro.baselines import ExactQuantiles, MomentsSketch
+from repro.exceptions import (
+    EmptySketchError,
+    IllegalArgumentError,
+    UnequalSketchParametersError,
+)
+
+
+class TestBasics:
+    def test_rejects_too_few_moments(self):
+        with pytest.raises(IllegalArgumentError):
+            MomentsSketch(num_moments=1)
+
+    def test_empty_sketch(self):
+        sketch = MomentsSketch()
+        assert sketch.is_empty
+        assert sketch.get_quantile_value(0.5) is None
+        with pytest.raises(EmptySketchError):
+            _ = sketch.min
+
+    def test_size_is_constant(self, rng):
+        sketch = MomentsSketch(num_moments=20)
+        before = sketch.size_in_bytes()
+        for _ in range(10_000):
+            sketch.add(rng.random() * 100)
+        assert sketch.size_in_bytes() == before
+        assert before < 500  # a couple hundred bytes, as in Figure 6
+
+    def test_summaries_exact(self):
+        sketch = MomentsSketch()
+        for value in (1.0, 2.0, 3.0):
+            sketch.add(value)
+        assert sketch.count == 3
+        assert sketch.min == 1.0
+        assert sketch.max == 3.0
+        assert sketch.sum == pytest.approx(6.0)
+
+    def test_single_value_quantiles(self):
+        sketch = MomentsSketch()
+        sketch.add(42.0)
+        assert sketch.get_quantile_value(0.5) == pytest.approx(42.0)
+
+    def test_rejects_nonfinite(self):
+        sketch = MomentsSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(float("nan"))
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(1.0, weight=-1.0)
+
+
+class TestAccuracy:
+    def test_reasonable_on_smooth_distributions(self, rng):
+        values = [rng.gauss(100.0, 15.0) for _ in range(20_000)]
+        sketch = MomentsSketch(num_moments=12, compression=False)
+        exact = ExactQuantiles(values)
+        for value in values:
+            sketch.add(value)
+        for quantile in (0.1, 0.25, 0.5, 0.75, 0.9):
+            estimate = sketch.get_quantile_value(quantile)
+            actual = exact.quantile(quantile)
+            assert abs(estimate - actual) / abs(actual) < 0.05
+
+    def test_compression_helps_heavy_tails(self, pareto_stream):
+        exact = ExactQuantiles(pareto_stream)
+        with_compression = MomentsSketch(num_moments=20, compression=True)
+        for value in pareto_stream:
+            with_compression.add(value)
+        # With arcsinh compression the p50 should be in the right ballpark
+        # (the paper's Figure 10 shows it within ~10x on pareto).
+        estimate = with_compression.get_quantile_value(0.5)
+        actual = exact.quantile(0.5)
+        assert estimate / actual < 10
+        assert actual / estimate < 10
+
+    def test_estimates_clamped_to_min_max(self, rng):
+        values = [rng.paretovariate(1.0) for _ in range(5_000)]
+        sketch = MomentsSketch()
+        for value in values:
+            sketch.add(value)
+        for quantile in (0.0, 0.5, 0.99, 1.0):
+            estimate = sketch.get_quantile_value(quantile)
+            assert min(values) <= estimate <= max(values)
+
+    def test_batch_quantiles_match_individual_queries(self, rng):
+        values = [rng.expovariate(1.0) for _ in range(2_000)]
+        sketch = MomentsSketch()
+        for value in values:
+            sketch.add(value)
+        quantiles = (0.1, 0.5, 0.9)
+        batch = sketch.get_quantiles(quantiles)
+        individual = [sketch.get_quantile_value(q) for q in quantiles]
+        assert batch == pytest.approx(individual)
+
+
+class TestMerge:
+    def test_merge_is_exact_on_moment_state(self, rng):
+        # Merging is addition of power sums, so the merged sketch must be
+        # bit-for-bit identical to the single-sketch state.
+        values = [rng.lognormvariate(0, 1) for _ in range(4_000)]
+        left = MomentsSketch()
+        right = MomentsSketch()
+        reference = MomentsSketch()
+        for index, value in enumerate(values):
+            (left if index % 2 == 0 else right).add(value)
+            reference.add(value)
+        left.merge(right)
+        assert left.count == pytest.approx(reference.count)
+        assert left._power_sums == pytest.approx(reference._power_sums)
+        assert left.get_quantile_value(0.9) == pytest.approx(
+            reference.get_quantile_value(0.9)
+        )
+
+    def test_merge_rejects_mismatched_parameters(self):
+        with pytest.raises(UnequalSketchParametersError):
+            MomentsSketch(num_moments=10).merge(MomentsSketch(num_moments=20))
+        with pytest.raises(UnequalSketchParametersError):
+            MomentsSketch(compression=True).merge(MomentsSketch(compression=False))
+
+    def test_merge_type_check(self):
+        with pytest.raises(IllegalArgumentError):
+            MomentsSketch().merge([1, 2, 3])
+
+    def test_copy_independent(self):
+        sketch = MomentsSketch()
+        sketch.add(1.0)
+        duplicate = sketch.copy()
+        duplicate.add(100.0)
+        assert sketch.count == 1
+        assert duplicate.count == 2
+        assert sketch.max == 1.0

@@ -1,0 +1,163 @@
+"""Tests for the extension baselines: t-digest and KLL."""
+
+import pytest
+
+from repro.baselines import ExactQuantiles, KLLSketch, TDigest
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class TestTDigest:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(IllegalArgumentError):
+            TDigest(compression=1)
+        with pytest.raises(IllegalArgumentError):
+            TDigest(buffer_size=0)
+
+    def test_empty(self):
+        digest = TDigest()
+        assert digest.is_empty
+        assert digest.get_quantile_value(0.5) is None
+        with pytest.raises(EmptySketchError):
+            _ = digest.min
+
+    def test_summaries_exact(self):
+        digest = TDigest()
+        for value in (5.0, 1.0, 3.0):
+            digest.add(value)
+        assert digest.count == 3
+        assert digest.min == 1.0
+        assert digest.max == 5.0
+        assert digest.sum == pytest.approx(9.0)
+
+    def test_centroid_count_bounded(self, rng):
+        digest = TDigest(compression=100)
+        for _ in range(50_000):
+            digest.add(rng.random() * 1000)
+        digest.get_quantile_value(0.5)  # force a final buffer merge
+        assert digest.num_centroids < 400
+
+    def test_rank_accuracy_good_at_tails(self, pareto_stream):
+        digest = TDigest(compression=100)
+        exact = ExactQuantiles(pareto_stream)
+        for value in pareto_stream:
+            digest.add(value)
+        for quantile in (0.01, 0.5, 0.99, 0.999):
+            estimate = digest.get_quantile_value(quantile)
+            assert exact.rank_error(estimate, quantile) < 0.02
+
+    def test_extreme_quantiles_match_min_max(self, rng):
+        values = [rng.uniform(0, 100) for _ in range(5_000)]
+        digest = TDigest()
+        for value in values:
+            digest.add(value)
+        assert digest.get_quantile_value(0.0) == min(values)
+        assert digest.get_quantile_value(1.0) == max(values)
+
+    def test_merge_preserves_count_and_accuracy(self, rng):
+        values = [rng.expovariate(0.01) for _ in range(20_000)]
+        left, right = TDigest(), TDigest()
+        for index, value in enumerate(values):
+            (left if index % 2 == 0 else right).add(value)
+        left.merge(right)
+        exact = ExactQuantiles(values)
+        assert left.count == len(values)
+        for quantile in (0.5, 0.9, 0.99):
+            assert exact.rank_error(left.get_quantile_value(quantile), quantile) < 0.03
+
+    def test_merge_type_check(self):
+        with pytest.raises(IllegalArgumentError):
+            TDigest().merge(object())
+
+    def test_copy_independent(self):
+        digest = TDigest()
+        digest.add(1.0)
+        duplicate = digest.copy()
+        duplicate.add(2.0)
+        assert digest.count == 1
+        assert duplicate.count == 2
+
+    def test_weighted_add(self):
+        digest = TDigest()
+        digest.add(10.0, weight=5.0)
+        assert digest.count == pytest.approx(5.0)
+        assert digest.get_quantile_value(0.5) == pytest.approx(10.0)
+
+
+class TestKLL:
+    def test_rejects_small_k(self):
+        with pytest.raises(IllegalArgumentError):
+            KLLSketch(k=4)
+
+    def test_empty(self):
+        sketch = KLLSketch()
+        assert sketch.is_empty
+        assert sketch.get_quantile_value(0.5) is None
+
+    def test_deterministic_with_seed(self, rng):
+        values = [rng.random() for _ in range(5_000)]
+        a = KLLSketch(k=128, seed=7)
+        b = KLLSketch(k=128, seed=7)
+        for value in values:
+            a.add(value)
+            b.add(value)
+        for quantile in (0.1, 0.5, 0.9):
+            assert a.get_quantile_value(quantile) == b.get_quantile_value(quantile)
+
+    def test_retained_items_sublinear(self, rng):
+        sketch = KLLSketch(k=200, seed=0)
+        for _ in range(50_000):
+            sketch.add(rng.random())
+        assert sketch.num_retained < 2_000
+
+    def test_rank_accuracy(self, rng):
+        values = [rng.uniform(0, 1000) for _ in range(30_000)]
+        sketch = KLLSketch(k=256, seed=1)
+        exact = ExactQuantiles(values)
+        for value in values:
+            sketch.add(value)
+        for quantile in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            estimate = sketch.get_quantile_value(quantile)
+            assert exact.rank_error(estimate, quantile) < 0.03
+
+    def test_min_max_exact(self, rng):
+        values = [rng.gauss(0, 10) for _ in range(5_000)]
+        sketch = KLLSketch(seed=2)
+        for value in values:
+            sketch.add(value)
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.get_quantile_value(0.0) == min(values)
+        assert sketch.get_quantile_value(1.0) == max(values)
+
+    def test_merge_preserves_count_and_rank_accuracy(self, rng):
+        values = [rng.expovariate(1.0) for _ in range(20_000)]
+        left = KLLSketch(k=256, seed=3)
+        right = KLLSketch(k=256, seed=4)
+        for index, value in enumerate(values):
+            (left if index % 2 == 0 else right).add(value)
+        left.merge(right)
+        exact = ExactQuantiles(values)
+        assert left.count == len(values)
+        for quantile in (0.25, 0.5, 0.9):
+            assert exact.rank_error(left.get_quantile_value(quantile), quantile) < 0.05
+
+    def test_rank_query(self, rng):
+        values = [float(v) for v in range(1, 1001)]
+        sketch = KLLSketch(k=256, seed=5)
+        for value in values:
+            sketch.add(value)
+        # rank(500) should be close to 500.
+        assert sketch.rank(500.0) == pytest.approx(500, abs=50)
+
+    def test_integer_weight_required(self):
+        sketch = KLLSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(1.0, weight=0.5)
+
+    def test_copy_independent(self):
+        sketch = KLLSketch(seed=0)
+        sketch.add(1.0)
+        duplicate = sketch.copy()
+        duplicate.add(2.0)
+        assert sketch.count == 1
+        assert duplicate.count == 2

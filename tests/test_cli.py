@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(argv, stdin_text=""):
+    stdout = io.StringIO()
+    stdin = io.StringIO(stdin_text)
+    exit_code = main(argv, stdin=stdin, stdout=stdout)
+    return exit_code, stdout.getvalue()
+
+
+class TestSketchCommand:
+    def test_sketch_from_stdin(self):
+        values = "\n".join(str(float(v)) for v in range(1, 101))
+        exit_code, output = run_cli(["sketch", "--quantiles", "0.5,0.99"], values)
+        assert exit_code == 0
+        assert "count" in output
+        assert "100" in output
+        assert "p50" in output
+        assert "p99" in output
+
+    def test_sketch_from_file(self, tmp_path):
+        path = tmp_path / "values.txt"
+        path.write_text("1.0\n2.0\n# a comment\n\n3.0\n")
+        exit_code, output = run_cli(["sketch", str(path)])
+        assert exit_code == 0
+        assert "count" in output
+        assert " 3" in output
+
+    def test_sketch_empty_input_fails(self):
+        exit_code, output = run_cli(["sketch"], "")
+        assert exit_code == 1
+        assert "no values" in output
+
+    def test_sketch_bad_number_reports_error(self):
+        exit_code, output = run_cli(["sketch"], "1.0\nnot-a-number\n")
+        assert exit_code == 2
+        assert "error" in output
+
+    def test_sketch_custom_accuracy(self):
+        values = "\n".join(str(float(v)) for v in range(1, 1001))
+        exit_code, output = run_cli(
+            ["sketch", "--relative-accuracy", "0.05", "--quantiles", "0.5"], values
+        )
+        assert exit_code == 0
+        assert "p50" in output
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["sketch", "--quantiles", "1.5"], "1.0\n")
+
+
+class TestGenerateCommand:
+    def test_generate_pareto(self):
+        exit_code, output = run_cli(["generate", "pareto", "--size", "50", "--seed", "1"])
+        assert exit_code == 0
+        lines = [line for line in output.splitlines() if line]
+        assert len(lines) == 50
+        assert all(float(line) >= 1.0 for line in lines)
+
+    def test_generate_deterministic(self):
+        _, first = run_cli(["generate", "span", "--size", "20", "--seed", "3"])
+        _, second = run_cli(["generate", "span", "--size", "20", "--seed", "3"])
+        assert first == second
+
+    def test_generate_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["generate", "mystery"])
+
+    def test_generate_pipes_into_sketch(self):
+        _, generated = run_cli(["generate", "power", "--size", "500", "--seed", "0"])
+        exit_code, output = run_cli(["sketch", "--quantiles", "0.5"], generated)
+        assert exit_code == 0
+        assert "500" in output
+
+
+class TestEvaluateCommand:
+    def test_evaluate_power(self):
+        exit_code, output = run_cli(
+            ["evaluate", "power", "--size", "2000", "--quantiles", "0.5,0.99"]
+        )
+        assert exit_code == 0
+        assert "relative error" in output
+        assert "rank error" in output
+        assert "DDSketch" in output
+        assert "GKArray" in output
+
+
+class TestBoundsCommand:
+    def test_bounds_output(self):
+        exit_code, output = run_cli(["bounds", "--size", "100000"])
+        assert exit_code == 0
+        assert "exponential(1)" in output
+        assert "pareto(1, 1)" in output
+
+    def test_bounds_respects_alpha(self):
+        _, loose = run_cli(["bounds", "--size", "100000", "--relative-accuracy", "0.05"])
+        _, tight = run_cli(["bounds", "--size", "100000", "--relative-accuracy", "0.01"])
+        assert loose != tight
+
+
+class TestParser:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_help_lists_commands(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for command in ("sketch", "generate", "evaluate", "bounds"):
+            assert command in help_text

@@ -1,0 +1,150 @@
+"""Tests for the data-set generators (Section 4.1 / Figure 5)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    exponential_values,
+    get_dataset,
+    lognormal_values,
+    normal_values,
+    pareto_values,
+    power_values,
+    span_values,
+    uniform_values,
+    web_latency_values,
+)
+from repro.datasets.power import POWER_MAX_KW, POWER_MIN_KW
+from repro.datasets.span import SPAN_MAX_NS, SPAN_MIN_NS
+from repro.exceptions import IllegalArgumentError
+
+
+class TestSyntheticGenerators:
+    def test_pareto_matches_theoretical_cdf(self):
+        values = pareto_values(200_000, shape=1.0, scale=1.0, seed=0)
+        assert values.min() >= 1.0
+        # Median of Pareto(1, 1) is 2, p90 is 10.
+        assert np.quantile(values, 0.5) == pytest.approx(2.0, rel=0.05)
+        assert np.quantile(values, 0.9) == pytest.approx(10.0, rel=0.1)
+
+    def test_pareto_heavier_shape_means_lighter_tail(self):
+        heavy = pareto_values(50_000, shape=1.0, seed=1)
+        light = pareto_values(50_000, shape=3.0, seed=1)
+        assert np.quantile(heavy, 0.99) > np.quantile(light, 0.99)
+
+    def test_exponential_mean(self):
+        values = exponential_values(100_000, rate=2.0, seed=2)
+        assert values.mean() == pytest.approx(0.5, rel=0.05)
+        assert values.min() >= 0
+
+    def test_lognormal_median(self):
+        values = lognormal_values(100_000, mu=1.0, sigma=0.5, seed=3)
+        assert np.median(values) == pytest.approx(np.exp(1.0), rel=0.05)
+
+    def test_uniform_bounds(self):
+        values = uniform_values(10_000, low=5.0, high=6.0, seed=4)
+        assert values.min() >= 5.0
+        assert values.max() < 6.0
+
+    def test_normal_can_be_negative(self):
+        values = normal_values(10_000, mean=0.0, std=1.0, seed=5)
+        assert (values < 0).any()
+        assert (values > 0).any()
+
+    def test_seeded_generation_is_deterministic(self):
+        assert np.array_equal(pareto_values(100, seed=42), pareto_values(100, seed=42))
+        assert not np.array_equal(pareto_values(100, seed=42), pareto_values(100, seed=43))
+
+    def test_size_zero_and_negative(self):
+        assert len(pareto_values(0, seed=0)) == 0
+        with pytest.raises(IllegalArgumentError):
+            pareto_values(-1)
+        with pytest.raises(IllegalArgumentError):
+            exponential_values(10, rate=0.0)
+
+    def test_web_latency_is_skewed(self):
+        values = web_latency_values(100_000, seed=6)
+        mean = values.mean()
+        median = np.median(values)
+        p75 = np.quantile(values, 0.75)
+        # Figure 2 of the paper: the mean sits above the median, closer to p75.
+        assert mean > median
+        assert abs(mean - p75) < abs(mean - median) * 3
+        # Tail stretches to minutes while the median is a couple of seconds.
+        assert values.max() > 60.0
+        assert median < 5.0
+
+
+class TestSpanDataset:
+    def test_range_and_integrality(self):
+        values = span_values(50_000, seed=0)
+        assert values.min() >= SPAN_MIN_NS
+        assert values.max() <= SPAN_MAX_NS
+        assert np.array_equal(values, np.floor(values))
+
+    def test_wide_dynamic_range(self):
+        values = span_values(200_000, seed=1)
+        # The paper's span data covers ~10 orders of magnitude; the synthetic
+        # substitute must span at least 6 within a modest sample.
+        assert values.max() / values.min() > 1e6
+
+    def test_heavy_tail(self):
+        values = span_values(200_000, seed=2)
+        # Mean far above median is the heavy-tail signature.
+        assert values.mean() > 5 * np.median(values)
+
+    def test_deterministic(self):
+        assert np.array_equal(span_values(1000, seed=3), span_values(1000, seed=3))
+
+
+class TestPowerDataset:
+    def test_range_matches_uci_metadata(self):
+        values = power_values(100_000, seed=0)
+        assert values.min() >= POWER_MIN_KW
+        assert values.max() <= POWER_MAX_KW
+
+    def test_light_tail(self):
+        values = power_values(200_000, seed=1)
+        # Max within ~2 orders of magnitude of the median: a dense data set.
+        assert values.max() / np.median(values) < 100
+
+    def test_two_watt_resolution(self):
+        values = power_values(10_000, seed=2)
+        scaled = values * 500.0
+        assert np.allclose(scaled, np.round(scaled))
+
+    def test_bimodal_shape(self):
+        values = power_values(200_000, seed=3)
+        low_mode = ((values > 0.15) & (values < 0.7)).mean()
+        high_mode = ((values > 1.0) & (values < 3.0)).mean()
+        assert low_mode > 0.3
+        assert high_mode > 0.15
+
+
+class TestRegistry:
+    def test_paper_datasets_registered(self):
+        assert dataset_names() == ("pareto", "span", "power")
+
+    def test_get_dataset_returns_spec(self):
+        spec = get_dataset("pareto")
+        assert spec.heavy_tailed
+        values = spec.generator(100, 0)
+        assert len(values) == 100
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(IllegalArgumentError):
+            get_dataset("mystery")
+
+    def test_hdr_ranges_cover_generated_values(self):
+        for name in dataset_names():
+            spec = DATASETS[name]
+            values = spec.generator(50_000, 0)
+            lowest, highest = spec.hdr_range
+            assert values.min() >= lowest or values.min() >= 0
+            assert values.max() <= highest
+
+    def test_power_is_the_light_tailed_control(self):
+        assert not get_dataset("power").heavy_tailed
+        assert get_dataset("span").heavy_tailed

@@ -1,0 +1,115 @@
+"""Accuracy guarantee tests: Proposition 3 of the paper.
+
+Every quantile estimate of a (non-collapsed) DDSketch must be within relative
+distance ``alpha`` of the exact lower quantile, for any data distribution.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DDSketch,
+    FastDDSketch,
+    LogUnboundedDenseDDSketch,
+    SparseDDSketch,
+)
+from tests.conftest import STANDARD_QUANTILES, assert_relative_accuracy
+
+ALL_VARIANTS = (DDSketch, FastDDSketch, SparseDDSketch, LogUnboundedDenseDDSketch)
+
+
+@pytest.mark.parametrize("sketch_class", ALL_VARIANTS)
+class TestRelativeAccuracyAcrossDistributions:
+    @pytest.mark.parametrize("alpha", [0.005, 0.01, 0.05])
+    def test_pareto_stream(self, sketch_class, alpha, pareto_stream):
+        sketch = sketch_class(relative_accuracy=alpha)
+        sketch.add_all(pareto_stream)
+        assert_relative_accuracy(sketch, pareto_stream, alpha)
+
+    def test_exponential_stream(self, sketch_class, exponential_stream):
+        sketch = sketch_class(relative_accuracy=0.01)
+        sketch.add_all(exponential_stream)
+        assert_relative_accuracy(sketch, exponential_stream, 0.01)
+
+    def test_lognormal_stream(self, sketch_class, rng):
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(20_000)]
+        sketch = sketch_class(relative_accuracy=0.02)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.02)
+
+    def test_uniform_stream(self, sketch_class, rng):
+        values = [rng.uniform(10.0, 20.0) for _ in range(10_000)]
+        sketch = sketch_class(relative_accuracy=0.01)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.01)
+
+    def test_constant_stream(self, sketch_class):
+        values = [7.5] * 1000
+        sketch = sketch_class(relative_accuracy=0.01)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.01)
+
+    def test_wide_dynamic_range(self, sketch_class, rng):
+        # Ten orders of magnitude, like the span data set.
+        values = [math.exp(rng.uniform(math.log(1e2), math.log(1e12))) for _ in range(10_000)]
+        sketch = sketch_class(relative_accuracy=0.01)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.01)
+
+
+class TestHeavyTailVersusRankSketch:
+    def test_p99_relative_error_small_even_when_tail_is_extreme(self, rng):
+        # One in a thousand values is ~5 orders of magnitude larger.
+        values = []
+        for _ in range(50_000):
+            if rng.random() < 0.001:
+                values.append(rng.uniform(1e5, 1e6))
+            else:
+                values.append(rng.uniform(1.0, 10.0))
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.01, quantiles=(0.5, 0.9, 0.99, 0.999, 1.0))
+
+
+class TestQuantileSemantics:
+    def test_matches_lower_quantile_definition_exactly_spaced_values(self):
+        # Values far enough apart that each sits in its own bucket; the
+        # estimate must then identify the exact item of rank
+        # floor(1 + q (n - 1)).
+        values = [2.0 ** exponent for exponent in range(0, 40)]
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(values)
+        n = len(values)
+        for quantile in STANDARD_QUANTILES:
+            expected = sorted(values)[math.floor(quantile * (n - 1))]
+            estimate = sketch.get_quantile_value(quantile)
+            assert estimate == pytest.approx(expected, rel=0.01)
+
+    def test_quantile_zero_and_one_match_min_and_max(self, pareto_stream):
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(pareto_stream)
+        assert sketch.get_quantile_value(0.0) == pytest.approx(min(pareto_stream), rel=0.01)
+        assert sketch.get_quantile_value(1.0) == pytest.approx(max(pareto_stream), rel=0.01)
+
+    def test_estimates_are_monotone_in_quantile(self, pareto_stream):
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(pareto_stream)
+        estimates = [sketch.get_quantile_value(q) for q in sorted(STANDARD_QUANTILES)]
+        assert estimates == sorted(estimates)
+
+
+class TestWeightedStreamAccuracy:
+    def test_weighted_adds_match_repeated_adds(self, rng):
+        values = [rng.paretovariate(1.2) for _ in range(2_000)]
+        weighted = DDSketch(relative_accuracy=0.01)
+        repeated = DDSketch(relative_accuracy=0.01)
+        for value in values:
+            weighted.add(value, weight=3.0)
+            for _ in range(3):
+                repeated.add(value)
+        for quantile in STANDARD_QUANTILES:
+            assert weighted.get_quantile_value(quantile) == pytest.approx(
+                repeated.get_quantile_value(quantile)
+            )

@@ -1,0 +1,218 @@
+"""Basic behaviour of the default DDSketch: insertion, summaries, validation."""
+
+import math
+
+import pytest
+
+from repro import DDSketch, LogarithmicMapping
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class TestConstruction:
+    def test_default_parameters_match_paper(self):
+        sketch = DDSketch()
+        assert sketch.relative_accuracy == pytest.approx(0.01)
+        assert sketch.bin_limit == 2048
+
+    def test_gamma_derived_from_alpha(self):
+        sketch = DDSketch(relative_accuracy=0.02)
+        assert sketch.gamma == pytest.approx(1.02 / 0.98)
+
+    @pytest.mark.parametrize("bad_alpha", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_relative_accuracy_rejected(self, bad_alpha):
+        with pytest.raises(IllegalArgumentError):
+            DDSketch(relative_accuracy=bad_alpha)
+
+    def test_invalid_bin_limit_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            DDSketch(bin_limit=0)
+
+    def test_explicit_mapping_accepted(self):
+        mapping = LogarithmicMapping(0.05)
+        sketch = DDSketch(mapping=mapping)
+        assert sketch.relative_accuracy == pytest.approx(0.05)
+
+
+class TestEmptySketch:
+    def test_empty_summaries(self):
+        sketch = DDSketch()
+        assert sketch.is_empty
+        assert sketch.count == 0
+        assert sketch.sum == 0
+        assert sketch.num_buckets == 0
+        assert sketch.get_quantile_value(0.5) is None
+
+    def test_empty_min_max_avg_raise(self):
+        sketch = DDSketch()
+        with pytest.raises(EmptySketchError):
+            _ = sketch.min
+        with pytest.raises(EmptySketchError):
+            _ = sketch.max
+        with pytest.raises(EmptySketchError):
+            _ = sketch.avg
+        with pytest.raises(EmptySketchError):
+            sketch.quantile(0.5)
+
+    def test_len_of_empty_is_zero(self):
+        assert len(DDSketch()) == 0
+
+
+class TestInsertion:
+    def test_count_sum_min_max_avg_are_exact(self):
+        sketch = DDSketch()
+        values = [3.5, 1.25, 8.0, 0.5, 100.0]
+        for value in values:
+            sketch.add(value)
+        assert sketch.count == len(values)
+        assert sketch.sum == pytest.approx(sum(values))
+        assert sketch.min == min(values)
+        assert sketch.max == max(values)
+        assert sketch.avg == pytest.approx(sum(values) / len(values))
+
+    def test_weighted_add(self):
+        sketch = DDSketch()
+        sketch.add(2.0, weight=3.5)
+        sketch.add(4.0, weight=0.5)
+        assert sketch.count == pytest.approx(4.0)
+        assert sketch.sum == pytest.approx(2.0 * 3.5 + 4.0 * 0.5)
+
+    @pytest.mark.parametrize("bad_weight", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_weight_rejected(self, bad_weight):
+        sketch = DDSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(1.0, weight=bad_weight)
+
+    @pytest.mark.parametrize("bad_value", [float("nan"), float("inf"), float("-inf")])
+    def test_nonfinite_value_rejected(self, bad_value):
+        sketch = DDSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add(bad_value)
+
+    def test_add_all_returns_self(self):
+        sketch = DDSketch()
+        result = sketch.add_all([1.0, 2.0, 3.0])
+        assert result is sketch
+        assert sketch.count == 3
+
+    def test_len_tracks_count(self):
+        sketch = DDSketch()
+        sketch.add_all(range(1, 11))
+        assert len(sketch) == 10
+
+    def test_tiny_values_land_in_zero_bucket(self):
+        sketch = DDSketch()
+        sketch.add(1e-320)
+        assert sketch.zero_count == pytest.approx(1.0)
+        assert sketch.get_quantile_value(0.5) == 0.0
+
+    def test_single_value_all_quantiles_close(self):
+        sketch = DDSketch()
+        sketch.add(42.0)
+        for quantile in (0.0, 0.5, 1.0):
+            assert sketch.get_quantile_value(quantile) == pytest.approx(42.0, rel=0.01)
+
+
+class TestDelete:
+    def test_delete_reverses_add(self):
+        sketch = DDSketch()
+        sketch.add(5.0)
+        sketch.add(10.0)
+        sketch.delete(5.0)
+        assert sketch.count == pytest.approx(1.0)
+        assert sketch.get_quantile_value(0.5) == pytest.approx(10.0, rel=0.01)
+
+    def test_delete_everything_leaves_empty_sketch(self):
+        sketch = DDSketch()
+        for value in (1.0, 2.0, 3.0):
+            sketch.add(value)
+        for value in (1.0, 2.0, 3.0):
+            sketch.delete(value)
+        assert sketch.count == pytest.approx(0.0)
+        assert sketch.get_quantile_value(0.5) is None
+
+    def test_delete_from_empty_is_noop(self):
+        sketch = DDSketch()
+        sketch.delete(3.0)
+        assert sketch.is_empty
+
+    def test_delete_zero_value(self):
+        sketch = DDSketch()
+        sketch.add(0.0)
+        sketch.add(1.0)
+        sketch.delete(0.0)
+        assert sketch.zero_count == pytest.approx(0.0)
+        assert sketch.count == pytest.approx(1.0)
+
+    def test_delete_invalid_weight_rejected(self):
+        sketch = DDSketch()
+        sketch.add(1.0)
+        with pytest.raises(IllegalArgumentError):
+            sketch.delete(1.0, weight=-2.0)
+
+    def test_weighted_delete_partial(self):
+        sketch = DDSketch()
+        sketch.add(7.0, weight=5.0)
+        sketch.delete(7.0, weight=2.0)
+        assert sketch.count == pytest.approx(3.0)
+
+
+class TestQuantileInputValidation:
+    def test_out_of_range_quantile_returns_none(self):
+        sketch = DDSketch()
+        sketch.add(1.0)
+        assert sketch.get_quantile_value(-0.1) is None
+        assert sketch.get_quantile_value(1.1) is None
+
+    def test_strict_quantile_raises_on_bad_input(self):
+        sketch = DDSketch()
+        sketch.add(1.0)
+        with pytest.raises(IllegalArgumentError):
+            sketch.quantile(1.5)
+
+    def test_get_quantiles_batches(self):
+        sketch = DDSketch()
+        sketch.add_all([1.0, 2.0, 3.0, 4.0])
+        estimates = sketch.get_quantiles([0.0, 0.5, 1.0])
+        assert len(estimates) == 3
+        assert all(estimate is not None for estimate in estimates)
+
+    def test_get_rank_value(self):
+        sketch = DDSketch()
+        sketch.add_all(float(v) for v in range(1, 101))
+        assert sketch.get_rank_value(0) == pytest.approx(1.0, rel=0.02)
+        assert sketch.get_rank_value(99) == pytest.approx(100.0, rel=0.02)
+        assert sketch.get_rank_value(-1) is None
+        assert sketch.get_rank_value(1000) is None
+
+
+class TestRepresentationAndCopy:
+    def test_repr_contains_key_facts(self):
+        sketch = DDSketch()
+        sketch.add(1.0)
+        text = repr(sketch)
+        assert "DDSketch" in text
+        assert "relative_accuracy" in text
+
+    def test_copy_is_deep(self):
+        sketch = DDSketch()
+        sketch.add_all([1.0, 5.0, 9.0])
+        duplicate = sketch.copy()
+        duplicate.add(100.0)
+        assert sketch.count == 3
+        assert duplicate.count == 4
+        assert sketch.max == 9.0
+        assert duplicate.max == 100.0
+
+    def test_num_buckets_counts_zero_bucket(self):
+        sketch = DDSketch()
+        sketch.add(0.0)
+        assert sketch.num_buckets == 1
+
+    def test_size_in_bytes_positive_and_grows(self):
+        small = DDSketch()
+        small.add(1.0)
+        large = DDSketch()
+        for exponent in range(0, 200):
+            large.add(1.05 ** exponent)
+        assert small.size_in_bytes() > 0
+        assert large.size_in_bytes() > small.size_in_bytes()

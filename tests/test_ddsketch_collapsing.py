@@ -1,0 +1,133 @@
+"""Bounded-size behaviour of the full DDSketch (Algorithm 3, Proposition 4).
+
+When the bucket limit is reached the sketch collapses its lowest buckets.
+Proposition 4 guarantees that a q-quantile query is still alpha-accurate as
+long as ``x_max <= x_q * gamma**(m - 1)``; these tests exercise both sides of
+that condition.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import DDSketch, SparseDDSketch
+from repro.baselines.exact import ExactQuantiles
+
+
+class TestBucketLimit:
+    def test_bucket_count_never_exceeds_limit(self, rng):
+        limit = 128
+        sketch = DDSketch(relative_accuracy=0.01, bin_limit=limit)
+        for _ in range(50_000):
+            sketch.add(math.exp(rng.uniform(-20, 20)))
+        assert sketch.store.num_buckets <= limit
+
+    def test_default_limit_not_reached_on_pareto(self, pareto_stream):
+        # Figure 7 of the paper: ~900 buckets for 1e10 Pareto values, far
+        # below the 2048 default limit.
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(pareto_stream)
+        assert sketch.store.num_buckets < 2048
+        assert not sketch.store.is_collapsed
+
+    def test_count_is_exact_even_after_collapse(self, rng):
+        sketch = DDSketch(relative_accuracy=0.01, bin_limit=16)
+        values = [math.exp(rng.uniform(-30, 30)) for _ in range(5_000)]
+        sketch.add_all(values)
+        assert sketch.count == pytest.approx(len(values))
+
+
+class TestProposition4:
+    def test_upper_quantiles_stay_accurate_when_condition_holds(self, rng):
+        # Data spanning far more buckets than the limit, so collapsing kicks
+        # in, but the quantiles we query are close enough to the maximum that
+        # Proposition 4's condition x_max <= x_q * gamma^(m-1) holds.
+        alpha = 0.01
+        bin_limit = 256
+        sketch = DDSketch(relative_accuracy=alpha, bin_limit=bin_limit)
+        values = [math.exp(rng.uniform(0, 25)) for _ in range(50_000)]
+        sketch.add_all(values)
+        assert sketch.store.is_collapsed
+
+        exact = ExactQuantiles(values)
+        gamma = sketch.gamma
+        x_max = exact.max
+        for quantile in (0.9, 0.95, 0.99, 0.999, 1.0):
+            actual = exact.quantile(quantile)
+            if x_max <= actual * gamma ** (bin_limit - 1):
+                estimate = sketch.get_quantile_value(quantile)
+                assert abs(estimate - actual) <= alpha * actual * (1 + 1e-9)
+
+    def test_low_quantiles_degrade_gracefully_when_condition_fails(self, rng):
+        # With a tiny limit the low quantiles fall into collapsed buckets: the
+        # estimate is biased towards larger values but never exceeds the
+        # lowest retained bucket's upper bound, and the count stays exact.
+        alpha = 0.01
+        sketch = DDSketch(relative_accuracy=alpha, bin_limit=8)
+        values = [math.exp(rng.uniform(0, 25)) for _ in range(20_000)]
+        sketch.add_all(values)
+        exact = ExactQuantiles(values)
+
+        estimate = sketch.get_quantile_value(0.05)
+        actual = exact.quantile(0.05)
+        assert estimate >= actual * (1 - alpha)  # collapse only moves estimates up
+        assert estimate <= exact.max
+
+    def test_proposition4_size_condition_formula(self):
+        # Directly check Equation 1: m >= (log(x1) - log(xq)) / log(gamma) + 1
+        # is exactly the condition under which the bucket of xq survives.
+        alpha = 0.01
+        gamma = (1 + alpha) / (1 - alpha)
+        x_max = 1e6
+        x_q = 10.0
+        required = (math.log(x_max) - math.log(x_q)) / math.log(gamma) + 1
+
+        generous = DDSketch(relative_accuracy=alpha, bin_limit=int(required) + 2)
+        tight = DDSketch(relative_accuracy=alpha, bin_limit=max(int(required) // 4, 2))
+        values = [x_q] * 100 + [x_max] * 100
+        # Spread intermediate values so buckets in between are occupied.
+        values += [x_q * (x_max / x_q) ** (index / 200.0) for index in range(200)]
+        random.Random(0).shuffle(values)
+        for value in values:
+            generous.add(value)
+            tight.add(value)
+
+        exact = ExactQuantiles(values)
+        quantile = 0.1
+        actual = exact.quantile(quantile)
+        good_estimate = generous.get_quantile_value(quantile)
+        assert abs(good_estimate - actual) <= alpha * actual * (1 + 1e-9)
+        # The under-provisioned sketch has collapsed the low buckets.
+        assert tight.store.is_collapsed
+
+
+class TestSparseCollapse:
+    def test_sparse_sketch_respects_max_buckets(self, rng):
+        sketch = SparseDDSketch(relative_accuracy=0.01, max_num_buckets=32)
+        for _ in range(20_000):
+            sketch.add(math.exp(rng.uniform(-15, 15)))
+        assert sketch.store.num_buckets <= 32
+
+    def test_sparse_collapse_folds_lowest_buckets(self):
+        sketch = SparseDDSketch(relative_accuracy=0.01, max_num_buckets=4)
+        values = [1.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0]
+        sketch.add_all(values)
+        assert sketch.store.num_buckets <= 4
+        assert sketch.count == pytest.approx(len(values))
+        # The maximum keeps full accuracy.
+        assert sketch.get_quantile_value(1.0) == pytest.approx(100000.0, rel=0.011)
+
+    def test_sparse_rejects_tiny_limit(self):
+        with pytest.raises(Exception):
+            SparseDDSketch(relative_accuracy=0.01, max_num_buckets=1)
+
+    def test_sparse_merge_enforces_limit(self, rng):
+        left = SparseDDSketch(relative_accuracy=0.01, max_num_buckets=16)
+        right = SparseDDSketch(relative_accuracy=0.01, max_num_buckets=16)
+        for _ in range(2_000):
+            left.add(math.exp(rng.uniform(-10, 0)))
+            right.add(math.exp(rng.uniform(0, 10)))
+        left.merge(right)
+        assert left.store.num_buckets <= 16
+        assert left.count == pytest.approx(4_000)

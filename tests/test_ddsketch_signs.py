@@ -1,0 +1,98 @@
+"""Negative values and the zero bucket (Section 2.2 extensions)."""
+
+import pytest
+
+from repro import DDSketch, LogCollapsingHighestDenseDDSketch
+from repro.baselines.exact import ExactQuantiles
+from tests.conftest import STANDARD_QUANTILES, assert_relative_accuracy
+
+
+class TestNegativeValues:
+    def test_all_negative_stream_accuracy(self, rng):
+        values = [-rng.paretovariate(1.1) for _ in range(10_000)]
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(values)
+        assert_relative_accuracy(sketch, values, 0.01)
+
+    def test_negative_quantiles_have_correct_sign(self):
+        sketch = DDSketch()
+        sketch.add_all([-10.0, -5.0, -1.0])
+        for quantile in (0.0, 0.5, 1.0):
+            assert sketch.get_quantile_value(quantile) < 0
+
+    def test_min_max_with_negatives(self):
+        sketch = DDSketch()
+        sketch.add_all([-7.0, -3.0, 2.0])
+        assert sketch.min == -7.0
+        assert sketch.max == 2.0
+
+    def test_mixed_sign_stream_accuracy(self, mixed_sign_stream):
+        sketch = DDSketch(relative_accuracy=0.01)
+        sketch.add_all(mixed_sign_stream)
+        exact = ExactQuantiles(mixed_sign_stream)
+        for quantile in STANDARD_QUANTILES:
+            estimate = sketch.get_quantile_value(quantile)
+            actual = exact.quantile(quantile)
+            if actual == 0:
+                assert abs(estimate) <= 1e-9
+            else:
+                assert abs(estimate - actual) <= 0.01 * abs(actual) * (1 + 1e-9)
+
+    def test_negative_store_collapse_protects_values_near_zero(self):
+        # With a tiny bin limit, the negative store collapses its *highest*
+        # keys, i.e. the most negative values, keeping accuracy near zero.
+        sketch = DDSketch(relative_accuracy=0.01, bin_limit=8)
+        values = [-(1.5 ** exponent) for exponent in range(0, 40)]
+        sketch.add_all(values)
+        # The least negative value (closest to zero) keeps its accuracy.
+        assert sketch.get_quantile_value(1.0) == pytest.approx(-1.0, rel=0.02)
+
+
+class TestZeroBucket:
+    def test_zeros_are_counted_exactly(self):
+        sketch = DDSketch()
+        for _ in range(5):
+            sketch.add(0.0)
+        sketch.add(1.0)
+        assert sketch.zero_count == pytest.approx(5.0)
+        assert sketch.count == pytest.approx(6.0)
+
+    def test_median_of_mostly_zeros_is_zero(self):
+        sketch = DDSketch()
+        for _ in range(99):
+            sketch.add(0.0)
+        sketch.add(100.0)
+        assert sketch.get_quantile_value(0.5) == 0.0
+
+    def test_zero_between_negative_and_positive(self):
+        sketch = DDSketch()
+        sketch.add_all([-5.0, 0.0, 5.0])
+        assert sketch.get_quantile_value(0.5) == 0.0
+        assert sketch.get_quantile_value(0.0) == pytest.approx(-5.0, rel=0.01)
+        assert sketch.get_quantile_value(1.0) == pytest.approx(5.0, rel=0.01)
+
+    def test_subnormal_values_treated_as_zero(self):
+        sketch = DDSketch()
+        sketch.add(5e-324)
+        sketch.add(-5e-324)
+        assert sketch.zero_count == pytest.approx(2.0)
+
+    def test_weighted_zeros(self):
+        sketch = DDSketch()
+        sketch.add(0.0, weight=2.5)
+        assert sketch.zero_count == pytest.approx(2.5)
+        assert sketch.sum == pytest.approx(0.0)
+
+
+class TestCollapsingHighestVariant:
+    def test_keeps_low_quantiles_accurate_instead(self, rng):
+        values = [rng.paretovariate(1.0) for _ in range(20_000)]
+        sketch = LogCollapsingHighestDenseDDSketch(relative_accuracy=0.01, bin_limit=64)
+        sketch.add_all(values)
+        exact = ExactQuantiles(values)
+        # Low quantiles stay alpha-accurate even with a tiny bucket budget;
+        # the high ones are the sacrificed end for this variant.
+        for quantile in (0.0, 0.1, 0.25, 0.5):
+            estimate = sketch.get_quantile_value(quantile)
+            actual = exact.quantile(quantile)
+            assert abs(estimate - actual) <= 0.011 * actual

@@ -1,0 +1,183 @@
+"""Tests for the evaluation harness (config, accuracy, memory, timing, report)."""
+
+import pytest
+
+from repro.baselines import GKArray, HDRHistogram, MomentsSketch
+from repro.core import DDSketch, FastDDSketch
+from repro.evaluation import (
+    DEFAULT_PARAMETERS,
+    SKETCH_NAMES,
+    build_all_sketches,
+    build_sketch,
+    format_series,
+    format_table,
+    measure_accuracy,
+    measure_ddsketch_bins,
+    measure_sketch_sizes,
+    n_sweep,
+    rank_error,
+    relative_error,
+    time_add,
+    time_merge,
+)
+from repro.evaluation.report import format_figure_header, format_quantile_errors
+from repro.exceptions import IllegalArgumentError
+
+
+class TestConfig:
+    def test_table2_parameters(self):
+        rows = DEFAULT_PARAMETERS.as_table_rows()
+        assert len(rows) == 4
+        assert rows[0] == ("DDSketch", "alpha = 0.01, m = 2048")
+        assert ("GKArray", "epsilon = 0.01") in rows
+
+    def test_build_every_named_sketch(self):
+        sketches = build_all_sketches("pareto")
+        assert set(sketches) == set(SKETCH_NAMES)
+        assert isinstance(sketches["DDSketch"], DDSketch)
+        assert isinstance(sketches["DDSketch (fast)"], FastDDSketch)
+        assert isinstance(sketches["GKArray"], GKArray)
+        assert isinstance(sketches["HDRHistogram"], HDRHistogram)
+        assert isinstance(sketches["MomentsSketch"], MomentsSketch)
+
+    def test_extensions_included_on_request(self):
+        sketches = build_all_sketches("pareto", include_extensions=True)
+        assert "TDigest" in sketches
+        assert "KLL" in sketches
+
+    def test_hdr_requires_dataset(self):
+        with pytest.raises(IllegalArgumentError):
+            build_sketch("HDRHistogram", dataset=None)
+
+    def test_unknown_sketch_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            build_sketch("NoSuchSketch")
+
+    def test_n_sweep_scaling(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert n_sweep((100, 200)) == [100, 200]
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2")
+        assert n_sweep((100, 200)) == [200, 400]
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "bogus")
+        with pytest.raises(IllegalArgumentError):
+            n_sweep((100,))
+
+
+class TestErrorMeasures:
+    def test_relative_error(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.10)
+        assert relative_error(0.5, 0.0) == pytest.approx(0.5)
+
+    def test_rank_error_via_exact(self):
+        from repro.baselines import ExactQuantiles
+
+        exact = ExactQuantiles([float(v) for v in range(1, 101)])
+        assert rank_error(60.0, 0.5, exact) == pytest.approx(0.10)
+
+
+class TestAccuracyMeasurement:
+    def test_ddsketch_beats_gk_on_heavy_tail_relative_error(self):
+        measurement = measure_accuracy("pareto", n_values=20_000, seed=0)
+        dd_p99 = measurement.relative_errors["DDSketch"][0.99]
+        gk_p99 = measurement.relative_errors["GKArray"][0.99]
+        assert dd_p99 <= 0.01 * (1 + 1e-9)
+        assert gk_p99 > dd_p99
+
+    def test_gk_meets_rank_error_on_any_dataset(self):
+        measurement = measure_accuracy("power", n_values=20_000, seed=1)
+        for quantile, error in measurement.rank_errors["GKArray"].items():
+            assert error <= 2.5 * 0.01
+
+    def test_measurement_structure(self):
+        measurement = measure_accuracy(
+            "power", n_values=2_000, quantiles=(0.5, 0.9), sketch_names=("DDSketch",), seed=2
+        )
+        assert measurement.dataset == "power"
+        assert set(measurement.relative_errors) == {"DDSketch"}
+        assert set(measurement.relative_errors["DDSketch"]) == {0.5, 0.9}
+        assert measurement.worst_relative_error("DDSketch") >= 0
+        assert measurement.worst_rank_error("DDSketch") >= 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(IllegalArgumentError):
+            measure_accuracy("pareto", n_values=0)
+        with pytest.raises(IllegalArgumentError):
+            measure_accuracy("pareto", n_values=10, num_trials=0)
+
+
+class TestMemoryMeasurement:
+    def test_sizes_reported_for_each_sketch_and_n(self):
+        sizes = measure_sketch_sizes("power", (1_000, 5_000), seed=0)
+        assert set(sizes) == set(SKETCH_NAMES)
+        for series in sizes.values():
+            assert [n for n, _ in series] == [1_000, 5_000]
+            assert all(size > 0 for _, size in series)
+
+    def test_moments_sketch_size_is_flat(self):
+        sizes = measure_sketch_sizes("pareto", (1_000, 10_000), seed=1)
+        moments = sizes["MomentsSketch"]
+        assert moments[0][1] == moments[1][1]
+
+    def test_hdr_is_largest_on_wide_range_data(self):
+        sizes = measure_sketch_sizes("span", (5_000,), seed=2)
+        hdr = sizes["HDRHistogram"][0][1]
+        ddsketch = sizes["DDSketch"][0][1]
+        assert hdr > ddsketch
+
+    def test_ddsketch_bin_counts_grow_slowly(self):
+        bins = measure_ddsketch_bins("pareto", (1_000, 10_000, 50_000), seed=3)
+        counts = [count for _, count in bins]
+        assert counts == sorted(counts)
+        assert counts[-1] < 2048  # Figure 7: far below the default limit
+        with pytest.raises(IllegalArgumentError):
+            measure_ddsketch_bins("pareto", (0,))
+
+
+class TestTimingMeasurement:
+    def test_time_add_returns_positive_rate(self):
+        result = time_add("DDSketch", "power", 2_000, seed=0)
+        assert result.seconds_total > 0
+        assert result.nanos_per_operation > 0
+        assert result.n_values == 2_000
+
+    def test_time_merge_returns_positive(self):
+        result = time_merge("DDSketch", "power", 2_000, seed=0, repetitions=2)
+        assert result.seconds_total > 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(IllegalArgumentError):
+            time_add("DDSketch", "power", 0)
+        with pytest.raises(IllegalArgumentError):
+            time_merge("DDSketch", "power", 1)
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 123]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_format_series(self):
+        text = format_series({"DDSketch": [(1000, 5.0), (2000, 6.0)], "GKArray": [(1000, 7.0), (2000, 8.0)]})
+        assert "DDSketch" in text
+        assert "GKArray" in text
+        assert "1000" in text
+
+    def test_format_series_empty(self):
+        assert format_series({}) == "(no data)"
+
+    def test_format_figure_header(self):
+        header = format_figure_header("Figure 6", "sketch sizes")
+        assert "Figure 6" in header
+        assert header.count("=") > 10
+
+    def test_format_quantile_errors(self):
+        text = format_quantile_errors(
+            {"DDSketch": {0.5: 0.001, 0.99: 0.002}, "GKArray": {0.5: 0.1, 0.99: 3.0}},
+            "relative error",
+        )
+        assert "p50" in text
+        assert "p99" in text
+        assert "DDSketch" in text

@@ -1,0 +1,46 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    DeserializationError,
+    EmptySketchError,
+    IllegalArgumentError,
+    ReproError,
+    UnequalSketchParametersError,
+    UnsupportedOperationError,
+)
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for exception_class in (
+        IllegalArgumentError,
+        UnequalSketchParametersError,
+        EmptySketchError,
+        UnsupportedOperationError,
+        DeserializationError,
+    ):
+        assert issubclass(exception_class, ReproError)
+
+
+def test_value_errors_are_value_errors():
+    assert issubclass(IllegalArgumentError, ValueError)
+    assert issubclass(UnequalSketchParametersError, ValueError)
+    assert issubclass(EmptySketchError, ValueError)
+    assert issubclass(DeserializationError, ValueError)
+
+
+def test_unsupported_operation_is_runtime_error():
+    assert issubclass(UnsupportedOperationError, RuntimeError)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise IllegalArgumentError("bad argument")
+    with pytest.raises(ReproError):
+        raise EmptySketchError("empty")
+
+
+def test_exception_messages_are_preserved():
+    error = IllegalArgumentError("alpha must be in (0, 1)")
+    assert "alpha" in str(error)

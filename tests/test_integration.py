@@ -1,0 +1,155 @@
+"""End-to-end integration tests across packages.
+
+These tests wire together the full pipeline the paper motivates: workloads
+from the data-set generators flow through agents on multiple hosts, travel as
+serialized sketches, are merged by the aggregator, and the final quantile
+answers are compared against exact computation — all with every sketch variant
+and against the baselines.
+"""
+
+import pytest
+
+from repro import DDSketch, FastDDSketch, SparseDDSketch
+from repro.baselines import ExactQuantiles, GKArray, HDRHistogram, MomentsSketch
+from repro.datasets import get_dataset, span_values, web_latency_values
+from repro.monitoring import Aggregator, MetricAgent
+from repro.serialization import decode_sketch, encode_sketch
+
+
+class TestDistributedPipeline:
+    def test_agents_wire_format_aggregator_quantiles(self):
+        """Full loop: record -> flush -> serialize -> ingest -> merge -> query."""
+        values = web_latency_values(20_000, seed=11)
+        exact = ExactQuantiles(values.tolist())
+
+        agents = [MetricAgent(f"host-{index}") for index in range(8)]
+        aggregator = Aggregator(interval_length=1.0)
+        for index, value in enumerate(values):
+            agents[index % len(agents)].record("web.latency", float(value))
+            if index % 5_000 == 4_999:
+                timestamp = index // 5_000
+                for agent in agents:
+                    aggregator.ingest_many(agent.flush(float(timestamp)))
+        for agent in agents:
+            aggregator.ingest_many(agent.flush(99.0))
+
+        assert aggregator.count("web.latency") == len(values)
+        for quantile in (0.5, 0.75, 0.9, 0.95, 0.99):
+            estimate = aggregator.quantile("web.latency", quantile)
+            actual = exact.quantile(quantile)
+            assert abs(estimate - actual) <= 0.01 * actual * (1 + 1e-9)
+
+    def test_cross_process_merge_through_bytes(self):
+        """Sketches serialized on 'different hosts' merge exactly."""
+        values = span_values(10_000, seed=3)
+        half = len(values) // 2
+        host_a = DDSketch()
+        host_b = DDSketch()
+        for value in values[:half]:
+            host_a.add(float(value))
+        for value in values[half:]:
+            host_b.add(float(value))
+
+        wire_a = encode_sketch(host_a)
+        wire_b = encode_sketch(host_b)
+        central = decode_sketch(wire_a)
+        central.merge(decode_sketch(wire_b))
+
+        reference = DDSketch()
+        for value in values:
+            reference.add(float(value))
+        for quantile in (0.5, 0.95, 0.99, 1.0):
+            assert central.get_quantile_value(quantile) == pytest.approx(
+                reference.get_quantile_value(quantile)
+            )
+
+    def test_hierarchical_merging_tree(self):
+        """Two-level aggregation tree (per-rack then global) stays accurate."""
+        values = get_dataset("pareto").generator(24_000, 5)
+        exact = ExactQuantiles(values.tolist())
+
+        leaf_sketches = [DDSketch() for _ in range(12)]
+        for index, value in enumerate(values):
+            leaf_sketches[index % 12].add(float(value))
+
+        rack_sketches = []
+        for rack in range(4):
+            rack_sketch = DDSketch()
+            for leaf in leaf_sketches[rack * 3 : (rack + 1) * 3]:
+                rack_sketch.merge(leaf)
+            rack_sketches.append(rack_sketch)
+
+        global_sketch = DDSketch()
+        for rack_sketch in rack_sketches:
+            global_sketch.merge(rack_sketch)
+
+        assert global_sketch.count == len(values)
+        for quantile in (0.5, 0.9, 0.99):
+            actual = exact.quantile(quantile)
+            assert abs(global_sketch.get_quantile_value(quantile) - actual) <= 0.0101 * actual
+
+
+class TestCrossSketchComparison:
+    def test_all_sketches_agree_on_dense_data(self):
+        """On the light-tailed power data every sketch gets the median right."""
+        spec = get_dataset("power")
+        values = spec.generator(20_000, 7)
+        exact = ExactQuantiles(values.tolist())
+        lowest, highest = spec.hdr_range
+
+        sketches = {
+            "DDSketch": DDSketch(),
+            "FastDDSketch": FastDDSketch(),
+            "SparseDDSketch": SparseDDSketch(),
+            "GKArray": GKArray(0.01),
+            "HDRHistogram": HDRHistogram(lowest, highest, 2),
+            "MomentsSketch": MomentsSketch(),
+        }
+        for value in values:
+            for sketch in sketches.values():
+                sketch.add(float(value))
+
+        actual_median = exact.quantile(0.5)
+        for name, sketch in sketches.items():
+            estimate = sketch.get_quantile_value(0.5)
+            assert abs(estimate - actual_median) / actual_median < 0.05, name
+
+    def test_relative_error_gap_on_heavy_tail(self):
+        """The paper's headline: on heavy-tailed data DDSketch's worst-case
+        relative error on the upper quantiles is far better than the
+        rank-error sketch's (any single quantile can be lucky for GK, so the
+        comparison is over several upper quantiles and streams)."""
+        quantiles = (0.95, 0.99, 0.999)
+        ddsketch_worst = 0.0
+        gk_worst = 0.0
+        for seed in (9, 10, 11):
+            values = get_dataset("pareto").generator(50_000, seed)
+            exact = ExactQuantiles(values.tolist())
+            ddsketch = DDSketch()
+            gk = GKArray(0.01)
+            for value in values:
+                ddsketch.add(float(value))
+                gk.add(float(value))
+            for quantile in quantiles:
+                actual = exact.quantile(quantile)
+                ddsketch_worst = max(
+                    ddsketch_worst, abs(ddsketch.get_quantile_value(quantile) - actual) / actual
+                )
+                gk_worst = max(gk_worst, abs(gk.get_quantile_value(quantile) - actual) / actual)
+        assert ddsketch_worst <= 0.01 * (1 + 1e-9)
+        assert gk_worst > 5 * ddsketch_worst
+
+    def test_weighted_stream_consistency_across_variants(self):
+        """Weighted insertion gives the same answers as repeated insertion for
+        every DDSketch variant (they share the same bucket layout)."""
+        values = get_dataset("power").generator(2_000, 13)
+        weighted = DDSketch()
+        fast = FastDDSketch()
+        for value in values:
+            weighted.add(float(value), weight=2.0)
+            fast.add(float(value))
+            fast.add(float(value))
+        assert weighted.count == pytest.approx(fast.count)
+        assert weighted.get_quantile_value(0.9) == pytest.approx(
+            fast.get_quantile_value(0.9), rel=0.02
+        )

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for every key mapping.
+
+The central invariant is Lemma 2 of the paper: for any positive value ``x``,
+``|value(key(x)) - x| <= alpha * x``.  The properties below check it across
+the full float range, together with monotonicity and bucket-bracketing.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping import (
+    CubicallyInterpolatedMapping,
+    LinearlyInterpolatedMapping,
+    LogarithmicMapping,
+    QuadraticallyInterpolatedMapping,
+)
+
+ALL_MAPPINGS = (
+    LogarithmicMapping,
+    LinearlyInterpolatedMapping,
+    QuadraticallyInterpolatedMapping,
+    CubicallyInterpolatedMapping,
+)
+
+# Values spanning ~24 orders of magnitude, generated in log space so every
+# magnitude is equally likely (plain float strategies almost never produce
+# tiny values).
+log_space_values = st.floats(min_value=-28.0, max_value=28.0).map(math.exp)
+
+alphas = st.sampled_from([0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.25])
+
+
+@pytest.mark.parametrize("mapping_class", ALL_MAPPINGS)
+class TestMappingProperties:
+    @given(value=log_space_values, alpha=alphas)
+    @settings(max_examples=300, deadline=None)
+    def test_round_trip_relative_error_bounded(self, mapping_class, value, alpha):
+        mapping = mapping_class(alpha)
+        estimate = mapping.value(mapping.key(value))
+        assert abs(estimate - value) <= alpha * value * (1 + 1e-9)
+
+    @given(value_a=log_space_values, value_b=log_space_values)
+    @settings(max_examples=200, deadline=None)
+    def test_key_monotonicity(self, mapping_class, value_a, value_b):
+        mapping = mapping_class(0.01)
+        low, high = sorted((value_a, value_b))
+        assert mapping.key(low) <= mapping.key(high)
+
+    @given(value=log_space_values)
+    @settings(max_examples=200, deadline=None)
+    def test_value_lies_within_its_bucket(self, mapping_class, value):
+        mapping = mapping_class(0.01)
+        key = mapping.key(value)
+        assert mapping.lower_bound(key) <= value * (1 + 1e-12)
+        assert value <= mapping.upper_bound(key) * (1 + 1e-12)
+
+    @given(key=st.integers(min_value=-2000, max_value=2000))
+    @settings(max_examples=200, deadline=None)
+    def test_key_of_representative_is_at_most_one_below(self, mapping_class, key):
+        # For the exact logarithmic mapping the representative value always
+        # lands back in its own bucket; the interpolated mappings have some
+        # buckets narrower than gamma, so the representative (computed from
+        # the upper bound) may fall just below the bucket — never further, and
+        # never above.
+        mapping = mapping_class(0.01)
+        representative = mapping.value(key)
+        recovered = mapping.key(representative)
+        if mapping_class is LogarithmicMapping:
+            assert recovered == key
+        else:
+            assert key - 1 <= recovered <= key
+
+    @given(key=st.integers(min_value=-1000, max_value=1000), alpha=alphas)
+    @settings(max_examples=200, deadline=None)
+    def test_bucket_width_ratio_at_most_gamma(self, mapping_class, key, alpha):
+        mapping = mapping_class(alpha)
+        lower = mapping.lower_bound(key)
+        upper = mapping.upper_bound(key)
+        assert upper / lower <= mapping.gamma * (1 + 1e-9)

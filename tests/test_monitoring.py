@@ -1,0 +1,222 @@
+"""Tests for the distributed-monitoring substrate (agents, aggregator, rollups)."""
+
+import pytest
+
+from repro import DDSketch
+from repro.baselines.exact import ExactQuantiles
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.monitoring import (
+    Aggregator,
+    MetricAgent,
+    MonitoringSimulation,
+    SketchTimeSeries,
+)
+
+
+class TestMetricAgent:
+    def test_record_and_flush(self):
+        agent = MetricAgent("host-1")
+        agent.record("latency", 1.5)
+        agent.record("latency", 2.5)
+        agent.record("errors", 1.0)
+        assert agent.records_since_flush == 3
+        assert agent.pending_metrics == ["errors", "latency"]
+
+        payloads = agent.flush(interval_start=100.0)
+        assert len(payloads) == 2
+        assert agent.records_since_flush == 0
+        assert agent.pending_metrics == []
+
+        latency_payload = [p for p in payloads if p.metric == "latency"][0]
+        assert latency_payload.host == "host-1"
+        assert latency_payload.interval_start == 100.0
+        decoded = latency_payload.decode()
+        assert decoded.count == 2
+
+    def test_flush_without_data_returns_nothing(self):
+        agent = MetricAgent("host-2")
+        assert agent.flush(0.0) == []
+
+    def test_payload_sizes_are_reported(self):
+        agent = MetricAgent("host-3")
+        for value in range(1, 100):
+            agent.record("latency", float(value))
+        (payload,) = agent.flush(0.0)
+        assert payload.size_in_bytes == len(payload.payload)
+        assert payload.size_in_bytes > 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            MetricAgent("host", interval_length=0)
+
+    def test_custom_sketch_factory(self):
+        agent = MetricAgent("host", sketch_factory=lambda: DDSketch(relative_accuracy=0.05))
+        agent.record("m", 1.0)
+        (payload,) = agent.flush(0.0)
+        assert payload.decode().relative_accuracy == pytest.approx(0.05)
+
+
+class TestSketchTimeSeries:
+    def test_ingest_values_and_query_intervals(self):
+        series = SketchTimeSeries("latency", interval_length=10.0)
+        series.ingest_value(5.0, 1.0)
+        series.ingest_value(7.0, 2.0)
+        series.ingest_value(15.0, 100.0)
+        assert series.num_intervals == 2
+        assert series.intervals() == [0.0, 10.0]
+        assert series.sketch_at(3.0).count == 2
+        assert series.sketch_at(12.0).count == 1
+
+    def test_rollup_matches_single_sketch(self, rng):
+        series = SketchTimeSeries("latency", interval_length=1.0)
+        reference = DDSketch(relative_accuracy=0.01)
+        for index in range(1000):
+            value = rng.expovariate(0.2)
+            series.ingest_value(float(index % 20), value)
+            reference.add(value)
+        rollup = series.rollup()
+        for quantile in (0.5, 0.9, 0.99):
+            assert rollup.get_quantile_value(quantile) == pytest.approx(
+                reference.get_quantile_value(quantile)
+            )
+
+    def test_windowed_rollup_filters_intervals(self):
+        series = SketchTimeSeries("latency", interval_length=1.0)
+        series.ingest_value(0.5, 1.0)
+        series.ingest_value(1.5, 2.0)
+        series.ingest_value(2.5, 3.0)
+        rollup = series.rollup(start=1.0, end=2.0)
+        assert rollup.count == 1
+        assert rollup.get_quantile_value(0.5) == pytest.approx(2.0, rel=0.01)
+
+    def test_rollup_of_empty_series_raises(self):
+        series = SketchTimeSeries("latency")
+        with pytest.raises(EmptySketchError):
+            series.rollup()
+        with pytest.raises(EmptySketchError):
+            SketchTimeSeries("latency").rollup(0, 10)
+
+    def test_quantile_and_average_series(self):
+        series = SketchTimeSeries("latency", interval_length=1.0)
+        for interval in range(3):
+            for value in (1.0, 2.0, 3.0):
+                series.ingest_value(float(interval), value * (interval + 1))
+        p50 = series.quantile_series(0.5)
+        averages = series.average_series()
+        assert len(p50) == 3
+        assert len(averages) == 3
+        assert averages[0][1] == pytest.approx(2.0)
+        assert averages[2][1] == pytest.approx(6.0)
+
+    def test_quantile_over_windows_rolls_up(self):
+        series = SketchTimeSeries("latency", interval_length=1.0)
+        for interval in range(10):
+            series.ingest_value(float(interval), float(interval))
+        windows = series.quantile_over_windows(1.0, window_length=5.0)
+        assert len(windows) == 2
+        assert windows[0][0] == 0.0
+        assert windows[1][0] == 5.0
+        with pytest.raises(IllegalArgumentError):
+            series.quantile_over_windows(0.5, window_length=0.0)
+
+    def test_ingest_sketch_copies_state(self):
+        series = SketchTimeSeries("latency", interval_length=1.0)
+        sketch = DDSketch()
+        sketch.add(1.0)
+        series.ingest_sketch(0.0, sketch)
+        sketch.add(2.0)
+        assert series.sketch_at(0.0).count == 1
+
+
+class TestAggregator:
+    def test_ingest_payloads_from_multiple_agents(self, rng):
+        aggregator = Aggregator(interval_length=1.0)
+        agents = [MetricAgent(f"host-{index}") for index in range(4)]
+        values = [rng.expovariate(1.0) for _ in range(2_000)]
+        exact = ExactQuantiles(values)
+        for index, value in enumerate(values):
+            agents[index % 4].record("latency", value)
+        for agent in agents:
+            aggregator.ingest_many(agent.flush(0.0))
+
+        assert aggregator.metrics == ["latency"]
+        assert aggregator.payloads_received == 4
+        assert aggregator.count("latency") == len(values)
+        estimate = aggregator.quantile("latency", 0.95)
+        assert abs(estimate - exact.quantile(0.95)) <= 0.011 * exact.quantile(0.95)
+
+    def test_bytes_received_tracked(self):
+        aggregator = Aggregator()
+        agent = MetricAgent("host")
+        agent.record("m", 1.0)
+        aggregator.ingest_many(agent.flush(0.0))
+        assert aggregator.bytes_received > 0
+        assert aggregator.size_in_bytes() > 0
+
+    def test_unknown_metric_raises(self):
+        aggregator = Aggregator()
+        with pytest.raises(EmptySketchError):
+            aggregator.quantile("missing", 0.5)
+        with pytest.raises(EmptySketchError):
+            aggregator.quantile_series("missing", 0.5)
+        assert aggregator.count("missing") == 0.0
+
+    def test_time_windowed_query(self):
+        aggregator = Aggregator(interval_length=1.0)
+        agent = MetricAgent("host")
+        for interval in range(5):
+            agent.record("latency", float(interval + 1) * 10.0)
+            aggregator.ingest_many(agent.flush(float(interval)))
+        # Only intervals 0 and 1.
+        estimate = aggregator.quantile("latency", 1.0, start=0.0, end=2.0)
+        assert estimate == pytest.approx(20.0, rel=0.02)
+
+
+class TestMonitoringSimulation:
+    def test_simulation_report_shapes(self):
+        simulation = MonitoringSimulation(
+            num_hosts=3, requests_per_interval=400, num_intervals=5, seed=1
+        )
+        report = simulation.run()
+        assert report.num_hosts == 3
+        assert report.num_intervals == 5
+        assert report.total_requests == 2000
+        assert len(report.p50_series) == 5
+        assert len(report.p99_series) == 5
+        assert len(report.average_series) == 5
+        assert report.bytes_on_wire > 0
+
+    def test_distributed_answers_match_exact_within_alpha(self):
+        simulation = MonitoringSimulation(
+            num_hosts=5, requests_per_interval=500, num_intervals=4, seed=2
+        )
+        report = simulation.run()
+        assert report.max_relative_error() <= 0.01 * (1 + 1e-9)
+
+    def test_mean_is_pulled_above_median(self):
+        # Figure 2 of the paper: the average latency sits well above the p50.
+        simulation = MonitoringSimulation(
+            num_hosts=4, requests_per_interval=1000, num_intervals=3, seed=3
+        )
+        report = simulation.run()
+        for (_, average), (_, p50) in zip(report.average_series, report.p50_series):
+            assert average > p50
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            MonitoringSimulation(num_hosts=0)
+        with pytest.raises(IllegalArgumentError):
+            MonitoringSimulation(requests_per_interval=0)
+        with pytest.raises(IllegalArgumentError):
+            MonitoringSimulation(num_intervals=0)
+
+    def test_incremental_intervals(self):
+        simulation = MonitoringSimulation(
+            num_hosts=2, requests_per_interval=100, num_intervals=10, seed=4
+        )
+        simulation.run_interval()
+        simulation.run_interval()
+        assert simulation.intervals_run == 2
+        report = simulation.report()
+        assert report.num_intervals == 2
+        assert report.total_requests == 200

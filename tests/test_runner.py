@@ -1,0 +1,80 @@
+"""Tests for the per-figure experiment drivers (small workloads)."""
+
+import pytest
+
+from repro.evaluation import runner
+from repro.evaluation.config import SKETCH_NAMES
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = runner.table1_properties()
+        assert ("DDSketch", "relative", "arbitrary", "full") in rows
+        assert ("GKArray", "rank", "arbitrary", "one-way") in rows
+        assert len(rows) == 4
+
+    def test_table2_rows(self):
+        rows = runner.table2_parameters()
+        assert any("alpha = 0.01" in value for _, value in rows)
+
+
+class TestFigureDrivers:
+    def test_figure2_report(self):
+        report = runner.figure2_latency_timeseries(
+            num_hosts=2, requests_per_interval=300, num_intervals=4, seed=0
+        )
+        assert len(report.p50_series) == 4
+        assert report.max_relative_error() <= 0.011
+
+    def test_figure3_histograms(self):
+        histograms = runner.figure3_histogram(n_values=20_000, num_bins=20, seed=0)
+        assert set(histograms) == {"p0_p95", "p0_p100"}
+        assert len(histograms["p0_p95"]) == 20
+        # The p0-p100 histogram covers a much wider value range.
+        assert histograms["p0_p100"][-1][0] > histograms["p0_p95"][-1][0] * 2
+
+    def test_figure4_series(self):
+        series = runner.figure4_quantile_tracking(num_batches=3, batch_size=2_000, seed=0)
+        assert set(series) == {"actual", "relative_error_sketch", "rank_error_sketch"}
+        for quantile, values in series["actual"].items():
+            assert len(values) == 3
+        # The relative-error sketch tracks the actual p99 within 1%.
+        for actual, estimate in zip(series["actual"][0.99], series["relative_error_sketch"][0.99]):
+            assert abs(estimate - actual) <= 0.011 * actual
+
+    def test_figure5_histograms(self):
+        histograms = runner.figure5_dataset_histograms(n_values=5_000, num_bins=10, seed=0)
+        assert set(histograms) == {"pareto", "span", "power"}
+        for histogram in histograms.values():
+            assert sum(count for _, count in histogram) == 5_000
+
+    def test_figure6_sizes(self):
+        sizes = runner.figure6_sketch_sizes(n_values_sweep=(1_000,), datasets=("power",), seed=0)
+        assert set(sizes) == {"power"}
+        assert set(sizes["power"]) == set(SKETCH_NAMES)
+
+    def test_figure7_bins(self):
+        series = runner.figure7_bin_counts(n_values_sweep=(1_000, 5_000), seed=0)
+        assert [n for n, _ in series] == [1_000, 5_000]
+
+    def test_figure8_and_9_timings(self):
+        adds = runner.figure8_add_times(dataset="power", n_values=2_000, seed=0)
+        merges = runner.figure9_merge_times(dataset="power", n_values=2_000, seed=0)
+        assert set(adds) == set(SKETCH_NAMES)
+        assert set(merges) == set(SKETCH_NAMES)
+        assert all(result.seconds_total > 0 for result in adds.values())
+        assert all(result.seconds_total >= 0 for result in merges.values())
+
+    def test_figure10_errors(self):
+        results = runner.figure10_relative_errors(
+            n_values_sweep=(2_000,), datasets=("power",), seed=0
+        )
+        measurement = results["power"][2_000]
+        assert measurement.relative_errors["DDSketch"][0.99] <= 0.011
+
+    def test_figure11_reuses_measurements(self):
+        results = runner.figure11_rank_errors(
+            n_values_sweep=(2_000,), datasets=("power",), seed=0
+        )
+        measurement = results["power"][2_000]
+        assert measurement.rank_errors["GKArray"][0.5] <= 0.03

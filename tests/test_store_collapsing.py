@@ -1,0 +1,206 @@
+"""Tests for the bounded (collapsing) dense stores — Algorithms 3/4 behaviour."""
+
+import random
+
+import pytest
+
+from repro.exceptions import IllegalArgumentError
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+)
+
+
+class TestCollapsingLowest:
+    def test_rejects_invalid_bin_limit(self):
+        with pytest.raises(IllegalArgumentError):
+            CollapsingLowestDenseStore(bin_limit=0)
+
+    def test_no_collapse_below_limit(self):
+        store = CollapsingLowestDenseStore(bin_limit=100)
+        for key in range(50):
+            store.add(key)
+        assert not store.is_collapsed
+        assert store.num_buckets == 50
+        assert store.key_counts() == {key: 1.0 for key in range(50)}
+
+    def test_collapse_triggered_when_span_exceeds_limit(self):
+        store = CollapsingLowestDenseStore(bin_limit=10)
+        for key in range(20):
+            store.add(key)
+        assert store.is_collapsed
+        assert store.count == pytest.approx(20.0)
+        # The window follows the maximum: keys 10..19 survive, 0..9 fold into 10.
+        counts = store.key_counts()
+        assert store.max_key == 19
+        assert store.min_key == 10
+        assert counts[10] == pytest.approx(11.0)
+        assert all(counts[key] == pytest.approx(1.0) for key in range(11, 20))
+
+    def test_key_span_never_exceeds_limit(self):
+        store = CollapsingLowestDenseStore(bin_limit=32)
+        rng = random.Random(0)
+        for _ in range(5000):
+            store.add(rng.randint(-1000, 1000))
+        assert store.key_span <= 32
+        assert store.max_key - store.min_key + 1 <= 32
+        assert store.count == pytest.approx(5000.0)
+
+    def test_low_values_fold_into_lowest_kept_bucket(self):
+        store = CollapsingLowestDenseStore(bin_limit=5)
+        for key in (100, 101, 102, 103, 104):
+            store.add(key)
+        store.add(1)  # far below the window
+        assert store.count == pytest.approx(6.0)
+        assert store.key_counts()[100] == pytest.approx(2.0)
+        assert store.is_collapsed
+
+    def test_high_keys_always_kept_exactly(self):
+        # Accuracy for the high quantiles must survive collapsing.
+        store = CollapsingLowestDenseStore(bin_limit=8)
+        for key in range(100):
+            store.add(key)
+        counts = store.key_counts()
+        for key in range(93, 100):
+            assert counts[key] == pytest.approx(1.0)
+
+    def test_total_count_preserved_under_collapse(self):
+        store = CollapsingLowestDenseStore(bin_limit=4)
+        rng = random.Random(1)
+        total = 0.0
+        for _ in range(1000):
+            weight = rng.random() * 3
+            store.add(rng.randint(0, 500), weight)
+            total += weight
+        assert store.count == pytest.approx(total)
+
+    def test_growing_downwards_within_limit(self):
+        store = CollapsingLowestDenseStore(bin_limit=100)
+        store.add(50)
+        store.add(-20)
+        assert not store.is_collapsed
+        assert store.min_key == -20
+        assert store.max_key == 50
+
+    def test_growing_downwards_beyond_limit_folds(self):
+        store = CollapsingLowestDenseStore(bin_limit=10)
+        store.add(100)
+        store.add(0)  # 101-key span, must fold into the lowest kept bucket
+        assert store.is_collapsed
+        assert store.count == pytest.approx(2.0)
+        assert store.min_key == 91
+        assert store.key_counts()[91] == pytest.approx(1.0)
+
+    def test_copy_preserves_collapse_state(self):
+        store = CollapsingLowestDenseStore(bin_limit=5)
+        for key in range(20):
+            store.add(key)
+        duplicate = store.copy()
+        assert duplicate.is_collapsed
+        assert duplicate.key_counts() == store.key_counts()
+        duplicate.add(100)
+        assert store.max_key == 19
+
+    def test_clear_resets_collapse_flag(self):
+        store = CollapsingLowestDenseStore(bin_limit=3)
+        for key in range(10):
+            store.add(key)
+        store.clear()
+        assert not store.is_collapsed
+        assert store.is_empty
+
+
+class TestCollapsingHighest:
+    def test_collapse_folds_high_keys(self):
+        store = CollapsingHighestDenseStore(bin_limit=10)
+        for key in range(20):
+            store.add(key)
+        assert store.is_collapsed
+        counts = store.key_counts()
+        assert store.min_key == 0
+        assert store.max_key == 9
+        assert counts[9] == pytest.approx(11.0)
+        assert all(counts[key] == pytest.approx(1.0) for key in range(9))
+
+    def test_low_keys_always_kept_exactly(self):
+        store = CollapsingHighestDenseStore(bin_limit=8)
+        for key in range(100):
+            store.add(key)
+        counts = store.key_counts()
+        for key in range(0, 7):
+            assert counts[key] == pytest.approx(1.0)
+
+    def test_high_values_fold_into_highest_kept_bucket(self):
+        store = CollapsingHighestDenseStore(bin_limit=5)
+        for key in (0, 1, 2, 3, 4):
+            store.add(key)
+        store.add(1000)
+        assert store.count == pytest.approx(6.0)
+        assert store.key_counts()[4] == pytest.approx(2.0)
+        assert store.is_collapsed
+
+    def test_growing_downwards_keeps_low_keys(self):
+        store = CollapsingHighestDenseStore(bin_limit=10)
+        store.add(100)
+        store.add(0)
+        assert store.min_key == 0
+        assert store.is_collapsed
+        assert store.key_counts()[9] == pytest.approx(1.0)
+
+    def test_span_never_exceeds_limit(self):
+        store = CollapsingHighestDenseStore(bin_limit=16)
+        rng = random.Random(2)
+        for _ in range(3000):
+            store.add(rng.randint(-500, 500))
+        assert store.key_span <= 16
+        assert store.count == pytest.approx(3000.0)
+
+
+class TestMergeBehaviour:
+    def test_merge_collapsing_stores_preserves_count(self):
+        left = CollapsingLowestDenseStore(bin_limit=20)
+        right = CollapsingLowestDenseStore(bin_limit=20)
+        rng = random.Random(3)
+        for _ in range(500):
+            left.add(rng.randint(0, 100))
+            right.add(rng.randint(50, 200))
+        total = left.count + right.count
+        left.merge(right)
+        assert left.count == pytest.approx(total)
+        assert left.key_span <= 20
+
+    def test_merge_unbounded_into_bounded_collapses(self):
+        bounded = CollapsingLowestDenseStore(bin_limit=5)
+        unbounded = DenseStore()
+        for key in range(50):
+            unbounded.add(key)
+        bounded.add(49)
+        bounded.merge(unbounded)
+        assert bounded.count == pytest.approx(51.0)
+        assert bounded.key_span <= 5
+        # Keys 0..44 of the unbounded store (45 values) plus its key 45 all
+        # fold into the lowest kept bucket of the 5-key window [45, 49].
+        assert bounded.key_counts()[45] == pytest.approx(46.0)
+
+    def test_merge_matches_direct_adds_for_high_keys(self):
+        # The collapsed result must agree with directly adding the values, at
+        # least on the buckets that are never collapsed (the high ones).
+        rng = random.Random(4)
+        keys = [rng.randint(0, 300) for _ in range(2000)]
+        split = len(keys) // 2
+        left = CollapsingLowestDenseStore(bin_limit=64)
+        right = CollapsingLowestDenseStore(bin_limit=64)
+        direct = CollapsingLowestDenseStore(bin_limit=64)
+        for key in keys[:split]:
+            left.add(key)
+        for key in keys[split:]:
+            right.add(key)
+        for key in keys:
+            direct.add(key)
+        left.merge(right)
+        top = direct.max_key
+        for key in range(top - 30, top + 1):
+            assert left.key_counts().get(key, 0.0) == pytest.approx(
+                direct.key_counts().get(key, 0.0)
+            )

@@ -1,0 +1,167 @@
+"""Property-based tests (hypothesis) for the bucket stores.
+
+Invariants checked across all store implementations:
+
+* the total count equals the sum of inserted weights,
+* iteration is sorted and contains exactly the non-empty buckets,
+* merging two stores equals inserting the union of their contents,
+* bounded stores never track more than ``bin_limit`` keys and never lose
+  weight when they collapse.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+)
+
+keys = st.integers(min_value=-500, max_value=500)
+weights = st.floats(min_value=0.001, max_value=100.0, allow_nan=False, allow_infinity=False)
+key_weight_lists = st.lists(st.tuples(keys, weights), min_size=0, max_size=80)
+
+UNBOUNDED_STORES = (DenseStore, SparseStore)
+ALL_STORES = (
+    DenseStore,
+    SparseStore,
+    lambda: CollapsingLowestDenseStore(bin_limit=128),
+    lambda: CollapsingHighestDenseStore(bin_limit=128),
+)
+
+
+@pytest.mark.parametrize("store_factory", ALL_STORES)
+class TestUniversalStoreProperties:
+    @given(items=key_weight_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_count_equals_sum_of_weights(self, store_factory, items):
+        store = store_factory()
+        total = 0.0
+        for key, weight in items:
+            store.add(key, weight)
+            total += weight
+        assert store.count == pytest.approx(total)
+
+    @given(items=key_weight_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_iteration_sorted_and_positive(self, store_factory, items):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        buckets = list(store)
+        assert [b.key for b in buckets] == sorted(b.key for b in buckets)
+        assert all(b.count > 0 for b in buckets)
+
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_preserves_total_count(self, store_factory, items):
+        split = len(items) // 2
+        left, right = store_factory(), store_factory()
+        for key, weight in items[:split]:
+            left.add(key, weight)
+        for key, weight in items[split:]:
+            right.add(key, weight)
+        total = left.count + right.count
+        left.merge(right)
+        assert left.count == pytest.approx(total)
+
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_copy_equals_original(self, store_factory, items):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        duplicate = store.copy()
+        assert duplicate.key_counts() == store.key_counts()
+        assert duplicate.count == pytest.approx(store.count)
+
+
+@pytest.mark.parametrize("store_class", UNBOUNDED_STORES)
+class TestUnboundedStoreProperties:
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_contents_match_reference_dictionary(self, store_class, items):
+        store = store_class()
+        reference = {}
+        for key, weight in items:
+            store.add(key, weight)
+            reference[key] = reference.get(key, 0.0) + weight
+        observed = store.key_counts()
+        assert set(observed) == set(reference)
+        for key, count in reference.items():
+            assert observed[key] == pytest.approx(count)
+
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_equals_union_of_adds(self, store_class, items):
+        split = len(items) // 2
+        left, right, combined = store_class(), store_class(), store_class()
+        for key, weight in items[:split]:
+            left.add(key, weight)
+            combined.add(key, weight)
+        for key, weight in items[split:]:
+            right.add(key, weight)
+            combined.add(key, weight)
+        left.merge(right)
+        assert left.key_counts() == pytest.approx(combined.key_counts())
+
+    @given(items=key_weight_lists, rank_fraction=st.floats(min_value=0.0, max_value=0.999))
+    @settings(max_examples=100, deadline=None)
+    def test_key_at_rank_matches_sorted_expansion(self, store_class, items, rank_fraction):
+        if not items:
+            return
+        store = store_class()
+        for key, _ in items:
+            store.add(key, 1.0)
+        rank = rank_fraction * (len(items) - 1)
+        expanded = sorted(key for key, _ in items)
+        expected = expanded[int(rank)]
+        assert store.key_at_rank(rank) == expected
+
+
+@pytest.mark.parametrize(
+    "store_factory, folds_low",
+    [
+        (lambda limit: CollapsingLowestDenseStore(bin_limit=limit), True),
+        (lambda limit: CollapsingHighestDenseStore(bin_limit=limit), False),
+    ],
+)
+class TestBoundedStoreProperties:
+    @given(
+        items=st.lists(keys, min_size=1, max_size=200),
+        bin_limit=st.integers(min_value=2, max_value=64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_span_bounded_and_count_preserved(self, store_factory, folds_low, items, bin_limit):
+        store = store_factory(bin_limit)
+        for key in items:
+            store.add(key)
+        assert store.key_span <= bin_limit
+        assert store.max_key - store.min_key + 1 <= bin_limit
+        assert store.count == pytest.approx(float(len(items)))
+
+    @given(
+        items=st.lists(keys, min_size=1, max_size=200),
+        bin_limit=st.integers(min_value=4, max_value=64),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_protected_extreme_is_exact(self, store_factory, folds_low, items, bin_limit):
+        """The non-collapsing end of the store must match exact counting."""
+        store = store_factory(bin_limit)
+        for key in items:
+            store.add(key)
+        if folds_low:
+            protected_key = max(items)
+            expected = sum(1 for key in items if key == protected_key)
+        else:
+            protected_key = min(items)
+            expected = sum(1 for key in items if key == protected_key)
+        # The extreme bucket may also hold folded weight only if the fold
+        # reached it, which cannot happen for the protected end.
+        assert store.key_counts()[protected_key] >= expected
+        if folds_low:
+            assert store.max_key == protected_key
+        else:
+            assert store.min_key == protected_key

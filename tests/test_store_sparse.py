@@ -1,0 +1,133 @@
+"""Tests for the dictionary-backed sparse store."""
+
+import pytest
+
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.store import DenseStore, SparseStore
+
+
+class TestBasics:
+    def test_empty(self):
+        store = SparseStore()
+        assert store.is_empty
+        assert store.num_buckets == 0
+
+    def test_add_and_count(self):
+        store = SparseStore()
+        store.add(10, 2.0)
+        store.add(-10, 3.0)
+        assert store.count == pytest.approx(5.0)
+        assert store.num_buckets == 2
+        assert store.min_key == -10
+        assert store.max_key == 10
+
+    def test_memory_tracks_nonempty_buckets_only(self):
+        sparse = SparseStore()
+        dense = DenseStore()
+        # Two keys a million apart: the sparse store stays tiny, the dense
+        # store has to cover the whole span.
+        for store in (sparse, dense):
+            store.add(0)
+            store.add(1_000_000)
+        assert sparse.size_in_bytes() < dense.size_in_bytes() / 100
+
+    def test_iteration_sorted(self):
+        store = SparseStore()
+        for key in (5, -7, 0, 3):
+            store.add(key)
+        assert [bucket.key for bucket in store] == [-7, 0, 3, 5]
+
+    def test_remove_deletes_empty_bucket(self):
+        store = SparseStore()
+        store.add(4, 2.0)
+        store.remove(4, 2.0)
+        assert store.num_buckets == 0
+        assert store.is_empty
+
+    def test_remove_clamps(self):
+        store = SparseStore()
+        store.add(4, 2.0)
+        store.remove(4, 50.0)
+        assert store.count == pytest.approx(0.0)
+
+    def test_remove_negative_weight_rejected(self):
+        store = SparseStore()
+        with pytest.raises(IllegalArgumentError):
+            store.remove(1, -1.0)
+
+    def test_key_at_rank(self):
+        store = SparseStore()
+        store.add(-5, 2)
+        store.add(0, 2)
+        store.add(5, 2)
+        assert store.key_at_rank(0) == -5
+        assert store.key_at_rank(2) == 0
+        assert store.key_at_rank(5) == 5
+
+    def test_empty_queries_raise(self):
+        store = SparseStore()
+        with pytest.raises(EmptySketchError):
+            store.key_at_rank(0)
+        with pytest.raises(EmptySketchError):
+            _ = store.min_key
+
+
+class TestCollapsePrimitives:
+    def test_collapse_lowest_folds_into_next(self):
+        store = SparseStore()
+        store.add(1, 10.0)
+        store.add(5, 2.0)
+        store.add(9, 1.0)
+        store.collapse_lowest()
+        assert store.key_counts() == {5: pytest.approx(12.0), 9: pytest.approx(1.0)}
+        assert store.count == pytest.approx(13.0)
+
+    def test_collapse_highest_folds_into_previous(self):
+        store = SparseStore()
+        store.add(1, 10.0)
+        store.add(5, 2.0)
+        store.add(9, 1.0)
+        store.collapse_highest()
+        assert store.key_counts() == {1: pytest.approx(10.0), 5: pytest.approx(3.0)}
+
+    def test_collapse_single_bucket_is_noop(self):
+        store = SparseStore()
+        store.add(1, 1.0)
+        store.collapse_lowest()
+        store.collapse_highest()
+        assert store.key_counts() == {1: 1.0}
+
+    def test_repeated_collapse_reduces_to_one_bucket(self):
+        store = SparseStore()
+        for key in range(10):
+            store.add(key)
+        for _ in range(9):
+            store.collapse_lowest()
+        assert store.num_buckets == 1
+        assert store.count == pytest.approx(10.0)
+        assert store.max_key == 9
+
+
+class TestMergeAndCopy:
+    def test_merge_with_dense(self):
+        sparse = SparseStore()
+        dense = DenseStore()
+        sparse.add(1, 1.0)
+        dense.add(1, 2.0)
+        dense.add(50, 1.0)
+        sparse.merge(dense)
+        assert sparse.key_counts() == {1: pytest.approx(3.0), 50: pytest.approx(1.0)}
+
+    def test_copy_independent(self):
+        store = SparseStore()
+        store.add(2, 1.0)
+        duplicate = store.copy()
+        duplicate.add(3, 1.0)
+        assert store.num_buckets == 1
+        assert duplicate.num_buckets == 2
+
+    def test_clear(self):
+        store = SparseStore()
+        store.add(1)
+        store.clear()
+        assert store.is_empty
