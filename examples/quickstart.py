@@ -4,7 +4,8 @@
 Demonstrates the core DDSketch API in under a minute:
 
 * create a sketch with a 1% relative-accuracy guarantee,
-* insert values (here: synthetic web-request latencies),
+* insert values (here: synthetic web-request latencies), both one at a time
+  and as a whole NumPy array through the vectorized batch path,
 * query quantiles, exact summaries and the sketch's memory footprint,
 * merge two sketches and serialize one for transport.
 
@@ -21,10 +22,11 @@ def main() -> None:
     # A DDSketch with the paper's default parameters: alpha = 1%, m = 2048.
     sketch = DDSketch(relative_accuracy=0.01)
 
-    # Insert 100,000 synthetic request latencies (seconds, heavily skewed).
+    # Insert 100,000 synthetic request latencies (seconds, heavily skewed) in
+    # one vectorized call — tens of times faster than looping `sketch.add`,
+    # with an identical resulting sketch.
     latencies = web_latency_values(100_000, seed=42)
-    for latency in latencies:
-        sketch.add(float(latency))
+    sketch.add_batch(latencies)
 
     print("Inserted values :", int(sketch.count))
     print("Exact min/max   : {:.3f} s / {:.3f} s".format(sketch.min, sketch.max))
@@ -39,8 +41,7 @@ def main() -> None:
 
     # Sketches from different workers merge exactly (full mergeability).
     other = DDSketch(relative_accuracy=0.01)
-    for latency in web_latency_values(50_000, seed=7):
-        other.add(float(latency))
+    other.add_batch(web_latency_values(50_000, seed=7))
     sketch.merge(other)
     print()
     print("After merging a second worker's sketch:")

@@ -23,6 +23,13 @@ Quickstart
 >>> for latency_ms in (1.2, 3.4, 150.0, 2.1, 0.9):
 ...     sketch.add(latency_ms)
 >>> p99 = sketch.get_quantile_value(0.99)
+
+High-rate sources should ingest NumPy arrays through the vectorized batch
+path instead of looping:
+
+>>> import numpy as np
+>>> sketch.add_batch(np.array([1.2, 3.4, 150.0, 2.1, 0.9]))  # doctest: +ELLIPSIS
+DDSketch(...)
 """
 
 from repro.core import (
@@ -58,7 +65,7 @@ from repro.store import (
     SparseStore,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",

@@ -13,6 +13,8 @@ import bisect
 import math
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.exceptions import EmptySketchError, IllegalArgumentError
 
 
@@ -46,8 +48,58 @@ class ExactQuantiles:
         self._values.extend([float(value)] * repeat)
         self._sorted = False
 
+    def add_batch(
+        self, values: "np.ndarray", weights: Optional["np.ndarray"] = None
+    ) -> "ExactQuantiles":
+        """Insert a whole array of values at once.
+
+        Parameters
+        ----------
+        values : numpy.ndarray
+            Finite floats (any shape; flattened).
+        weights : numpy.ndarray, optional
+            Positive integer multiplicities, same length as ``values``; each
+            value is stored that many times (matching :meth:`add`).
+
+        Returns
+        -------
+        ExactQuantiles
+            ``self``, for chaining.
+
+        Notes
+        -----
+        ``O(len(values))`` (or the total weight, when weighted) — one list
+        extension instead of one Python call per value, keeping ground-truth
+        ingestion off the profile of the batch benchmarks.
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return self
+        if not np.isfinite(values).all():
+            bad = values[~np.isfinite(values)][0]
+            raise IllegalArgumentError(f"value must be finite, got {bad!r}")
+        if weights is not None:
+            repeats = np.asarray(weights).reshape(-1)
+            if repeats.shape != values.shape:
+                raise IllegalArgumentError(
+                    f"weights shape {repeats.shape} does not match values shape {values.shape}"
+                )
+            if not (np.isfinite(repeats) & (repeats > 0) & (repeats == np.floor(repeats))).all():
+                raise IllegalArgumentError(
+                    "ExactQuantiles only supports positive integer weights"
+                )
+            values = np.repeat(values, repeats.astype(np.int64))
+        self._values.extend(values.tolist())
+        self._sorted = False
+        return self
+
     def add_all(self, values: Iterable[float]) -> "ExactQuantiles":
-        """Insert every value from an iterable; returns ``self`` for chaining."""
+        """Insert every value from an iterable; returns ``self`` for chaining.
+
+        NumPy arrays are routed through :meth:`add_batch`.
+        """
+        if isinstance(values, np.ndarray):
+            return self.add_batch(values)
         for value in values:
             self.add(value)
         return self

@@ -4,7 +4,10 @@ Four subcommands cover the common workflows:
 
 ``sketch``
     Read one number per line (stdin or a file), build a DDSketch and print the
-    requested quantiles along with exact count/min/max/average.
+    requested quantiles along with exact count/min/max/average.  Values are
+    ingested in NumPy batches (``--batch-size``, default 8192) through the
+    vectorized ``add_batch`` path; ``--batch-size 1`` forces the per-value
+    scalar path.
 
 ``generate``
     Emit values from one of the evaluation data sets (pareto / span / power),
@@ -25,6 +28,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.core.ddsketch import DDSketch
 from repro.datasets.registry import dataset_names, get_dataset
@@ -49,6 +54,13 @@ def _parse_quantiles(raw: str) -> List[float]:
     return quantiles
 
 
+def _parse_batch_size(raw: str) -> int:
+    batch_size = int(raw)
+    if batch_size < 1:
+        raise argparse.ArgumentTypeError(f"batch size must be at least 1, got {batch_size}")
+    return batch_size
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -63,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
     )
     sketch.add_argument("--bin-limit", type=int, default=2048, help="bucket limit m (default: 2048)")
+    sketch.add_argument(
+        "--batch-size",
+        type=_parse_batch_size,
+        default=8192,
+        help="values per vectorized ingestion batch; 1 disables batching (default: 8192)",
+    )
     sketch.add_argument(
         "--quantiles",
         type=_parse_quantiles,
@@ -107,8 +125,18 @@ def _read_values(source: str, stdin=None) -> Iterable[float]:
 
 def _run_sketch(args: argparse.Namespace, stdin, stdout) -> int:
     sketch = DDSketch(relative_accuracy=args.relative_accuracy, bin_limit=args.bin_limit)
-    for value in _read_values(args.input, stdin):
-        sketch.add(value)
+    if args.batch_size > 1:
+        buffer: List[float] = []
+        for value in _read_values(args.input, stdin):
+            buffer.append(value)
+            if len(buffer) >= args.batch_size:
+                sketch.add_batch(np.asarray(buffer))
+                buffer.clear()
+        if buffer:
+            sketch.add_batch(np.asarray(buffer))
+    else:
+        for value in _read_values(args.input, stdin):
+            sketch.add(value)
     if sketch.is_empty:
         print("no values read", file=stdout)
         return 1

@@ -178,6 +178,18 @@ class SparseDDSketch(BaseDDSketch):
         super().add(value, weight)
         self._enforce_limit()
 
+    def add_batch(self, value_array, weights=None) -> "SparseDDSketch":
+        """Vectorized insertion followed by one collapse pass.
+
+        The per-item path collapses after every insertion; collapsing the
+        lowest bucket into the next lowest is order-independent (the weight
+        of every discarded key ends up in the smallest surviving key), so
+        collapsing once after the whole batch yields the same buckets.
+        """
+        super().add_batch(value_array, weights)
+        self._enforce_limit()
+        return self
+
     def merge(self, other: BaseDDSketch) -> None:
         super().merge(other)
         self._enforce_limit()

@@ -31,7 +31,13 @@ from repro.datasets.synthetic import (
 )
 from repro.datasets.span import span_values
 from repro.datasets.power import power_values
-from repro.datasets.registry import DATASETS, DatasetSpec, get_dataset, dataset_names
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    get_dataset,
+    dataset_names,
+    iter_batches,
+)
 
 __all__ = [
     "pareto_values",
@@ -46,4 +52,5 @@ __all__ = [
     "DatasetSpec",
     "get_dataset",
     "dataset_names",
+    "iter_batches",
 ]

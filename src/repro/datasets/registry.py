@@ -10,7 +10,7 @@ bounded-range limitation Table 1 calls out).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,19 @@ class DatasetSpec:
     description: str
     heavy_tailed: bool
 
+    def batches(
+        self, size: int, batch_size: int, seed: Optional[int] = None
+    ) -> Iterator[np.ndarray]:
+        """Yield the data set as contiguous array batches of ``batch_size``.
+
+        The values are exactly those of ``generator(size, seed)`` in the same
+        order (the full array is generated once and sliced), so a consumer
+        ingesting the batches — e.g. via ``DDSketch.add_batch`` — sees the
+        identical stream whether it consumes one batch or one value at a
+        time.  The last batch may be shorter.
+        """
+        yield from iter_batches(self.generator(size, seed), batch_size)
+
 
 DATASETS: Dict[str, DatasetSpec] = {
     "pareto": DatasetSpec(
@@ -77,6 +90,21 @@ DATASETS: Dict[str, DatasetSpec] = {
         heavy_tailed=False,
     ),
 }
+
+
+def iter_batches(values: np.ndarray, batch_size: int) -> Iterator[np.ndarray]:
+    """Slice an array into contiguous batches of ``batch_size`` (views, no copy).
+
+    The workhorse behind :meth:`DatasetSpec.batches` and the CLI's
+    ``--batch-size`` ingestion: feeding each yielded batch to
+    ``DDSketch.add_batch`` produces exactly the same sketch as feeding the
+    whole array at once or looping ``add`` over it.
+    """
+    if batch_size <= 0:
+        raise IllegalArgumentError(f"batch_size must be positive, got {batch_size!r}")
+    values = np.asarray(values)
+    for start in range(0, len(values), batch_size):
+        yield values[start : start + batch_size]
 
 
 def dataset_names() -> Tuple[str, ...]:

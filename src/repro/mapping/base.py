@@ -22,6 +22,8 @@ import sys
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Type
 
+import numpy as np
+
 from repro.exceptions import IllegalArgumentError
 
 # Smallest and largest positive values that any mapping is required to handle.
@@ -112,6 +114,43 @@ class KeyMapping(ABC):
         accuracy guarantee.
         """
         return int(math.ceil(self._log_gamma(value)) + self._offset)
+
+    def key_batch(self, values: "np.ndarray") -> "np.ndarray":
+        """Compute bucket keys for a whole array of positive values at once.
+
+        This is the mapping half of the batch-ingestion hot path: one array
+        expression replaces ``len(values)`` Python-level :meth:`key` calls.
+        Concrete mappings override this with a fully vectorized computation
+        (NumPy ``log``/``frexp`` plus the polynomial evaluated on the array);
+        this base implementation is a correct per-item fallback for mappings
+        that have no vectorized form.
+
+        Parameters
+        ----------
+        values : numpy.ndarray
+            One-dimensional array of positive finite floats.  Every element
+            must be indexable by this mapping, i.e. lie in
+            ``(min_possible, max_possible]``; behaviour on other inputs is
+            undefined (the sketch layer routes zeros/negatives away before
+            calling this).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` array of the same length, where ``result[i] ==
+            self.key(values[i])`` exactly.
+
+        Notes
+        -----
+        Complexity is ``O(len(values))`` with NumPy-level constants for the
+        vectorized overrides and Python-level constants for this fallback.
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        return np.fromiter(
+            (self.key(value) for value in values.tolist()),
+            dtype=np.int64,
+            count=values.size,
+        )
 
     def value(self, key: int) -> float:
         """Return the representative value of the bucket identified by ``key``.

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.mapping.base import KeyMapping
 
 
@@ -32,3 +34,31 @@ class LogarithmicMapping(KeyMapping):
 
     def _pow_gamma(self, key: float) -> float:
         return math.exp(key / self._multiplier)
+
+    def key_batch(self, values: "np.ndarray") -> "np.ndarray":
+        """Vectorized ``ceil(log(values) / log(gamma))`` over a whole array.
+
+        Parameters
+        ----------
+        values : numpy.ndarray
+            One-dimensional array of positive finite floats.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` keys, elementwise equal to :meth:`KeyMapping.key`.
+
+        Notes
+        -----
+        ``O(len(values))`` with a single ``numpy.log`` pass — this is the one
+        logarithm per value the paper counts as DDSketch's insertion cost
+        (Section 2.1), amortized across the batch instead of paid per Python
+        call.
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return np.empty(0, dtype=np.int64)
+        keys = np.ceil(np.log(values) * self._multiplier)
+        if self._offset != 0.0:
+            keys += self._offset
+        return keys.astype(np.int64)

@@ -1,17 +1,19 @@
 """Ingestion tier: merges sketch payloads from many agents.
 
-The :class:`Aggregator` models the paper's "monitoring system" box (Figure 1):
-it receives serialized sketches from any number of agents, groups them by
-metric, and maintains a :class:`~repro.monitoring.SketchTimeSeries` per
-metric.  Because merging is associative and commutative, payloads can arrive
-out of order, from transient containers, or be routed through intermediate
-aggregators, and the final answer is identical to a single sketch over the
-raw stream.
+The :class:`Aggregator` models the "monitoring system" box of the paper's
+motivating scenario (Section 1, Figure 1): it receives serialized sketches
+from any number of agents, groups them by metric, and maintains a
+:class:`~repro.monitoring.SketchTimeSeries` per metric.  Because merging is
+associative and commutative (Section 2.1), payloads can arrive out of order,
+from transient containers, or be routed through intermediate aggregators, and
+the final answer is identical to a single sketch over the raw stream.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import EmptySketchError
@@ -91,6 +93,22 @@ class Aggregator:
             self.ingest(payload)
             processed += 1
         return processed
+
+    def ingest_values(
+        self,
+        metric: str,
+        timestamp: float,
+        values: "np.ndarray",
+        weights: Optional["np.ndarray"] = None,
+    ) -> None:
+        """Record raw values directly (bypassing the agent/payload hop).
+
+        Convenience for co-located producers — e.g. a service embedding the
+        aggregator in-process — that want the batch ingestion path without
+        serializing a payload first.  All values land in ``metric``'s
+        interval containing ``timestamp``.
+        """
+        self.series(metric).ingest_values(timestamp, values, weights)
 
     # ------------------------------------------------------------------ #
     # Queries

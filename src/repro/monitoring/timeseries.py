@@ -1,16 +1,20 @@
 """Per-metric time series of merged sketches.
 
-The monitoring backend keeps, for every metric, one merged sketch per time
-interval.  Thanks to full mergeability, any rollup — a coarser time
-granularity, a dashboard window, a month-long SLO report — is obtained by
-merging the per-interval sketches, with exactly the same accuracy guarantee as
-if a single sketch had seen all the raw data (Algorithm 4 / Table 1).
+This is the storage half of the monitoring system sketched in the paper's
+Section 1 (Figure 1): the backend keeps, for every metric, one merged sketch
+per time interval.  Thanks to full mergeability (Section 2.1, Algorithm 4 /
+Table 1), any rollup — a coarser time granularity, a dashboard window, a
+month-long SLO report — is obtained by merging the per-interval sketches,
+with exactly the same accuracy guarantee as if a single sketch had seen all
+the raw data.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import EmptySketchError, IllegalArgumentError
@@ -99,6 +103,27 @@ class SketchTimeSeries:
             sketch = self._sketch_factory()
             self._buckets[start] = sketch
         sketch.add(value, weight)
+
+    def ingest_values(
+        self,
+        timestamp: float,
+        values: "np.ndarray",
+        weights: Optional["np.ndarray"] = None,
+    ) -> None:
+        """Record an array of raw values into the interval containing ``timestamp``.
+
+        The batch counterpart of :meth:`ingest_value`: all values land in the
+        same interval sketch through its vectorized ``add_batch`` path.
+        """
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return
+        start = self._bucket_start(timestamp)
+        sketch = self._buckets.get(start)
+        if sketch is None:
+            sketch = self._sketch_factory()
+            self._buckets[start] = sketch
+        sketch.add_batch(values, weights)
 
     # ------------------------------------------------------------------ #
     # Queries

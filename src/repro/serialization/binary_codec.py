@@ -1,8 +1,10 @@
 """Compact binary serialization for DDSketch.
 
-The wire format mirrors what a production metrics agent would send: a small
-header describing the mapping, followed by the three bucket groups (negative
-magnitudes, zero, positives).  Bucket keys are delta-encoded (zig-zag varints)
+This is the payload format of the paper's motivating monitoring pipeline
+(Section 1, Figure 1), where every agent ships its sketch to the backend each
+flush interval.  The wire format mirrors what a production metrics agent
+would send: a small header describing the mapping, followed by the three
+bucket groups (negative magnitudes, zero, positives).  Bucket keys are delta-encoded (zig-zag varints)
 and counts are 8-byte floats, so a typical 1%-accuracy sketch of a latency
 distribution fits in a few kilobytes.
 

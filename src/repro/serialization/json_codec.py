@@ -1,8 +1,10 @@
 """JSON (dictionary) serialization for sketches and stores.
 
-The JSON codec favours readability and interoperability over compactness: the
-bucket contents are stored as a ``{key: count}`` object, and the mapping and
-store types are stored by name so the exact sketch configuration round-trips.
+The readable counterpart of the binary wire format used by the paper's
+monitoring scenario (Section 1): the JSON codec favours readability and
+interoperability over compactness — bucket contents are stored as a
+``{key: count}`` object, and the mapping and store types are stored by name
+so the exact sketch configuration round-trips.
 """
 
 from __future__ import annotations

@@ -1,11 +1,13 @@
-"""Abstract interface for DDSketch bucket stores."""
+"""Abstract interface for DDSketch bucket stores (Section 2.2 of the paper)."""
 
 from __future__ import annotations
 
 import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
 
 from repro.exceptions import IllegalArgumentError
 
@@ -37,6 +39,42 @@ class Store(ABC):
     @abstractmethod
     def add(self, key: int, weight: float = 1.0) -> None:
         """Increase the counter of ``key`` by ``weight`` (default 1)."""
+
+    def add_batch(self, keys: "np.ndarray", weights: Optional["np.ndarray"] = None) -> None:
+        """Add a whole array of keys (with optional per-key weights) at once.
+
+        This is the store half of the batch-ingestion hot path.  The base
+        implementation is a per-item loop with exactly the same semantics as
+        calling :meth:`add` for each ``(key, weight)`` pair; concrete stores
+        override it with a vectorized accumulation (dense stores grow their
+        allocation once to cover the batch's key span, then accumulate with a
+        single ``numpy.bincount`` pass).
+
+        Parameters
+        ----------
+        keys : numpy.ndarray
+            Integer bucket keys (any integer dtype; converted to ``int64``).
+        weights : numpy.ndarray, optional
+            Positive finite per-key weights, same length as ``keys``.  When
+            omitted every key is added with weight 1.
+
+        Notes
+        -----
+        Complexity is ``O(len(keys))`` plus, for dense stores, one allocation
+        covering the batch's key span.  The resulting store state is
+        identical to the per-item loop (bit-for-bit for unit weights;
+        summation order inside one bucket may differ in the last ulp for
+        fractional weights).
+        """
+        keys, weights = self._coerce_batch(keys, weights)
+        if keys.size == 0:
+            return
+        if weights is None:
+            for key in keys.tolist():
+                self.add(key, 1.0)
+        else:
+            for key, weight in zip(keys.tolist(), weights.tolist()):
+                self.add(key, weight)
 
     def remove(self, key: int, weight: float = 1.0) -> None:
         """Decrease the counter of ``key`` by ``weight``.
@@ -147,6 +185,28 @@ class Store(ABC):
         if weight != weight or weight == float("inf"):
             raise IllegalArgumentError(f"weight must be a finite number, got {weight!r}")
         return float(weight)
+
+    @staticmethod
+    def _coerce_batch(
+        keys: "np.ndarray", weights: Optional["np.ndarray"]
+    ) -> Tuple["np.ndarray", Optional["np.ndarray"]]:
+        """Normalize and validate an ``add_batch`` input pair.
+
+        Returns ``keys`` as a flat ``int64`` array and ``weights`` as a flat
+        finite ``float64`` array of the same shape (or ``None`` when unit
+        weights were requested).
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if weights is None:
+            return keys, None
+        weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if weights.shape != keys.shape:
+            raise IllegalArgumentError(
+                f"weights shape {weights.shape} does not match keys shape {keys.shape}"
+            )
+        if not np.isfinite(weights).all():
+            raise IllegalArgumentError("weights must be finite numbers")
+        return keys, weights
 
     def __len__(self) -> int:
         return self.num_buckets

@@ -27,6 +27,13 @@ class _BoundedDenseStore(DenseStore):
     The backing array always covers a contiguous key window whose width never
     exceeds ``bin_limit``.  Subclasses decide which side of the window gives
     way when it has to move.
+
+    The batch-insertion path (:meth:`DenseStore.add_batch`) is inherited
+    unchanged: it delegates window placement to :meth:`_extend_range`, which
+    the subclasses override below, so a batch moves the window at most once
+    and any key left outside it is clipped onto the boundary bucket — the
+    same bucket the per-item path folds it into.  ``bin_limit`` is therefore
+    honored identically by scalar and batch insertion.
     """
 
     def __init__(self, bin_limit: int, chunk_size: int = CHUNK_SIZE) -> None:
@@ -152,6 +159,15 @@ class CollapsingLowestDenseStore(_BoundedDenseStore):
         self._move_window(new_first, new_last, fold_low=True)
         return key - self._offset
 
+    def _batch_extend_range(self, min_key: int, max_key: int) -> None:
+        if self._is_collapsed and self._bins:
+            # The scalar path's is_collapsed short-circuit folds keys below
+            # an already-collapsed window into the boundary bucket without
+            # moving the window; clamping here makes the batch path do the
+            # same instead of re-opening the window via the merge anchoring.
+            min_key = max(min_key, self._offset)
+        self._extend_range(min_key, max_key)
+
     def _extend_range(self, min_key: int, max_key: int) -> None:
         """Cover ``[min_key, max_key]``, folding low keys if the span is too wide.
 
@@ -226,6 +242,13 @@ class CollapsingHighestDenseStore(_BoundedDenseStore):
             return len(self._bins) - 1
         self._move_window(new_first, new_last, fold_low=False)
         return key - self._offset
+
+    def _batch_extend_range(self, min_key: int, max_key: int) -> None:
+        if self._is_collapsed and self._bins:
+            # Mirror of the lowest-collapsing clamp: keys above an already-
+            # collapsed window fold into the top boundary bucket.
+            max_key = min(max_key, self._offset + len(self._bins) - 1)
+        self._extend_range(min_key, max_key)
 
     def _extend_range(self, min_key: int, max_key: int) -> None:
         """Cover ``[min_key, max_key]``, folding high keys if the span is too wide.

@@ -1,0 +1,445 @@
+"""Equivalence tests for the vectorized batch-ingestion pipeline.
+
+The contract under test: for every sketch configuration (dense, sparse, and
+both collapsing stores), ``add_batch`` over an array produces the same sketch
+as looping ``add`` over the same values — the same buckets with the same
+counts, the same ``count``/``zero_count``/``min``/``max``, the same quantiles
+— across weighted input, negatives, zeros, and empty batches.  The mapping
+and store layers are additionally tested in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DDSketch,
+    FastDDSketch,
+    LinearlyInterpolatedMapping,
+    LogCollapsingHighestDenseDDSketch,
+    LogUnboundedDenseDDSketch,
+    LogarithmicMapping,
+    QuadraticallyInterpolatedMapping,
+    CubicallyInterpolatedMapping,
+    SparseDDSketch,
+)
+from repro.exceptions import IllegalArgumentError
+from repro.mapping.base import KeyMapping
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+)
+
+QUANTILES = (0.0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0)
+
+#: One factory per store strategy: unbounded dense, both collapse directions
+#: (with limits small enough that the test streams actually trigger
+#: collapses), and sparse with and without the Algorithm 3 bucket limit.
+SKETCH_FACTORIES = {
+    "dense-unbounded": lambda: LogUnboundedDenseDDSketch(relative_accuracy=0.02),
+    "collapsing-lowest": lambda: DDSketch(relative_accuracy=0.02, bin_limit=64),
+    "collapsing-highest": lambda: LogCollapsingHighestDenseDDSketch(
+        relative_accuracy=0.02, bin_limit=64
+    ),
+    "sparse": lambda: SparseDDSketch(relative_accuracy=0.02),
+    "sparse-limited": lambda: SparseDDSketch(relative_accuracy=0.02, max_num_buckets=24),
+    "fast-interpolated": lambda: FastDDSketch(relative_accuracy=0.02, bin_limit=64),
+}
+
+
+def sketch_via_loop(factory, values, weights=None):
+    sketch = factory()
+    for index, value in enumerate(values):
+        sketch.add(float(value), 1.0 if weights is None else float(weights[index]))
+    return sketch
+
+
+def assert_same_sketch(batch, loop, values, exact_weights=True):
+    """Batch and loop ingestion must agree bucket for bucket."""
+    if exact_weights:
+        assert batch.store.key_counts() == loop.store.key_counts()
+        assert batch.negative_store.key_counts() == loop.negative_store.key_counts()
+        assert batch.count == loop.count
+        assert batch.zero_count == loop.zero_count
+        for quantile in QUANTILES:
+            assert batch.get_quantile_value(quantile) == loop.get_quantile_value(quantile)
+    else:
+        # Fractional weights: per-bucket sums may differ by summation order.
+        for mine, theirs in (
+            (batch.store.key_counts(), loop.store.key_counts()),
+            (batch.negative_store.key_counts(), loop.negative_store.key_counts()),
+        ):
+            assert set(mine) == set(theirs)
+            for key, count in mine.items():
+                assert math.isclose(count, theirs[key], rel_tol=1e-9, abs_tol=1e-12)
+        assert math.isclose(batch.count, loop.count, rel_tol=1e-9)
+        assert math.isclose(batch.zero_count, loop.zero_count, rel_tol=1e-9, abs_tol=1e-12)
+        for quantile in QUANTILES:
+            estimate, reference = (
+                batch.get_quantile_value(quantile),
+                loop.get_quantile_value(quantile),
+            )
+            if reference == 0:
+                assert abs(estimate) <= 1e-9
+            else:
+                assert math.isclose(estimate, reference, rel_tol=1e-6)
+    if len(values):
+        assert batch.min == loop.min
+        assert batch.max == loop.max
+        assert math.isclose(batch.sum, loop.sum, rel_tol=1e-9, abs_tol=1e-9)
+    else:
+        assert batch.is_empty and loop.is_empty
+
+
+def mixed_sign_values(rng, size):
+    kinds = rng.choice(3, size=size, p=[0.55, 0.35, 0.1])
+    positive = rng.lognormal(mean=0.0, sigma=3.0, size=size)
+    negative = -rng.lognormal(mean=1.0, sigma=2.0, size=size)
+    return np.where(kinds == 0, positive, np.where(kinds == 1, negative, 0.0))
+
+
+# --------------------------------------------------------------------------- #
+# Sketch-layer equivalence
+# --------------------------------------------------------------------------- #
+
+
+class TestSketchBatchEquivalence:
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_unit_weights_mixed_signs(self, name):
+        factory = SKETCH_FACTORIES[name]
+        rng = np.random.default_rng(20190612)
+        values = mixed_sign_values(rng, 3000)
+        batch = factory().add_batch(values)
+        loop = sketch_via_loop(factory, values)
+        assert_same_sketch(batch, loop, values)
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_integer_weights(self, name):
+        factory = SKETCH_FACTORIES[name]
+        rng = np.random.default_rng(7)
+        values = mixed_sign_values(rng, 1500)
+        weights = rng.integers(1, 6, size=values.size).astype(float)
+        batch = factory().add_batch(values, weights)
+        loop = sketch_via_loop(factory, values, weights)
+        assert_same_sketch(batch, loop, values)
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_fractional_weights(self, name):
+        factory = SKETCH_FACTORIES[name]
+        rng = np.random.default_rng(13)
+        values = mixed_sign_values(rng, 1500)
+        weights = rng.uniform(0.25, 4.0, size=values.size)
+        batch = factory().add_batch(values, weights)
+        loop = sketch_via_loop(factory, values, weights)
+        assert_same_sketch(batch, loop, values, exact_weights=False)
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_empty_batch_is_a_noop(self, name):
+        factory = SKETCH_FACTORIES[name]
+        sketch = factory()
+        result = sketch.add_batch(np.array([], dtype=np.float64))
+        assert result is sketch
+        assert sketch.is_empty
+        sketch.add(1.0)
+        before = sketch.store.key_counts()
+        sketch.add_batch(np.array([]))
+        assert sketch.store.key_counts() == before
+
+    @pytest.mark.parametrize("name", sorted(SKETCH_FACTORIES))
+    def test_repeated_batches_interleaved_with_scalar_adds(self, name):
+        factory = SKETCH_FACTORIES[name]
+        rng = np.random.default_rng(99)
+        batch_sketch, loop_sketch = factory(), factory()
+        all_values = []
+        for _ in range(6):
+            values = mixed_sign_values(rng, int(rng.integers(0, 400)))
+            batch_sketch.add_batch(values)
+            for value in values.tolist():
+                loop_sketch.add(value)
+            all_values.extend(values.tolist())
+            scalar = float(rng.lognormal(0.0, 2.0))
+            batch_sketch.add(scalar)
+            loop_sketch.add(scalar)
+            all_values.append(scalar)
+        assert_same_sketch(batch_sketch, loop_sketch, all_values)
+
+    def test_scalar_weight_broadcasts(self):
+        values = np.array([1.0, 2.0, 3.0])
+        batch = DDSketch().add_batch(values, 2.0)
+        loop = DDSketch()
+        for value in values.tolist():
+            loop.add(value, 2.0)
+        assert batch.store.key_counts() == loop.store.key_counts()
+        assert batch.count == loop.count
+
+    def test_add_all_routes_arrays_through_batch(self):
+        values = np.linspace(0.1, 10.0, 500)
+        via_add_all = DDSketch().add_all(values)
+        via_batch = DDSketch().add_batch(values)
+        assert via_add_all.store.key_counts() == via_batch.store.key_counts()
+
+    def test_batch_zero_counts_go_to_zero_bucket(self):
+        sketch = DDSketch()
+        sketch.add_batch(np.array([0.0, 0.0, 1e-310, -1e-310, 5.0]))
+        assert sketch.zero_count == 4.0
+        assert sketch.count == 5.0
+
+    def test_merge_of_batch_built_sketches(self):
+        rng = np.random.default_rng(3)
+        left_values = rng.lognormal(0, 2, 2000)
+        right_values = -rng.lognormal(0, 2, 2000)
+        left = DDSketch(relative_accuracy=0.01).add_batch(left_values)
+        right = DDSketch(relative_accuracy=0.01).add_batch(right_values)
+        left.merge(right)
+        reference = DDSketch(relative_accuracy=0.01)
+        reference.add_batch(np.concatenate([left_values, right_values]))
+        assert left.store.key_counts() == reference.store.key_counts()
+        assert left.negative_store.key_counts() == reference.negative_store.key_counts()
+        assert left.count == reference.count
+
+
+class TestSketchBatchValidation:
+    def test_nan_value_rejected_before_mutation(self):
+        sketch = DDSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add_batch(np.array([1.0, float("nan"), 2.0]))
+        assert sketch.is_empty
+
+    def test_infinite_value_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            DDSketch().add_batch(np.array([float("inf")]))
+
+    def test_nonpositive_weight_rejected_before_mutation(self):
+        sketch = DDSketch()
+        with pytest.raises(IllegalArgumentError):
+            sketch.add_batch(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+        with pytest.raises(IllegalArgumentError):
+            sketch.add_batch(np.array([1.0, 2.0]), np.array([1.0, -3.0]))
+        with pytest.raises(IllegalArgumentError):
+            sketch.add_batch(np.array([1.0, 2.0]), np.array([1.0, float("nan")]))
+        assert sketch.is_empty
+
+    def test_mismatched_weights_shape_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            DDSketch().add_batch(np.array([1.0, 2.0]), np.array([1.0, 2.0, 3.0]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(
+            min_value=-1e9,
+            max_value=1e9,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        max_size=120,
+    ),
+    name=st.sampled_from(sorted(SKETCH_FACTORIES)),
+)
+def test_property_batch_equals_loop(values, name):
+    """Hypothesis: arbitrary finite floats, every store type, unit weights."""
+    factory = SKETCH_FACTORIES[name]
+    array = np.asarray(values, dtype=np.float64)
+    batch = factory().add_batch(array)
+    loop = sketch_via_loop(factory, array)
+    assert_same_sketch(batch, loop, values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+            st.integers(min_value=1, max_value=5),
+        ),
+        max_size=60,
+    ),
+    name=st.sampled_from(sorted(SKETCH_FACTORIES)),
+)
+def test_property_weighted_batch_equals_loop(pairs, name):
+    """Hypothesis: integer-weighted batches match the weighted scalar loop."""
+    factory = SKETCH_FACTORIES[name]
+    values = np.asarray([pair[0] for pair in pairs], dtype=np.float64)
+    weights = np.asarray([pair[1] for pair in pairs], dtype=np.float64)
+    batch = factory().add_batch(values, weights)
+    loop = sketch_via_loop(factory, values, weights)
+    assert_same_sketch(batch, loop, values)
+
+
+# --------------------------------------------------------------------------- #
+# Mapping layer
+# --------------------------------------------------------------------------- #
+
+ALL_MAPPINGS = (
+    LogarithmicMapping,
+    LinearlyInterpolatedMapping,
+    QuadraticallyInterpolatedMapping,
+    CubicallyInterpolatedMapping,
+)
+
+
+class TestKeyBatch:
+    @pytest.mark.parametrize("mapping_cls", ALL_MAPPINGS)
+    @pytest.mark.parametrize("alpha", (0.001, 0.01, 0.05))
+    def test_key_batch_matches_scalar_key(self, mapping_cls, alpha):
+        mapping = mapping_cls(alpha)
+        values = np.logspace(-12, 12, 5000)
+        batch_keys = mapping.key_batch(values)
+        assert batch_keys.dtype == np.int64
+        scalar_keys = [mapping.key(value) for value in values.tolist()]
+        assert batch_keys.tolist() == scalar_keys
+
+    @pytest.mark.parametrize("mapping_cls", ALL_MAPPINGS)
+    def test_key_batch_with_offset(self, mapping_cls):
+        mapping = mapping_cls(0.01, offset=5.0)
+        values = np.logspace(-3, 6, 1000)
+        assert mapping.key_batch(values).tolist() == [
+            mapping.key(value) for value in values.tolist()
+        ]
+
+    @pytest.mark.parametrize("mapping_cls", ALL_MAPPINGS)
+    def test_generic_fallback_matches_override(self, mapping_cls):
+        mapping = mapping_cls(0.01)
+        values = np.logspace(-4, 8, 500)
+        fallback = KeyMapping.key_batch(mapping, values)
+        assert fallback.tolist() == mapping.key_batch(values).tolist()
+
+    def test_empty_input(self):
+        mapping = LogarithmicMapping(0.01)
+        keys = mapping.key_batch(np.array([]))
+        assert keys.dtype == np.int64
+        assert keys.size == 0
+
+
+# --------------------------------------------------------------------------- #
+# Store layer
+# --------------------------------------------------------------------------- #
+
+STORE_FACTORIES = {
+    "dense": lambda: DenseStore(),
+    "dense-small-chunks": lambda: DenseStore(chunk_size=4),
+    "sparse": lambda: SparseStore(),
+    "collapsing-lowest": lambda: CollapsingLowestDenseStore(bin_limit=16),
+    "collapsing-highest": lambda: CollapsingHighestDenseStore(bin_limit=16),
+}
+
+
+class TestStoreAddBatch:
+    @pytest.mark.parametrize("name", sorted(STORE_FACTORIES))
+    def test_matches_scalar_loop(self, name):
+        factory = STORE_FACTORIES[name]
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            keys = rng.integers(-200, 200, size=int(rng.integers(0, 300)))
+            batch_store, loop_store = factory(), factory()
+            batch_store.add_batch(keys)
+            for key in keys.tolist():
+                loop_store.add(key)
+            assert batch_store.key_counts() == loop_store.key_counts()
+            assert batch_store.count == loop_store.count
+
+    @pytest.mark.parametrize("name", sorted(STORE_FACTORIES))
+    def test_weighted_matches_scalar_loop(self, name):
+        factory = STORE_FACTORIES[name]
+        rng = np.random.default_rng(6)
+        keys = rng.integers(-100, 100, size=250)
+        weights = rng.integers(1, 8, size=keys.size).astype(float)
+        batch_store, loop_store = factory(), factory()
+        batch_store.add_batch(keys, weights)
+        for key, weight in zip(keys.tolist(), weights.tolist()):
+            loop_store.add(key, weight)
+        assert batch_store.key_counts() == loop_store.key_counts()
+
+    @pytest.mark.parametrize(
+        "store_cls", (CollapsingLowestDenseStore, CollapsingHighestDenseStore)
+    )
+    def test_bin_limit_is_honored(self, store_cls):
+        store = store_cls(bin_limit=8)
+        store.add_batch(np.arange(-500, 500))
+        assert store.key_span <= 8
+        assert store.num_buckets <= 8
+        assert store.is_collapsed
+        assert store.count == 1000.0
+
+    def test_collapsing_lowest_folds_into_lowest_kept_bucket(self):
+        store = CollapsingLowestDenseStore(bin_limit=4)
+        store.add_batch(np.array([0, 1, 2, 3, 10]))
+        counts = store.key_counts()
+        assert set(counts) == {7, 10}
+        assert counts[7] == 4.0  # keys 0-3 folded into max_key - bin_limit + 1
+
+    def test_collapsing_highest_folds_into_highest_kept_bucket(self):
+        store = CollapsingHighestDenseStore(bin_limit=4)
+        store.add_batch(np.array([0, 7, 8, 9, 10]))
+        counts = store.key_counts()
+        assert set(counts) == {0, 3}
+        assert counts[3] == 4.0  # keys 7-10 folded into min_key + bin_limit - 1
+
+    @pytest.mark.parametrize(
+        "store_cls, removals, probe_key",
+        [
+            (CollapsingLowestDenseStore, (5, 4), 0),
+            (CollapsingHighestDenseStore, (0, 1), 9),
+        ],
+    )
+    def test_collapsed_window_after_removals_folds_like_scalar(
+        self, store_cls, removals, probe_key
+    ):
+        """A batch arriving after collapse + removals must fold at the boundary.
+
+        Regression test: the scalar path's ``is_collapsed`` short-circuit
+        folds out-of-window keys into the boundary bucket without moving the
+        window; the batch path must not re-open the window via the bulk-merge
+        anchoring when removals have shrunk the used key range.
+        """
+
+        def build():
+            store = store_cls(bin_limit=4)
+            for key in range(6):
+                store.add(key)
+            for key in removals:
+                store.remove(key)
+            return store
+
+        scalar_store, batch_store = build(), build()
+        scalar_store.add(probe_key)
+        batch_store.add_batch(np.array([probe_key]))
+        assert batch_store.key_counts() == scalar_store.key_counts()
+
+    def test_zero_and_negative_weights_use_scalar_semantics(self):
+        store = DenseStore()
+        store.add(5, 2.0)
+        # Zero weights are skips, negative weights are removals.
+        store.add_batch(np.array([5, 5, 6]), np.array([0.0, -1.0, 1.0]))
+        assert store.key_counts() == {5: 1.0, 6: 1.0}
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            DenseStore().add_batch(np.array([1, 2]), np.array([1.0]))
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            DenseStore().add_batch(np.array([1]), np.array([float("nan")]))
+
+
+# --------------------------------------------------------------------------- #
+# Accuracy: the batch path preserves the paper's guarantee end to end
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_built_sketch_keeps_relative_accuracy_guarantee():
+    from tests.conftest import assert_relative_accuracy
+
+    rng = np.random.default_rng(42)
+    values = 1.0 / (1.0 - rng.random(50_000))  # Pareto(1, 1)
+    sketch = DDSketch(relative_accuracy=0.01)
+    sketch.add_batch(values)
+    assert_relative_accuracy(sketch, values.tolist(), 0.01)
