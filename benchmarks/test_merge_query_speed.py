@@ -1,0 +1,182 @@
+"""Merge and multi-quantile query speed: the vectorized companions to Figures 9-11.
+
+Figure 9 of the paper reports merge time ("a single pass of bucket-array
+additions") and Figures 10/11 are built from quantile reads.  After PR 1
+vectorized ingestion, both of these still ran as per-bucket Python loops;
+this module asserts that the ndarray-backed store makes them array-speed:
+
+* merging two pre-built dense sketches via the clipped slice-add fast path
+  is at least 5x faster than the per-bucket reference loop (one scalar
+  ``add`` per source bucket), and
+* answering nine quantiles with one ``get_quantiles`` call (one cumulative
+  pass + one ``searchsorted`` per store) is at least 5x faster than nine
+  independent per-bucket scans,
+
+while producing bit-identical sketches and answers, mirroring the
+methodology of ``benchmarks/test_batch_add_speed.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.core.ddsketch import DDSketch
+from repro.datasets.synthetic import uniform_values
+from repro.evaluation.config import bench_scale
+
+N_VALUES = 200_000
+MERGE_REPETITIONS = 50
+QUERY_REPETITIONS = 100
+QUANTILES = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+
+
+@pytest.fixture(scope="module")
+def halves():
+    size = max(int(N_VALUES * bench_scale()), 10_000)
+    values = uniform_values(size, low=0.0, high=1.0, seed=7)
+    left = DDSketch().add_batch(values[: size // 2])
+    right = DDSketch().add_batch(values[size // 2 :])
+    return left, right
+
+
+def _time(function):
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+def _merge_per_bucket(sketch, other):
+    """The pre-vectorization reference path: one scalar add per bucket."""
+    for bucket in other.store:
+        sketch.store.add(bucket.key, bucket.count)
+    for bucket in other.negative_store:
+        sketch.negative_store.add(bucket.key, bucket.count)
+    sketch._zero_count += other.zero_count
+    sketch._count += other.count
+    sketch._sum += other.sum
+    if other.min < sketch._min:
+        sketch._min = other.min
+    if other.max > sketch._max:
+        sketch._max = other.max
+    return sketch
+
+
+def _reference_quantile(sketch, quantile):
+    """The pre-vectorization read path: one per-bucket scan per quantile."""
+    if quantile < 0 or quantile > 1 or sketch.count == 0:
+        return None
+    rank = max(quantile * (sketch.count - 1), 0.0)
+    negative_count = sketch.negative_store.count
+    if rank < negative_count:
+        running = 0.0
+        key = 0
+        for bucket in sorted(sketch.negative_store, key=lambda b: -b.key):
+            running += bucket.count
+            key = bucket.key
+            if running > rank:
+                break
+        return -sketch.mapping.value(key)
+    if rank < sketch.zero_count + negative_count:
+        return 0.0
+    store_rank = rank - sketch.zero_count - negative_count
+    running = 0.0
+    key = 0
+    for bucket in sketch.store:
+        running += bucket.count
+        key = bucket.key
+        if running > store_rank:
+            break
+    return sketch.mapping.value(key)
+
+
+def test_merge_speedup(benchmark, halves):
+    """Vectorized dense merge >= 5x over the per-bucket reference loop."""
+    left, right = halves
+
+    def measure():
+        # Warmup: pay one-time ufunc/allocation costs outside the timing.
+        left.copy().merge(right)
+
+        vector_targets = [left.copy() for _ in range(MERGE_REPETITIONS)]
+        loop_targets = [left.copy() for _ in range(MERGE_REPETITIONS)]
+
+        def vectorized():
+            for target in vector_targets:
+                target.merge(right)
+
+        def per_bucket():
+            for target in loop_targets:
+                _merge_per_bucket(target, right)
+
+        vector_seconds, _ = _time(vectorized)
+        loop_seconds, _ = _time(per_bucket)
+        return loop_seconds, vector_seconds, loop_targets[0], vector_targets[0]
+
+    loop_seconds, vector_seconds, loop_merged, vector_merged = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = loop_seconds / vector_seconds
+    print()
+    print("Figure 9 companion: vectorized vs per-bucket merge (default DDSketch)")
+    print(f"  per-bucket merge {loop_seconds / MERGE_REPETITIONS * 1e6:10.0f} us/merge")
+    print(f"  slice-add merge  {vector_seconds / MERGE_REPETITIONS * 1e6:10.0f} us/merge")
+    print(f"  speedup          {speedup:10.1f} x")
+
+    # Speed must not change the merged sketch.
+    assert vector_merged.store.key_counts() == loop_merged.store.key_counts()
+    assert vector_merged.count == loop_merged.count
+    assert vector_merged.min == loop_merged.min
+    assert vector_merged.max == loop_merged.max
+
+    assert speedup >= 5.0, f"expected >= 5x, measured {speedup:.1f}x"
+
+
+def test_multi_quantile_speedup(benchmark, halves):
+    """One 9-quantile get_quantiles >= 5x over nine per-bucket scans."""
+    left, right = halves
+    sketch = left.copy()
+    sketch.merge(right)
+
+    def measure():
+        sketch.get_quantiles(QUANTILES)  # warmup
+
+        def vectorized():
+            for _ in range(QUERY_REPETITIONS):
+                answers = sketch.get_quantiles(QUANTILES)
+            return answers
+
+        def per_bucket():
+            for _ in range(QUERY_REPETITIONS):
+                answers = [_reference_quantile(sketch, q) for q in QUANTILES]
+            return answers
+
+        vector_seconds, vector_answers = _time(vectorized)
+        loop_seconds, loop_answers = _time(per_bucket)
+        return loop_seconds, vector_seconds, loop_answers, vector_answers
+
+    loop_seconds, vector_seconds, loop_answers, vector_answers = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = loop_seconds / vector_seconds
+    n_queries = QUERY_REPETITIONS * len(QUANTILES)
+    print()
+    print("Figures 10/11 companion: batched vs per-bucket quantile reads")
+    print(f"  per-bucket scans {loop_seconds / n_queries * 1e6:10.1f} us/quantile")
+    print(f"  get_quantiles    {vector_seconds / n_queries * 1e6:10.1f} us/quantile")
+    print(f"  speedup          {speedup:10.1f} x")
+
+    # Speed must not change the answers.
+    assert vector_answers == loop_answers
+
+    assert speedup >= 5.0, f"expected >= 5x, measured {speedup:.1f}x"
+
+
+def test_merge_preserves_quantiles(halves):
+    """Sanity: the fast merge still answers like the concatenated stream."""
+    left, right = halves
+    merged = left.copy()
+    merged.merge(right)
+    assert merged.count == left.count + right.count
+    for quantile, answer in zip(QUANTILES, merged.get_quantiles(QUANTILES)):
+        assert answer is not None
+        assert 0.0 <= answer <= 1.02

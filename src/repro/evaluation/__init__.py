@@ -31,7 +31,7 @@ from repro.evaluation.accuracy import (
     rank_error,
 )
 from repro.evaluation.memory import measure_sketch_sizes, measure_ddsketch_bins
-from repro.evaluation.timing import time_add, time_merge, TimingResult
+from repro.evaluation.timing import time_add, time_merge, time_query, TimingResult
 from repro.evaluation.report import format_table, format_series, format_figure_header
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "measure_ddsketch_bins",
     "time_add",
     "time_merge",
+    "time_query",
     "TimingResult",
     "format_table",
     "format_series",

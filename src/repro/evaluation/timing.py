@@ -1,4 +1,4 @@
-"""Insertion and merge timing (Figures 8 and 9 of the paper).
+"""Insertion, merge, and quantile-query timing (Figures 8–11 of the paper).
 
 The absolute numbers measured here are for pure-Python implementations and are
 therefore orders of magnitude above the paper's JVM measurements; what the
@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Sequence, Tuple
 
 from repro.datasets.registry import get_dataset
 from repro.evaluation.config import (
@@ -104,6 +104,72 @@ def time_merge(
     )
 
 
+#: Quantiles probed by the query-timing harness: the dashboard read pattern
+#: (tail quantiles plus the body of the distribution), nine probes as in the
+#: paper's accuracy figures.
+DEFAULT_QUERY_QUANTILES: Tuple[float, ...] = (
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    0.75,
+    0.9,
+    0.95,
+    0.99,
+)
+
+
+def time_query(
+    sketch_name: str,
+    dataset_name: str,
+    n_values: int,
+    quantiles: Sequence[float] = DEFAULT_QUERY_QUANTILES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+    repetitions: int = 100,
+) -> TimingResult:
+    """Time answering a batch of quantiles against a pre-built sketch.
+
+    The sketch is filled with ``n_values`` values of the data set once
+    (outside the timed region), then asked for all ``quantiles`` in every
+    repetition — through the batched
+    :meth:`~repro.core.BaseDDSketch.get_quantiles` read path when the sketch
+    has one, falling back to per-quantile ``get_quantile_value`` calls
+    otherwise.  The returned :class:`TimingResult` counts one *operation* per
+    quantile evaluation (``len(quantiles) * repetitions``), so
+    ``nanos_per_operation`` is the average cost of one quantile answer.
+    """
+    if n_values <= 0:
+        raise IllegalArgumentError(f"n_values must be positive, got {n_values!r}")
+    if not quantiles:
+        raise IllegalArgumentError("quantiles must be a non-empty sequence")
+    dataset = get_dataset(dataset_name)
+    values = dataset.generator(int(n_values), seed)
+    sketch = build_sketch(sketch_name, dataset, parameters)
+    sketch.add_all(values)
+
+    quantile_list = [float(quantile) for quantile in quantiles]
+    repetitions = max(int(repetitions), 1)
+    get_quantiles = getattr(sketch, "get_quantiles", None)
+    start = time.perf_counter()
+    if get_quantiles is not None:
+        for _ in range(repetitions):
+            get_quantiles(quantile_list)
+    else:
+        get_quantile_value = sketch.get_quantile_value
+        for _ in range(repetitions):
+            for quantile in quantile_list:
+                get_quantile_value(quantile)
+    elapsed = time.perf_counter() - start
+    return TimingResult(
+        sketch=sketch_name,
+        dataset=dataset_name,
+        n_values=len(quantile_list) * repetitions,
+        seconds_total=elapsed,
+    )
+
+
 def time_all_adds(
     dataset_name: str,
     n_values: int,
@@ -128,5 +194,21 @@ def time_all_merges(
     """Merge timing for every sketch in the comparison set."""
     return {
         name: time_merge(name, dataset_name, n_values, parameters, seed)
+        for name in sketch_names
+    }
+
+
+def time_all_queries(
+    dataset_name: str,
+    n_values: int,
+    sketch_names: Sequence[str] = SKETCH_NAMES,
+    quantiles: Sequence[float] = DEFAULT_QUERY_QUANTILES,
+    parameters: ExperimentParameters = DEFAULT_PARAMETERS,
+    seed: int = 0,
+    repetitions: int = 100,
+) -> Dict[str, TimingResult]:
+    """Multi-quantile query timing for every sketch in the comparison set."""
+    return {
+        name: time_query(name, dataset_name, n_values, quantiles, parameters, seed, repetitions)
         for name in sketch_names
     }

@@ -160,6 +160,34 @@ class KeyMapping(ABC):
         """
         return self._pow_gamma(key - self._offset) * (2.0 / (1 + self._gamma))
 
+    def value_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Compute representative values for a whole array of keys at once.
+
+        The inverse counterpart of :meth:`key_batch` and the mapping half of
+        the multi-quantile read path: one array expression replaces
+        ``len(keys)`` Python-level :meth:`value` calls.  Concrete mappings
+        override this with a fully vectorized computation; this base
+        implementation is a correct per-item fallback.
+
+        Parameters
+        ----------
+        keys : numpy.ndarray
+            One-dimensional array of integer bucket keys.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``float64`` array of the same length, where ``result[i] ==
+            self.value(keys[i])`` exactly — the vectorized overrides use the
+            same elementwise IEEE-754 operations as the scalar path.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        return np.fromiter(
+            (self.value(key) for key in keys.tolist()),
+            dtype=np.float64,
+            count=keys.size,
+        )
+
     def lower_bound(self, key: int) -> float:
         """Return the exclusive lower bound of the bucket identified by ``key``."""
         return self._pow_gamma(key - self._offset - 1)

@@ -118,6 +118,23 @@ class _InterpolatedMapping(KeyMapping):
             keys += self._offset
         return keys.astype(np.int64)
 
+    def value_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized bucket representatives via the inverse interpolation.
+
+        Mirrors the scalar :meth:`KeyMapping.value` operation for operation —
+        ``floor``, polynomial inverse, ``ldexp`` — so batch and scalar values
+        agree bit for bit (``ldexp`` is exact power-of-two scaling and the
+        inverses below use identical IEEE-754 arithmetic).
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.float64)
+        scaled = (keys - self._offset) / self._multiplier
+        exponent = np.floor(scaled)
+        significand = self._approx_inverse_batch(scaled - exponent)
+        values = np.ldexp(significand, exponent.astype(np.int64))
+        return values * (2.0 / (1 + self._gamma))
+
     # -- polynomial pieces ------------------------------------------------- #
 
     def _approx(self, significand: float) -> float:
@@ -140,6 +157,14 @@ class _InterpolatedMapping(KeyMapping):
         """Inverse of :meth:`_approx`, mapping ``[0, 1)`` back to ``[1, 2)``."""
         raise NotImplementedError
 
+    def _approx_inverse_batch(self, fractions: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`_approx_inverse` over an array of fractions.
+
+        Must perform the same IEEE-754 operations as the scalar version so
+        that batch and scalar values are bit-identical.
+        """
+        raise NotImplementedError
+
 
 class LinearlyInterpolatedMapping(_InterpolatedMapping):
     """Approximates ``log2`` linearly within each octave.
@@ -159,6 +184,9 @@ class LinearlyInterpolatedMapping(_InterpolatedMapping):
 
     def _approx_inverse(self, fraction: float) -> float:
         return fraction + 1.0
+
+    def _approx_inverse_batch(self, fractions: "np.ndarray") -> "np.ndarray":
+        return fractions + 1.0
 
 
 class QuadraticallyInterpolatedMapping(_InterpolatedMapping):
@@ -182,6 +210,12 @@ class QuadraticallyInterpolatedMapping(_InterpolatedMapping):
     def _approx_inverse(self, fraction: float) -> float:
         # Solve t^2 - 4 t + 3 * fraction = 0 for the root in [0, 1].
         t = 2.0 - math.sqrt(4.0 - 3.0 * fraction)
+        return t + 1.0
+
+    def _approx_inverse_batch(self, fractions: "np.ndarray") -> "np.ndarray":
+        # sqrt is correctly rounded by IEEE-754, so this matches the scalar
+        # version exactly.
+        t = 2.0 - np.sqrt(4.0 - 3.0 * fractions)
         return t + 1.0
 
 
@@ -218,5 +252,22 @@ class CubicallyInterpolatedMapping(_InterpolatedMapping):
             step = poly / slope
             t -= step
             if abs(step) < 1e-14:
+                break
+        return t + 1.0
+
+    def _approx_inverse_batch(self, fractions: "np.ndarray") -> "np.ndarray":
+        # Same Newton iteration with a per-lane freeze replicating the scalar
+        # early exit: a lane whose applied step dropped below the tolerance
+        # stops updating, so every lane performs exactly the float operations
+        # of the scalar loop.
+        t = fractions * 7.0 / 10.0
+        active = np.ones(t.shape, dtype=bool)
+        for _ in range(20):
+            poly = ((self._A * t + self._B) * t + self._C) * t - fractions
+            slope = (3.0 * self._A * t + 2.0 * self._B) * t + self._C
+            step = np.where(active, poly / slope, 0.0)
+            t = t - step
+            active &= np.abs(step) >= 1e-14
+            if not active.any():
                 break
         return t + 1.0

@@ -33,7 +33,11 @@ class LogarithmicMapping(KeyMapping):
         return math.log(value) * self._multiplier
 
     def _pow_gamma(self, key: float) -> float:
-        return math.exp(key / self._multiplier)
+        # numpy's exp rather than math.exp so that the scalar path and the
+        # vectorized value_batch are bit-identical (the two libraries may
+        # differ in the last ulp, numpy agrees with itself between scalar and
+        # array evaluation).
+        return float(np.exp(key / self._multiplier))
 
     def key_batch(self, values: "np.ndarray") -> "np.ndarray":
         """Vectorized ``ceil(log(values) / log(gamma))`` over a whole array.
@@ -62,3 +66,15 @@ class LogarithmicMapping(KeyMapping):
         if self._offset != 0.0:
             keys += self._offset
         return keys.astype(np.int64)
+
+    def value_batch(self, keys: "np.ndarray") -> "np.ndarray":
+        """Vectorized bucket representatives: one ``numpy.exp`` pass.
+
+        Elementwise identical to :meth:`KeyMapping.value` — the scalar path
+        uses the same ``numpy.exp`` so both agree bit for bit.
+        """
+        keys = np.asarray(keys, dtype=np.int64).reshape(-1)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.float64)
+        scaled = (keys - self._offset) / self._multiplier
+        return np.exp(scaled) * (2.0 / (1 + self._gamma))

@@ -159,12 +159,28 @@ class SketchTimeSeries:
 
     def quantile_series(self, quantile: float) -> List[Tuple[float, float]]:
         """Per-interval quantile estimates: ``[(interval_start, value), ...]``."""
-        series = []
-        for interval_start in sorted(self._buckets):
-            value = self._buckets[interval_start].get_quantile_value(quantile)
-            if value is not None:
-                series.append((interval_start, value))
-        return series
+        return [
+            (interval_start, values[0])
+            for interval_start, values in self.quantiles_series((quantile,))
+            if values[0] is not None
+        ]
+
+    def quantiles_series(
+        self, quantiles: Sequence[float]
+    ) -> List[Tuple[float, List[Optional[float]]]]:
+        """Per-interval estimates for several quantiles at once.
+
+        One :meth:`~repro.core.BaseDDSketch.get_quantiles` call per interval
+        — a single cumulative-count pass per sketch answers every requested
+        quantile, instead of one bucket scan per (interval, quantile) pair.
+        Returns ``[(interval_start, [value_per_quantile, ...]), ...]`` in
+        interval order; a slot is ``None`` when the interval has no data for
+        it (e.g. an out-of-range quantile).
+        """
+        return [
+            (interval_start, self._buckets[interval_start].get_quantiles(quantiles))
+            for interval_start in sorted(self._buckets)
+        ]
 
     def average_series(self) -> List[Tuple[float, float]]:
         """Per-interval averages (exact, from the sketches' sum/count)."""

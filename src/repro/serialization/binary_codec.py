@@ -33,6 +33,8 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Tuple, Type
 
+import numpy as np
+
 from repro.exceptions import DeserializationError
 from repro.mapping import (
     CubicallyInterpolatedMapping,
@@ -78,13 +80,15 @@ def _encode_store(store: Store) -> bytes:
     out += encode_varint(_STORE_CODES.index(type(store)))
     bin_limit = getattr(store, "bin_limit", 0) or 0
     out += encode_varint(int(bin_limit))
-    buckets = list(store)
-    out += encode_varint(len(buckets))
-    previous_key = 0
-    for bucket in buckets:
-        out += encode_zigzag(bucket.key - previous_key)
-        out += encode_float(bucket.count)
-        previous_key = bucket.key
+    # Export the bucket contents as ndarrays (one flatnonzero pass for the
+    # dense stores) and delta-encode the key array in one vectorized diff —
+    # no Bucket objects or intermediate dicts on the encode path.
+    keys, counts = store.nonzero_bins()
+    out += encode_varint(int(keys.size))
+    deltas = np.diff(keys, prepend=np.int64(0))
+    for delta, count in zip(deltas.tolist(), counts.tolist()):
+        out += encode_zigzag(delta)
+        out += encode_float(count)
     return bytes(out)
 
 
@@ -99,11 +103,17 @@ def _decode_store(reader: VarintReader) -> Store:
         kwargs["bin_limit"] = bin_limit if bin_limit > 0 else 2048
     store = store_cls(**kwargs)
     num_buckets = reader.read_varint()
-    key = 0
-    for _ in range(num_buckets):
-        key += reader.read_zigzag()
-        count = reader.read_float()
-        store.add(key, count)
+    if num_buckets == 0:
+        return store
+    deltas = np.empty(num_buckets, dtype=np.int64)
+    counts = np.empty(num_buckets, dtype=np.float64)
+    for index in range(num_buckets):
+        deltas[index] = reader.read_zigzag()
+        counts[index] = reader.read_float()
+    # Un-delta the keys with one cumulative pass, then rebuild the store
+    # through the vectorized bulk-insertion path (one allocation + one
+    # bincount for the dense stores) instead of one add() per bucket.
+    store.add_batch(np.cumsum(deltas), counts)
     return store
 
 

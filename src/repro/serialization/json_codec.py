@@ -12,6 +12,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Type
 
+import numpy as np
+
 from repro.exceptions import DeserializationError
 from repro.store import (
     CollapsingHighestDenseStore,
@@ -43,8 +45,14 @@ def store_from_dict(payload: Dict[str, Any]) -> Store:
         kwargs["bin_limit"] = int(payload.get("bin_limit", 2048))
     store = store_cls(**kwargs)
     bins = payload.get("bins", {})
-    for key, count in bins.items():
-        store.add(int(key), float(count))
+    if bins:
+        # Rebuild through the vectorized bulk-insertion path: the key order
+        # of a JSON object is arbitrary, so sort for a deterministic window
+        # placement, then let add_batch do one allocation + one bincount.
+        items = sorted((int(key), float(count)) for key, count in bins.items())
+        keys = np.array([key for key, _ in items], dtype=np.int64)
+        counts = np.array([count for _, count in items], dtype=np.float64)
+        store.add_batch(keys, counts)
     return store
 
 

@@ -9,7 +9,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import IllegalArgumentError
+from repro.exceptions import EmptySketchError, IllegalArgumentError
 
 
 @dataclass(frozen=True)
@@ -116,13 +116,97 @@ class Store(ABC):
         lower-quantile definition) or reaches it (when ``lower`` is false).
         """
 
+    def key_at_rank_batch(self, ranks: "np.ndarray", lower: bool = True) -> "np.ndarray":
+        """Answer many rank queries at once.
+
+        This is the store half of the multi-quantile read path
+        (:meth:`repro.core.BaseDDSketch.get_quantiles`): the base
+        implementation loops :meth:`key_at_rank`, while the array-backed
+        stores override it with one cumulative-count pass plus a single
+        ``searchsorted`` over all ranks.
+
+        Parameters
+        ----------
+        ranks : numpy.ndarray
+            Ranks in ``[0, count)`` (values beyond the total count resolve to
+            the extreme key, matching the scalar scan).
+        lower : bool
+            Same rank definition as :meth:`key_at_rank`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` keys, elementwise identical to calling
+            :meth:`key_at_rank` per rank.
+        """
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        return np.fromiter(
+            (self.key_at_rank(rank, lower) for rank in ranks.tolist()),
+            dtype=np.int64,
+            count=ranks.size,
+        )
+
+    def key_at_reversed_rank(self, rank: float) -> int:
+        """Return the key at ``rank`` counted from the *top* of the store.
+
+        The upper-rank query used for the negative branch of a two-sided
+        sketch: buckets are walked in decreasing key order via
+        :meth:`reversed` and the returned key is the first one whose
+        cumulative count (from the top) strictly exceeds ``rank``.  For exact
+        arithmetic this is the mirror image of ``key_at_rank(count - 1 -
+        rank, lower=False)``; walking from the top avoids materializing the
+        reversed rank.
+        """
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        running = 0.0
+        key = 0
+        for bucket in self.reversed():
+            running += bucket.count
+            key = bucket.key
+            if running > rank:
+                return bucket.key
+        return key
+
+    def key_at_reversed_rank_batch(self, ranks: "np.ndarray") -> "np.ndarray":
+        """Batched :meth:`key_at_reversed_rank`; overridden with one
+        descending cumulative pass by the array-backed stores."""
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        return np.fromiter(
+            (self.key_at_reversed_rank(rank) for rank in ranks.tolist()),
+            dtype=np.int64,
+            count=ranks.size,
+        )
+
     @abstractmethod
     def __iter__(self) -> Iterator[Bucket]:
         """Iterate over non-empty buckets in increasing key order."""
 
     def reversed(self) -> Iterator[Bucket]:
-        """Iterate over non-empty buckets in decreasing key order."""
+        """Iterate over non-empty buckets in decreasing key order.
+
+        The base implementation materializes and sorts; the concrete stores
+        override it with a direct reverse walk of their backing structure.
+        """
         return iter(sorted(self, key=lambda bucket: -bucket.key))
+
+    def nonzero_bins(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Return the store contents as ``(keys, counts)`` ndarrays.
+
+        Keys are ``int64`` in increasing order, counts the matching strictly
+        positive ``float64`` weights.  This is the array-native export used
+        by the serialization codecs and the cross-type bulk merges; dense
+        stores produce it with one ``flatnonzero`` over the backing array.
+        """
+        keys = []
+        counts = []
+        for bucket in self:
+            keys.append(bucket.key)
+            counts.append(bucket.count)
+        return (
+            np.asarray(keys, dtype=np.int64),
+            np.asarray(counts, dtype=np.float64),
+        )
 
     @property
     @abstractmethod

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+import numpy as np
+
 from repro.exceptions import IllegalArgumentError
 from repro.store.base import Store
 from repro.store.dense import CHUNK_SIZE, DenseStore
@@ -55,9 +57,10 @@ class _BoundedDenseStore(DenseStore):
 
     def copy(self) -> "_BoundedDenseStore":
         new = type(self)(bin_limit=self._bin_limit, chunk_size=self._chunk_size)
-        new._bins = list(self._bins)
+        new._bins = self._bins.copy()
         new._offset = self._offset
         new._count = self._count
+        new._num_positive = self._num_positive
         new._is_collapsed = self._is_collapsed
         return new
 
@@ -72,7 +75,7 @@ class _BoundedDenseStore(DenseStore):
         return payload
 
     def size_in_bytes(self) -> int:
-        return 64 + 8 * min(len(self._bins), self._bin_limit)
+        return 64 + 8 * min(int(self._bins.size), self._bin_limit)
 
     # ------------------------------------------------------------------ #
     # Window management shared by both collapse directions
@@ -80,7 +83,7 @@ class _BoundedDenseStore(DenseStore):
 
     def _initialize(self, key: int) -> None:
         size = min(self._chunk_size, self._bin_limit)
-        self._bins = [0.0] * size
+        self._bins = np.zeros(size, dtype=np.float64)
         self._offset = key - size // 2
 
     def _move_window(self, new_first: int, new_last: int, fold_low: bool) -> None:
@@ -88,23 +91,27 @@ class _BoundedDenseStore(DenseStore):
 
         Existing weight outside the new window is folded into the boundary
         bucket on the collapsing side (``fold_low`` selects the low boundary).
+        The overlapping key range moves as one array copy; only the weight
+        left outside the new window needs summing.
         """
         size = new_last - new_first + 1
-        new_bins = [0.0] * size
-        folded = 0.0
-        for index, value in enumerate(self._bins):
-            if value <= 0:
-                continue
-            key = index + self._offset
-            if new_first <= key <= new_last:
-                new_bins[key - new_first] += value
-            else:
-                folded += value
+        new_bins = np.zeros(size, dtype=np.float64)
+        old = self._bins
+        # Position of old[0] within the new window.
+        start = self._offset - new_first
+        low = max(0, -start)
+        high = min(int(old.size), size - start)
+        if low < high:
+            new_bins[start + low : start + high] = old[low:high]
+            folded = float(old[:low].sum() + old[high:].sum())
+        else:
+            folded = float(old.sum())
         if folded > 0:
             new_bins[0 if fold_low else size - 1] += folded
             self._is_collapsed = True
         self._bins = new_bins
         self._offset = new_first
+        self._num_positive = int(np.count_nonzero(new_bins > 0.0))
 
 
 class CollapsingLowestDenseStore(_BoundedDenseStore):
@@ -120,7 +127,7 @@ class CollapsingLowestDenseStore(_BoundedDenseStore):
     """
 
     def _get_index(self, key: int) -> int:
-        if not self._bins or self._count <= 0:
+        if self._bins.size == 0 or self._count <= 0:
             self.clear()
             self._initialize(key)
             return key - self._offset
@@ -160,7 +167,7 @@ class CollapsingLowestDenseStore(_BoundedDenseStore):
         return key - self._offset
 
     def _batch_extend_range(self, min_key: int, max_key: int) -> None:
-        if self._is_collapsed and self._bins:
+        if self._is_collapsed and self._bins.size:
             # The scalar path's is_collapsed short-circuit folds keys below
             # an already-collapsed window into the boundary bucket without
             # moving the window; clamping here makes the batch path do the
@@ -176,9 +183,9 @@ class CollapsingLowestDenseStore(_BoundedDenseStore):
         accuracy and everything below ``max - bin_limit + 1`` folds into the
         lowest kept bucket.
         """
-        if not self._bins:
+        if self._bins.size == 0:
             first = max(min_key, max_key - self._bin_limit + 1)
-            self._bins = [0.0] * (max_key - first + 1)
+            self._bins = np.zeros(max_key - first + 1, dtype=np.float64)
             self._offset = first
             if first > min_key:
                 self._is_collapsed = True
@@ -208,7 +215,7 @@ class CollapsingHighestDenseStore(_BoundedDenseStore):
     """
 
     def _get_index(self, key: int) -> int:
-        if not self._bins or self._count <= 0:
+        if self._bins.size == 0 or self._count <= 0:
             self.clear()
             self._initialize(key)
             return key - self._offset
@@ -244,7 +251,7 @@ class CollapsingHighestDenseStore(_BoundedDenseStore):
         return key - self._offset
 
     def _batch_extend_range(self, min_key: int, max_key: int) -> None:
-        if self._is_collapsed and self._bins:
+        if self._is_collapsed and self._bins.size:
             # Mirror of the lowest-collapsing clamp: keys above an already-
             # collapsed window fold into the top boundary bucket.
             max_key = min(max_key, self._offset + len(self._bins) - 1)
@@ -256,9 +263,9 @@ class CollapsingHighestDenseStore(_BoundedDenseStore):
         Mirror of the lowest-collapsing version: the window is anchored at the
         lowest key that needs covering.
         """
-        if not self._bins:
+        if self._bins.size == 0:
             last = min(max_key, min_key + self._bin_limit - 1)
-            self._bins = [0.0] * (last - min_key + 1)
+            self._bins = np.zeros(last - min_key + 1, dtype=np.float64)
             self._offset = min_key
             if last < max_key:
                 self._is_collapsed = True

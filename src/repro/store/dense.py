@@ -2,18 +2,24 @@
 
 This is the contiguous-counters storage strategy from the paper's
 implementation discussion (Section 2.2): a dense store keeps one counter per
-key in a contiguous Python list covering the span between the smallest and
-largest key seen so far.  Insertion is an index computation plus an increment
-— exactly the one-increment cost the paper's speed evaluation (Figure 8)
-relies on — which makes it the fastest store, at the cost of memory
-proportional to the covered key span rather than to the number of non-empty
-buckets.
+key in a contiguous ``numpy.float64`` array covering the span between the
+smallest and largest key seen so far.  Insertion is an index computation plus
+an increment — exactly the one-increment cost the paper's speed evaluation
+(Figure 8) relies on — which makes it the fastest store, at the cost of
+memory proportional to the covered key span rather than to the number of
+non-empty buckets.
+
+The ndarray backing is what makes the two post-insertion operations of the
+paper cheap as well: merging (Section 2.3, Figure 9) is a clipped slice
+addition over the counter array, and rank queries (the heart of every
+quantile read, Figures 10–11) are one ``cumsum`` plus one ``searchsorted``
+instead of a Python-level scan over the buckets.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -30,17 +36,22 @@ class DenseStore(Store):
     Parameters
     ----------
     chunk_size:
-        Allocation granularity; the backing list always grows by a multiple of
-        this many bins to amortize resizing.
+        Allocation granularity; the backing array always grows by a multiple
+        of this many bins to amortize resizing.
     """
 
     def __init__(self, chunk_size: int = CHUNK_SIZE) -> None:
         if chunk_size <= 0:
             raise IllegalArgumentError(f"chunk_size must be positive, got {chunk_size!r}")
         self._chunk_size = int(chunk_size)
-        self._bins: List[float] = []
+        self._bins: np.ndarray = np.zeros(0, dtype=np.float64)
         self._offset = 0  # key of self._bins[0]
         self._count = 0.0
+        # Number of bins currently holding a strictly positive counter.  Kept
+        # exact across every mutation path so that remove() can tell "truly
+        # empty" from "float drift left a near-zero total" in O(1) instead of
+        # rescanning the whole allocation.
+        self._num_positive = 0
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -54,6 +65,8 @@ class DenseStore(Store):
             self.remove(key, -weight)
             return
         index = self._get_index(key)
+        if self._bins[index] == 0.0:
+            self._num_positive += 1
         self._bins[index] += weight
         self._count += weight
 
@@ -63,10 +76,11 @@ class DenseStore(Store):
         The allocation (or, for the bounded subclasses, the collapsed window)
         is extended a single time to cover the batch's ``[min, max]`` key
         span via :meth:`_extend_range` — the same hook the bulk-merge fast
-        path uses — after which all counters are accumulated with one
-        ``numpy.bincount`` call.  Keys falling outside the window after a
-        collapse are clipped onto the boundary bucket, which is exactly where
-        the per-item path folds them.
+        path uses — after which all counters are accumulated in place with
+        one ``numpy.bincount`` call directly into the backing array slice the
+        batch touches.  Keys falling outside the window after a collapse are
+        clipped onto the boundary bucket, which is exactly where the per-item
+        path folds them.
 
         Parameters
         ----------
@@ -94,7 +108,7 @@ class DenseStore(Store):
             # scalar path; route mixed batches through it unchanged.
             super().add_batch(keys, weights)
             return
-        if self._count <= 0 and self._bins:
+        if self._count <= 0 and self._bins.size:
             # Mirror the collapsing stores' scalar path, which re-anchors an
             # emptied store on the next insertion instead of letting a stale
             # window constrain where new weight lands.
@@ -104,15 +118,14 @@ class DenseStore(Store):
         self._batch_extend_range(min_key, max_key)
         # Accumulate into the slice of the allocation the batch actually
         # touches, so a small batch costs O(batch span), not O(store span).
-        last_index = len(self._bins) - 1
+        last_index = self._bins.size - 1
         low = min(max(min_key - self._offset, 0), last_index)
         high = min(max(max_key - self._offset, 0), last_index)
         indices = np.clip(keys - self._offset, low, high) - low
         counts = np.bincount(indices, weights=weights, minlength=high - low + 1)
         segment = self._bins[low : high + 1]
-        self._bins[low : high + 1] = [
-            value + added for value, added in zip(segment, counts.tolist())
-        ]
+        self._num_positive += int(np.count_nonzero((segment == 0.0) & (counts > 0)))
+        segment += counts
         self._count += float(weights.sum()) if weights is not None else float(keys.size)
 
     def remove(self, key: int, weight: float = 1.0) -> None:
@@ -120,18 +133,25 @@ class DenseStore(Store):
         weight = self._validate_weight(weight)
         if weight < 0.0:
             raise IllegalArgumentError("cannot remove a negative weight")
-        if weight == 0.0 or not self._bins:
+        if weight == 0.0 or self._bins.size == 0:
             return
         index = key - self._offset
-        if index < 0 or index >= len(self._bins):
+        if index < 0 or index >= self._bins.size:
             return
-        removed = min(self._bins[index], weight)
-        self._bins[index] -= removed
+        current = float(self._bins[index])
+        removed = min(current, weight)
+        self._bins[index] = current - removed
         self._count -= removed
-        if self._count < 1e-12:
-            # Guard against float drift leaving a spurious residue.
-            if all(value <= 1e-12 for value in self._bins):
-                self.clear()
+        if removed > 0.0 and current == removed:
+            # The subtraction is exact when the whole counter is removed, so
+            # this is the only way a bin transitions back to zero.
+            self._num_positive -= 1
+        if self._count < 1e-12 and self._num_positive <= 0:
+            # Every bin is exactly zero; whatever tiny total is left is float
+            # drift accumulated in the running count, so reset it.  Tracking
+            # the number of positive bins makes this O(1) per removal instead
+            # of a rescan of the whole allocation.
+            self.clear()
 
     def merge(self, other: Store) -> None:
         if other.is_empty:
@@ -149,8 +169,10 @@ class DenseStore(Store):
 
         This is the fast path that makes DDSketch merges cheap (Figure 9 of
         the paper): once the backing array covers the other store's key range
-        (or the window has collapsed appropriately), merging is a single pass
-        of float additions.
+        (or the window has collapsed appropriately), merging is one clipped
+        slice addition — the overlapping key range is added array-to-array,
+        and only the weight falling outside this store's (collapsed) window
+        is folded into the boundary buckets.
         """
         min_key = other.min_key
         max_key = other.max_key
@@ -158,30 +180,45 @@ class DenseStore(Store):
         # incoming key range; collapsing subclasses move their window here.
         self._extend_range(min_key, max_key)
         bins = self._bins
-        last_index = len(bins) - 1
-        offset_difference = other._offset - self._offset
-        for index, value in enumerate(other._bins):
-            if value <= 0:
-                continue
-            target = index + offset_difference
-            if target < 0:
-                target = 0
-            elif target > last_index:
-                target = last_index
-            bins[target] += value
+        size = bins.size
+        source = other._bins
+        # Index of source[0] within this store's backing array.
+        start = other._offset - self._offset
+        low = max(start, 0)
+        high = min(start + source.size, size)
+        if low < high:
+            chunk = source[low - start : high - start]
+            self._num_positive += int(np.count_nonzero((bins[low:high] == 0.0) & (chunk > 0.0)))
+            bins[low:high] += chunk
+        if start < 0:
+            # Source bins below this window fold into the lowest bucket.
+            below = float(source[: min(-start, source.size)].sum())
+            if below > 0.0:
+                if bins[0] == 0.0:
+                    self._num_positive += 1
+                bins[0] += below
+        if start + source.size > size:
+            # Source bins above this window fold into the highest bucket.
+            above = float(source[max(size - start, 0) :].sum())
+            if above > 0.0:
+                if bins[size - 1] == 0.0:
+                    self._num_positive += 1
+                bins[size - 1] += above
         self._count += other._count
 
     def copy(self) -> "DenseStore":
         new = type(self)(chunk_size=self._chunk_size)
-        new._bins = list(self._bins)
+        new._bins = self._bins.copy()
         new._offset = self._offset
         new._count = self._count
+        new._num_positive = self._num_positive
         return new
 
     def clear(self) -> None:
-        self._bins = []
+        self._bins = np.zeros(0, dtype=np.float64)
         self._offset = 0
         self._count = 0.0
+        self._num_positive = 0
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -193,48 +230,106 @@ class DenseStore(Store):
 
     @property
     def min_key(self) -> int:
-        for index, value in enumerate(self._bins):
-            if value > 0:
-                return index + self._offset
-        raise EmptySketchError("the store is empty")
+        indices = np.flatnonzero(self._bins > 0.0)
+        if indices.size == 0:
+            raise EmptySketchError("the store is empty")
+        return int(indices[0]) + self._offset
 
     @property
     def max_key(self) -> int:
-        for index in range(len(self._bins) - 1, -1, -1):
-            if self._bins[index] > 0:
-                return index + self._offset
-        raise EmptySketchError("the store is empty")
+        indices = np.flatnonzero(self._bins > 0.0)
+        if indices.size == 0:
+            raise EmptySketchError("the store is empty")
+        return int(indices[-1]) + self._offset
 
     def key_at_rank(self, rank: float, lower: bool = True) -> int:
         if self.is_empty:
             raise EmptySketchError("cannot query the rank of an empty store")
-        running = 0.0
-        for index, value in enumerate(self._bins):
-            if value <= 0:
-                continue
-            running += value
-            if (lower and running > rank) or (not lower and running >= rank + 1):
-                return index + self._offset
-        return self.max_key
+        return int(self.key_at_rank_batch(np.array([rank], dtype=np.float64), lower)[0])
+
+    def key_at_rank_batch(self, ranks: "np.ndarray", lower: bool = True) -> "np.ndarray":
+        """Batched :meth:`key_at_rank`: one ``cumsum`` + one ``searchsorted``.
+
+        The cumulative counts are accumulated in the same left-to-right order
+        as the scalar scan, so the returned keys are identical to calling
+        :meth:`key_at_rank` per rank — including at exact cumulative-count
+        boundaries.  ``searchsorted`` can never land on an empty bucket: the
+        cumulative array is flat across empty bins, so the insertion point of
+        a strictly-greater (or greater-or-equal) threshold always falls on a
+        bin that increased it.
+        """
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        cumulative = np.cumsum(self._bins)
+        if lower:
+            indices = np.searchsorted(cumulative, ranks, side="right")
+        else:
+            indices = np.searchsorted(cumulative, ranks + 1.0, side="left")
+        # Clamp to the used key range: ranks below zero would land on a
+        # leading zero bin (the cumulative array is flat at 0 there) and
+        # ranks at or past the total count resolve to max_key, both matching
+        # the scalar scan, which only ever visits non-empty buckets.
+        positive = np.flatnonzero(self._bins > 0.0)
+        first_positive = int(positive[0])
+        last_positive = int(positive[-1])
+        return np.clip(indices, first_positive, last_positive).astype(np.int64) + self._offset
+
+    def key_at_reversed_rank(self, rank: float) -> int:
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        return int(self.key_at_reversed_rank_batch(np.array([rank], dtype=np.float64))[0])
+
+    def key_at_reversed_rank_batch(self, ranks: "np.ndarray") -> "np.ndarray":
+        """Batched upper-rank query over the reversed key order.
+
+        Mirrors :meth:`key_at_rank_batch` on the reversed bin array: one
+        descending ``cumsum`` + one ``searchsorted``, with ranks at or past
+        the total count resolving to ``min_key``.
+        """
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        cumulative = np.cumsum(self._bins[::-1])
+        indices = np.searchsorted(cumulative, ranks, side="right")
+        # Same clamping as key_at_rank_batch, mirrored: negative ranks would
+        # land on a trailing zero bin, overflowing ranks resolve to min_key.
+        positive = np.flatnonzero(self._bins > 0.0)
+        first_positive = int(positive[0])
+        last_positive = int(positive[-1])
+        size = self._bins.size
+        indices = np.clip(indices, size - 1 - last_positive, size - 1 - first_positive)
+        return (size - 1 - indices).astype(np.int64) + self._offset
 
     def __iter__(self) -> Iterator[Bucket]:
-        for index, value in enumerate(self._bins):
-            if value > 0:
-                yield Bucket(index + self._offset, value)
+        for index in np.flatnonzero(self._bins > 0.0).tolist():
+            yield Bucket(index + self._offset, float(self._bins[index]))
+
+    def reversed(self) -> Iterator[Bucket]:
+        """Iterate over non-empty buckets in decreasing key order.
+
+        Direct reverse walk over the backing array — no materialize-and-sort.
+        """
+        for index in np.flatnonzero(self._bins > 0.0)[::-1].tolist():
+            yield Bucket(index + self._offset, float(self._bins[index]))
+
+    def nonzero_bins(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        indices = np.flatnonzero(self._bins > 0.0)
+        return indices.astype(np.int64) + self._offset, self._bins[indices]
 
     @property
     def num_buckets(self) -> int:
-        return sum(1 for value in self._bins if value > 0)
+        return int(np.count_nonzero(self._bins > 0.0))
 
     @property
     def key_span(self) -> int:
         """Number of keys covered by the backing array (allocated bins)."""
-        return len(self._bins)
+        return int(self._bins.size)
 
     def size_in_bytes(self) -> int:
         # Model: 8 bytes per allocated counter plus fixed overhead, matching
         # what a flat array-of-doubles implementation would use.
-        return 64 + 8 * len(self._bins)
+        return 64 + 8 * int(self._bins.size)
 
     def to_dict(self) -> Dict[str, Any]:
         payload = super().to_dict()
@@ -246,18 +341,18 @@ class DenseStore(Store):
     # ------------------------------------------------------------------ #
 
     def _get_index(self, key: int) -> int:
-        """Return the list index for ``key``, growing the backing list if needed."""
-        if not self._bins:
+        """Return the array index for ``key``, growing the backing array if needed."""
+        if self._bins.size == 0:
             self._initialize(key)
             return key - self._offset
         if key < self._offset:
             self._extend_below(key)
-        elif key >= self._offset + len(self._bins):
+        elif key >= self._offset + self._bins.size:
             self._extend_above(key)
         return key - self._offset
 
     def _initialize(self, key: int) -> None:
-        self._bins = [0.0] * self._chunk_size
+        self._bins = np.zeros(self._chunk_size, dtype=np.float64)
         self._offset = key - self._chunk_size // 2
 
     def _extend_range(self, min_key: int, max_key: int) -> None:
@@ -266,11 +361,11 @@ class DenseStore(Store):
         Bounded subclasses override this to move their window (and fold
         whatever falls outside of it) instead of growing without limit.
         """
-        if not self._bins:
+        if self._bins.size == 0:
             self._initialize(min_key)
         if min_key < self._offset:
             self._extend_below(min_key)
-        if max_key >= self._offset + len(self._bins):
+        if max_key >= self._offset + self._bins.size:
             self._extend_above(max_key)
 
     def _batch_extend_range(self, min_key: int, max_key: int) -> None:
@@ -288,16 +383,16 @@ class DenseStore(Store):
     def _extend_below(self, key: int) -> None:
         missing = self._offset - key
         grow_by = int(math.ceil(missing / self._chunk_size)) * self._chunk_size
-        self._bins = [0.0] * grow_by + self._bins
+        self._bins = np.concatenate([np.zeros(grow_by, dtype=np.float64), self._bins])
         self._offset -= grow_by
 
     def _extend_above(self, key: int) -> None:
-        missing = key - (self._offset + len(self._bins)) + 1
+        missing = key - (self._offset + self._bins.size) + 1
         grow_by = int(math.ceil(missing / self._chunk_size)) * self._chunk_size
-        self._bins.extend([0.0] * grow_by)
+        self._bins = np.concatenate([self._bins, np.zeros(grow_by, dtype=np.float64)])
 
     def _key_range_hint(self) -> Optional[range]:
         """Range of keys currently covered by the allocation (for testing)."""
-        if not self._bins:
+        if self._bins.size == 0:
             return None
-        return range(self._offset, self._offset + len(self._bins))
+        return range(self._offset, self._offset + self._bins.size)

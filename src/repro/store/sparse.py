@@ -13,12 +13,13 @@ number of buckets.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import EmptySketchError, IllegalArgumentError
 from repro.store.base import Bucket, Store
+from repro.store.dense import DenseStore
 
 
 class SparseStore(Store):
@@ -102,6 +103,13 @@ class SparseStore(Store):
     def merge(self, other: Store) -> None:
         if other.is_empty:
             return
+        if isinstance(other, DenseStore):
+            # Bulk-convert the dense backing array instead of iterating
+            # Bucket objects: one flatnonzero export, one pre-aggregated
+            # dictionary pass via add_batch.
+            keys, counts = other.nonzero_bins()
+            self.add_batch(keys, counts)
+            return
         for bucket in other:
             self.add(bucket.key, bucket.count)
 
@@ -167,11 +175,58 @@ class SparseStore(Store):
                 return key
         return last_key
 
+    def _sorted_arrays(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        """The bucket contents as parallel (keys, counts) arrays, key-sorted."""
+        keys = np.array(sorted(self._bins), dtype=np.int64)
+        counts = np.array([self._bins[key] for key in keys.tolist()], dtype=np.float64)
+        return keys, counts
+
+    def key_at_rank_batch(self, ranks: "np.ndarray", lower: bool = True) -> "np.ndarray":
+        """Batched rank query: one cumulative pass over the sorted buckets.
+
+        The cumulative counts accumulate in the same key order as the scalar
+        scan, so the answers are identical to per-rank :meth:`key_at_rank`
+        calls.
+        """
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        keys, counts = self._sorted_arrays()
+        cumulative = np.cumsum(counts)
+        if lower:
+            indices = np.searchsorted(cumulative, ranks, side="right")
+        else:
+            indices = np.searchsorted(cumulative, ranks + 1.0, side="left")
+        return keys[np.minimum(indices, keys.size - 1)]
+
+    def key_at_reversed_rank_batch(self, ranks: "np.ndarray") -> "np.ndarray":
+        """Batched upper-rank query over the descending key order."""
+        if self.is_empty:
+            raise EmptySketchError("cannot query the rank of an empty store")
+        ranks = np.asarray(ranks, dtype=np.float64).reshape(-1)
+        keys, counts = self._sorted_arrays()
+        cumulative = np.cumsum(counts[::-1])
+        indices = np.searchsorted(cumulative, ranks, side="right")
+        return keys[::-1][np.minimum(indices, keys.size - 1)]
+
     def __iter__(self) -> Iterator[Bucket]:
         for key in sorted(self._bins):
             value = self._bins[key]
             if value > 0:
                 yield Bucket(key, value)
+
+    def reversed(self) -> Iterator[Bucket]:
+        """Iterate over non-empty buckets in decreasing key order.
+
+        One descending sort of the keys — no intermediate Bucket list.
+        """
+        for key in sorted(self._bins, reverse=True):
+            value = self._bins[key]
+            if value > 0:
+                yield Bucket(key, value)
+
+    def nonzero_bins(self) -> Tuple["np.ndarray", "np.ndarray"]:
+        return self._sorted_arrays()
 
     @property
     def num_buckets(self) -> int:

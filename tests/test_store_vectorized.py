@@ -1,0 +1,327 @@
+"""Equivalence of the ndarray-backed fast paths with per-bucket references.
+
+The tentpole invariant: every vectorized operation on the array-backed stores
+(`cumsum`+`searchsorted` rank queries, clipped slice-add merges, batched
+multi-quantile reads, `value_batch` key→value conversion) must return exactly
+what the per-bucket Python scans it replaced return — same keys, same
+counts, same quantile answers — across dense, sparse, and collapsing stores,
+with weighted, negative, and zero inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DDSketch
+from repro.core.presets import (
+    FastDDSketch,
+    LogCollapsingHighestDenseDDSketch,
+    LogUnboundedDenseDDSketch,
+    SparseDDSketch,
+)
+from repro.exceptions import EmptySketchError
+from repro.mapping import (
+    CubicallyInterpolatedMapping,
+    LinearlyInterpolatedMapping,
+    LogarithmicMapping,
+    QuadraticallyInterpolatedMapping,
+)
+from repro.store import (
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    SparseStore,
+)
+
+ALL_STORES = (
+    DenseStore,
+    SparseStore,
+    lambda: CollapsingLowestDenseStore(bin_limit=64),
+    lambda: CollapsingHighestDenseStore(bin_limit=64),
+)
+
+keys = st.integers(min_value=-200, max_value=200)
+# Dyadic weights: all partial sums are exact, so scan order cannot change
+# cumulative counts and equality assertions can be bitwise.
+dyadic_weights = st.integers(min_value=1, max_value=64).map(lambda n: n / 4.0)
+key_weight_lists = st.lists(st.tuples(keys, dyadic_weights), min_size=1, max_size=60)
+ranks = st.floats(min_value=-0.5, max_value=600.0, allow_nan=False)
+
+
+def reference_key_at_rank(store, rank, lower=True):
+    """The pre-vectorization scan: ascending per-bucket accumulation."""
+    running = 0.0
+    for bucket in store:
+        running += bucket.count
+        if (lower and running > rank) or (not lower and running >= rank + 1):
+            return bucket.key
+    return store.max_key
+
+
+def reference_key_at_reversed_rank(store, rank):
+    """Descending per-bucket accumulation, mirroring key_at_reversed_rank."""
+    running = 0.0
+    key = None
+    for bucket in sorted(store, key=lambda b: -b.key):
+        running += bucket.count
+        key = bucket.key
+        if running > rank:
+            return bucket.key
+    return key
+
+
+@pytest.mark.parametrize("store_factory", ALL_STORES)
+class TestRankQueryEquivalence:
+    @given(items=key_weight_lists, rank=ranks, lower=st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_key_at_rank_matches_reference_scan(self, store_factory, items, rank, lower):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        assert store.key_at_rank(rank, lower) == reference_key_at_rank(store, rank, lower)
+
+    @given(items=key_weight_lists, probe_ranks=st.lists(ranks, min_size=1, max_size=12), lower=st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_key_at_rank_batch_matches_scalar(self, store_factory, items, probe_ranks, lower):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        batch = store.key_at_rank_batch(np.array(probe_ranks), lower)
+        assert batch.tolist() == [store.key_at_rank(rank, lower) for rank in probe_ranks]
+
+    @given(items=key_weight_lists, rank=ranks)
+    @settings(max_examples=150, deadline=None)
+    def test_key_at_reversed_rank_matches_reference_scan(self, store_factory, items, rank):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        assert store.key_at_reversed_rank(rank) == reference_key_at_reversed_rank(store, rank)
+
+    @given(items=key_weight_lists, rank=st.integers(min_value=0, max_value=600))
+    @settings(max_examples=150, deadline=None)
+    def test_reversed_rank_equals_seed_formulation(self, store_factory, items, rank):
+        """key_at_reversed_rank(r) == key_at_rank(count - 1 - r, lower=False).
+
+        This is the negative-store query of the paper's two-sided sketch; the
+        dyadic weights make both float formulations exact, so the identity
+        holds bit for bit.
+        """
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        expected = reference_key_at_rank(store, store.count - 1 - rank, lower=False)
+        assert store.key_at_reversed_rank(float(rank)) == expected
+
+    @given(items=key_weight_lists, probe_ranks=st.lists(ranks, min_size=1, max_size=12))
+    @settings(max_examples=100, deadline=None)
+    def test_key_at_reversed_rank_batch_matches_scalar(self, store_factory, items, probe_ranks):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        batch = store.key_at_reversed_rank_batch(np.array(probe_ranks))
+        assert batch.tolist() == [store.key_at_reversed_rank(rank) for rank in probe_ranks]
+
+    def test_empty_store_raises(self, store_factory):
+        store = store_factory()
+        with pytest.raises(EmptySketchError):
+            store.key_at_rank(0.0)
+        with pytest.raises(EmptySketchError):
+            store.key_at_rank_batch(np.array([0.0]))
+        with pytest.raises(EmptySketchError):
+            store.key_at_reversed_rank(0.0)
+        with pytest.raises(EmptySketchError):
+            store.key_at_reversed_rank_batch(np.array([0.0]))
+
+
+@pytest.mark.parametrize("store_factory", ALL_STORES)
+class TestIterationAndExport:
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_reversed_is_forward_reversed(self, store_factory, items):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        assert list(store.reversed()) == list(store)[::-1]
+
+    @given(items=key_weight_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_nonzero_bins_matches_iteration(self, store_factory, items):
+        store = store_factory()
+        for key, weight in items:
+            store.add(key, weight)
+        nonzero_keys, nonzero_counts = store.nonzero_bins()
+        assert nonzero_keys.dtype == np.int64
+        assert nonzero_counts.dtype == np.float64
+        assert nonzero_keys.tolist() == [bucket.key for bucket in store]
+        assert nonzero_counts.tolist() == [bucket.count for bucket in store]
+
+
+class TestDenseRemoveDrift:
+    def test_full_removal_truly_empties(self):
+        store = DenseStore(chunk_size=8)
+        for key in range(-50, 51):
+            store.add(key, 0.1)
+        for key in range(-50, 51):
+            store.remove(key, 0.1)
+        assert store.is_empty
+        assert store.num_buckets == 0
+        assert store.count == 0.0
+
+    def test_residue_guard_does_not_discard_live_weight(self):
+        # A tiny but real counter survives even when the running total has
+        # drifted below the guard threshold.
+        store = DenseStore(chunk_size=8)
+        store.add(0, 1e-13)
+        assert not store.is_empty
+        assert store.num_buckets == 1
+        store.remove(0, 1e-13)
+        assert store.is_empty
+        assert store.num_buckets == 0
+
+    def test_interleaved_partial_removals(self):
+        store = DenseStore(chunk_size=8)
+        store.add(1, 0.3)
+        store.add(2, 0.3)
+        store.remove(1, 0.1)
+        store.remove(2, 0.3)
+        assert store.num_buckets == 1
+        assert store.key_counts()[1] == pytest.approx(0.2)
+        store.remove(1, 1.0)  # clamped at the remaining weight
+        assert store.is_empty
+        assert store.count == 0.0
+
+    @given(items=key_weight_lists, removals=st.lists(st.tuples(keys, dyadic_weights), max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_num_positive_invariant(self, items, removals):
+        """The O(1) emptiness tracker always equals the true non-empty count."""
+        store = DenseStore(chunk_size=16)
+        for key, weight in items:
+            store.add(key, weight)
+        for key, weight in removals:
+            store.remove(key, weight)
+            assert store._num_positive == int(np.count_nonzero(store._bins > 0.0))
+        # The sparse store under the same operations is the semantic model.
+        model = SparseStore()
+        for key, weight in items:
+            model.add(key, weight)
+        for key, weight in removals:
+            model.remove(key, weight)
+        assert store.key_counts() == model.key_counts()
+
+
+SKETCHES = (
+    lambda: DDSketch(relative_accuracy=0.01, bin_limit=128),
+    lambda: FastDDSketch(relative_accuracy=0.01, bin_limit=128),
+    lambda: LogUnboundedDenseDDSketch(relative_accuracy=0.01),
+    lambda: LogCollapsingHighestDenseDDSketch(relative_accuracy=0.01, bin_limit=128),
+    lambda: SparseDDSketch(relative_accuracy=0.01),
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=80,
+)
+quantiles_strategy = st.lists(
+    st.floats(min_value=-0.5, max_value=1.5, allow_nan=False), min_size=1, max_size=15
+)
+
+
+def reference_quantile(sketch, quantile):
+    """Per-bucket reimplementation of the scalar quantile read."""
+    if quantile < 0 or quantile > 1 or sketch.count == 0:
+        return None
+    rank = max(quantile * (sketch.count - 1), 0.0)
+    negative_count = sketch.negative_store.count
+    if rank < negative_count:
+        key = reference_key_at_reversed_rank(sketch.negative_store, rank)
+        return -sketch.mapping.value(key)
+    if rank < sketch.zero_count + negative_count:
+        return 0.0
+    key = reference_key_at_rank(sketch.store, rank - sketch.zero_count - negative_count)
+    return sketch.mapping.value(key)
+
+
+@pytest.mark.parametrize("sketch_factory", SKETCHES)
+class TestMultiQuantileEquivalence:
+    @given(values=values_strategy, quantiles=quantiles_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_get_quantiles_matches_reference(self, sketch_factory, values, quantiles):
+        sketch = sketch_factory()
+        for value in values:
+            sketch.add(value)
+        assert sketch.get_quantiles(quantiles) == [
+            reference_quantile(sketch, quantile) for quantile in quantiles
+        ]
+
+    @given(
+        values=values_strategy,
+        weights_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        quantiles=quantiles_strategy,
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_get_quantiles_weighted_matches_reference(
+        self, sketch_factory, values, weights_seed, quantiles
+    ):
+        # Dyadic weights keep every cumulative sum exact, so the vectorized
+        # read must agree with the per-bucket scan bit for bit even off the
+        # unit-weight path.
+        rng = np.random.default_rng(weights_seed)
+        weights = rng.integers(1, 32, size=len(values)) / 4.0
+        sketch = sketch_factory()
+        for value, weight in zip(values, weights.tolist()):
+            sketch.add(value, weight)
+        assert sketch.get_quantiles(quantiles) == [
+            reference_quantile(sketch, quantile) for quantile in quantiles
+        ]
+
+    @given(values=values_strategy, quantiles=quantiles_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_delegates_to_batch(self, sketch_factory, values, quantiles):
+        sketch = sketch_factory()
+        sketch.add_all(values)
+        assert [sketch.get_quantile_value(q) for q in quantiles] == sketch.get_quantiles(quantiles)
+
+    def test_empty_and_invalid_quantiles(self, sketch_factory):
+        sketch = sketch_factory()
+        assert sketch.get_quantiles([0.5, -0.1, 1.1]) == [None, None, None]
+        assert sketch.get_quantiles([]) == []
+        sketch.add(1.0)
+        assert sketch.get_quantiles([-0.1, 0.5, 1.1])[0] is None
+        assert sketch.get_quantiles([-0.1, 0.5, 1.1])[2] is None
+        assert sketch.get_quantiles([0.5])[0] == pytest.approx(1.0, rel=0.011)
+
+
+class TestValueBatch:
+    @pytest.mark.parametrize(
+        "mapping_cls",
+        [
+            LogarithmicMapping,
+            LinearlyInterpolatedMapping,
+            QuadraticallyInterpolatedMapping,
+            CubicallyInterpolatedMapping,
+        ],
+    )
+    @pytest.mark.parametrize("offset", [0.0, 7.0])
+    def test_value_batch_bit_identical_to_scalar(self, mapping_cls, offset):
+        mapping = mapping_cls(0.01, offset=offset)
+        probe_keys = np.arange(-1500, 1501, dtype=np.int64)
+        batch = mapping.value_batch(probe_keys)
+        scalar = np.array([mapping.value(int(key)) for key in probe_keys])
+        assert (batch == scalar).all()
+
+    def test_value_batch_empty(self):
+        mapping = LogarithmicMapping(0.01)
+        assert mapping.value_batch(np.empty(0, dtype=np.int64)).size == 0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=1e-6, max_value=1e6, allow_nan=False), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_value_batch_inverts_key_batch_within_alpha(self, values):
+        mapping = LogarithmicMapping(0.01)
+        array = np.array(values)
+        representatives = mapping.value_batch(mapping.key_batch(array))
+        assert (np.abs(representatives - array) <= 0.0101 * array).all()
