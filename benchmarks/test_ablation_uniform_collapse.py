@@ -1,0 +1,153 @@
+"""Ablation: uniform collapse (UDDSketch) vs tail collapse at equal memory.
+
+The paper's bounded sketch collapses the *lowest* buckets once the budget is
+hit (Algorithm 3/4), which preserves the high quantiles but abandons the
+guarantee for everything folded into the boundary bucket.  The uniform
+collapse of UDDSketch (Epicoco et al., 2020) instead folds even/odd bucket
+pairs — squaring gamma and degrading alpha — so *every* quantile keeps a
+(coarser) relative-error guarantee.
+
+This ablation runs both variants over the same 10M-value heavy-tailed stream
+under the same 512-bucket budget and checks the acceptance criteria of the
+uniform-collapse subsystem:
+
+* the budget forces collapses, and afterwards **every** quantile
+  q in [0.01, 0.99] from UDDSketch is within its *current* (post-collapse)
+  alpha of the exact value;
+* merging two UDDSketches with different alphas answers within the coarser
+  alpha;
+* at equal memory, uniform collapse beats tail collapse on whole-range
+  accuracy (the tail-collapsing sketch is orders of magnitude off below the
+  surviving window).
+"""
+
+import numpy as np
+
+from _bench_utils import run_once
+
+from repro import UDDSketch
+from repro.core.presets import LogCollapsingLowestDenseDDSketch
+from repro.evaluation.report import format_figure_header, format_table
+
+#: 10M-value heavy-tailed stream under a 512-bucket budget (the acceptance
+#: configuration); alpha starts at 0.5% and is left to degrade.
+STREAM_SIZE = 10_000_000
+BUDGET = 512
+INITIAL_ALPHA = 0.005
+
+QUANTILES = np.linspace(0.01, 0.99, 99)
+
+
+def _relative_errors(sketch, quantiles, exact_values):
+    estimates = np.asarray(sketch.get_quantiles(quantiles), dtype=np.float64)
+    return np.abs(estimates - exact_values) / exact_values
+
+
+def test_uniform_collapse_keeps_whole_range_guarantee(benchmark, emit):
+    rng = np.random.default_rng(20200612)
+    values = rng.pareto(1.0, STREAM_SIZE) + 1.0
+
+    def measure():
+        uniform = UDDSketch(relative_accuracy=INITIAL_ALPHA, bin_limit=BUDGET)
+        uniform.add_batch(values)
+        tail = LogCollapsingLowestDenseDDSketch(
+            relative_accuracy=INITIAL_ALPHA, bin_limit=BUDGET
+        )
+        tail.add_batch(values)
+
+        # Exact lower quantiles (rank floor(1 + q(n - 1)), as everywhere in
+        # the evaluation) from one sort of the raw stream.
+        sorted_values = np.sort(values)
+        ranks = np.floor(QUANTILES * (STREAM_SIZE - 1)).astype(np.int64)
+        exact = sorted_values[ranks]
+
+        uniform_errors = _relative_errors(uniform, QUANTILES, exact)
+        tail_errors = _relative_errors(tail, QUANTILES, exact)
+        low = QUANTILES <= 0.5
+
+        # Mixed-alpha fusion at scale: a second, narrow-range sketch that
+        # never collapsed merges into the collapsed one; the answers of the
+        # merged sketch must honour the coarser guarantee.
+        narrow_values = rng.uniform(1.0, 8.0, STREAM_SIZE // 10)
+        narrow = UDDSketch(relative_accuracy=INITIAL_ALPHA, bin_limit=BUDGET)
+        narrow.add_batch(narrow_values)
+        merged = uniform.copy()
+        merged.merge(narrow)
+        merged_sorted = np.sort(np.concatenate([values, narrow_values]))
+        merged_ranks = np.floor(QUANTILES * (merged_sorted.size - 1)).astype(np.int64)
+        merged_errors = _relative_errors(merged, QUANTILES, merged_sorted[merged_ranks])
+
+        return {
+            "uniform": uniform,
+            "tail": tail,
+            "narrow": narrow,
+            "merged": merged,
+            "uniform_errors": uniform_errors,
+            "tail_errors": tail_errors,
+            "merged_errors": merged_errors,
+            "low_mask": low,
+        }
+
+    results = run_once(benchmark, measure)
+    uniform = results["uniform"]
+    tail = results["tail"]
+    merged = results["merged"]
+    uniform_errors = results["uniform_errors"]
+    tail_errors = results["tail_errors"]
+    merged_errors = results["merged_errors"]
+    low = results["low_mask"]
+
+    rows = [
+        [
+            "uniform collapse (UDDSketch)",
+            f"{uniform.size_in_bytes()}",
+            f"{uniform.relative_accuracy:.4f}",
+            f"{uniform_errors[low].max():.4f}",
+            f"{uniform_errors[~low].max():.4f}",
+        ],
+        [
+            "tail collapse (Algorithm 3/4)",
+            f"{tail.size_in_bytes()}",
+            f"{INITIAL_ALPHA:.4f} (upper tail only)",
+            f"{tail_errors[low].max():.3g}",
+            f"{tail_errors[~low].max():.4f}",
+        ],
+    ]
+    emit(
+        format_figure_header(
+            "Ablation",
+            f"uniform vs tail collapse, {STREAM_SIZE:,} Pareto values, "
+            f"budget m = {BUDGET}, initial alpha = {INITIAL_ALPHA}",
+        )
+    )
+    emit(
+        format_table(
+            ["store family", "bytes", "effective alpha", "max err q<=0.5", "max err q>0.5"],
+            rows,
+        )
+    )
+
+    # The budget was actually exceeded: collapses were forced.
+    assert uniform.collapse_count >= 1
+    assert tail.store.is_collapsed
+
+    # Acceptance: every quantile in [0.01, 0.99] within the *current* alpha.
+    tolerance = uniform.relative_accuracy * (1 + 1e-9) + 1e-12
+    assert uniform_errors.max() <= tolerance, (
+        f"uniform-collapse error {uniform_errors.max():.4f} exceeds the "
+        f"degraded guarantee {uniform.relative_accuracy:.4f}"
+    )
+
+    # Acceptance: mixed-alpha merge answers within the coarser guarantee.
+    assert merged.relative_accuracy == max(
+        uniform.relative_accuracy, results["narrow"].relative_accuracy
+    )
+    merged_tolerance = merged.relative_accuracy * (1 + 1e-9) + 1e-12
+    assert merged_errors.max() <= merged_tolerance
+
+    # Equal memory, better whole-range accuracy: the tail-collapsing sketch
+    # is far outside any guarantee for the collapsed low quantiles, while
+    # the uniform store never exceeds its (degraded) alpha anywhere.
+    assert uniform.size_in_bytes() <= tail.size_in_bytes()
+    assert tail_errors[low].max() > 10 * uniform_errors.max()
+    assert uniform_errors.max() < 10 * INITIAL_ALPHA  # degradation stayed modest

@@ -42,6 +42,8 @@ from repro.core import (
     PaperDDSketch,
     QuantileSketch,
     SparseDDSketch,
+    UDDSketch,
+    UniformCollapsingDDSketch,
 )
 from repro.exceptions import (
     DeserializationError,
@@ -63,6 +65,7 @@ from repro.store import (
     CollapsingLowestDenseStore,
     DenseStore,
     SparseStore,
+    UniformCollapsingDenseStore,
 )
 
 __version__ = "1.1.0"
@@ -78,6 +81,8 @@ __all__ = [
     "LogUnboundedDenseDDSketch",
     "SparseDDSketch",
     "PaperDDSketch",
+    "UDDSketch",
+    "UniformCollapsingDDSketch",
     "QuantileSketch",
     # Mappings
     "KeyMapping",
@@ -90,6 +95,7 @@ __all__ = [
     "SparseStore",
     "CollapsingLowestDenseStore",
     "CollapsingHighestDenseStore",
+    "UniformCollapsingDenseStore",
     # Exceptions
     "ReproError",
     "IllegalArgumentError",

@@ -7,7 +7,9 @@ Four subcommands cover the common workflows:
     requested quantiles along with exact count/min/max/average.  Values are
     ingested in NumPy batches (``--batch-size``, default 8192) through the
     vectorized ``add_batch`` path; ``--batch-size 1`` forces the per-value
-    scalar path.
+    scalar path.  ``--variant uddsketch`` selects the uniform-collapse sketch
+    (bounded memory with an adaptive ``alpha``); its report additionally
+    prints the *effective* accuracy after any collapses.
 
 ``generate``
     Emit values from one of the evaluation data sets (pareto / span / power),
@@ -32,6 +34,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.ddsketch import DDSketch
+from repro.core.uddsketch import UDDSketch
 from repro.datasets.registry import dataset_names, get_dataset
 from repro.evaluation.accuracy import measure_accuracy
 from repro.evaluation.report import format_quantile_errors, format_table
@@ -75,6 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
     )
     sketch.add_argument("--bin-limit", type=int, default=2048, help="bucket limit m (default: 2048)")
+    sketch.add_argument(
+        "--variant",
+        choices=("ddsketch", "uddsketch"),
+        default="ddsketch",
+        help=(
+            "sketch variant: 'ddsketch' collapses the lowest buckets when the limit "
+            "is hit (paper Algorithm 3/4), 'uddsketch' collapses uniformly and "
+            "degrades alpha instead (default: ddsketch)"
+        ),
+    )
     sketch.add_argument(
         "--batch-size",
         type=_parse_batch_size,
@@ -124,7 +137,10 @@ def _read_values(source: str, stdin=None) -> Iterable[float]:
 
 
 def _run_sketch(args: argparse.Namespace, stdin, stdout) -> int:
-    sketch = DDSketch(relative_accuracy=args.relative_accuracy, bin_limit=args.bin_limit)
+    if args.variant == "uddsketch":
+        sketch = UDDSketch(relative_accuracy=args.relative_accuracy, bin_limit=args.bin_limit)
+    else:
+        sketch = DDSketch(relative_accuracy=args.relative_accuracy, bin_limit=args.bin_limit)
     if args.batch_size > 1:
         buffer: List[float] = []
         for value in _read_values(args.input, stdin):
@@ -148,6 +164,12 @@ def _run_sketch(args: argparse.Namespace, stdin, stdout) -> int:
         ["buckets", f"{sketch.num_buckets}"],
         ["bytes", f"{sketch.size_in_bytes()}"],
     ]
+    if args.variant == "uddsketch":
+        # The guarantee is adaptive: report what it degraded to (and how many
+        # uniform collapses got it there) next to the configured target.
+        rows.append(["alpha (configured)", f"{sketch.initial_relative_accuracy:.6g}"])
+        rows.append(["alpha (effective)", f"{sketch.relative_accuracy:.6g}"])
+        rows.append(["collapses", f"{sketch.collapse_count}"])
     for quantile in args.quantiles:
         rows.append([f"p{quantile * 100:g}", f"{sketch.get_quantile_value(quantile):.6g}"])
     print(format_table(["statistic", "value"], rows), file=stdout)

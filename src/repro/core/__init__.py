@@ -6,6 +6,7 @@ combinations evaluated in the paper (memory-optimal, fast, unbounded, sparse).
 """
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.core.uddsketch import UDDSketch, DEFAULT_UNIFORM_BIN_LIMIT
 from repro.core.presets import (
     LogCollapsingLowestDenseDDSketch,
     LogCollapsingHighestDenseDDSketch,
@@ -13,6 +14,7 @@ from repro.core.presets import (
     FastDDSketch,
     SparseDDSketch,
     PaperDDSketch,
+    UniformCollapsingDDSketch,
 )
 from repro.core.protocol import QuantileSketch, sketch_metadata, SketchMetadata
 
@@ -25,6 +27,9 @@ __all__ = [
     "FastDDSketch",
     "SparseDDSketch",
     "PaperDDSketch",
+    "UDDSketch",
+    "UniformCollapsingDDSketch",
+    "DEFAULT_UNIFORM_BIN_LIMIT",
     "QuantileSketch",
     "SketchMetadata",
     "sketch_metadata",

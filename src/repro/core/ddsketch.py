@@ -31,6 +31,7 @@ import numpy as np
 from repro.exceptions import (
     EmptySketchError,
     IllegalArgumentError,
+    ReproError,
     UnequalSketchParametersError,
 )
 from repro.mapping import KeyMapping, LogarithmicMapping
@@ -523,26 +524,79 @@ class BaseDDSketch:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "BaseDDSketch":
-        """Rebuild a sketch from :meth:`to_dict` output."""
+        """Rebuild a sketch from :meth:`to_dict` output.
+
+        Raises :class:`~repro.exceptions.DeserializationError` for any
+        malformed payload (missing sections, wrong types, non-finite
+        summaries) instead of leaking ``KeyError``/``TypeError`` from the
+        parsing internals.
+        """
+        from repro.exceptions import DeserializationError
         from repro.serialization.json_codec import store_from_dict
 
-        mapping = KeyMapping.from_dict(payload["mapping"])
-        store = store_from_dict(payload["store"])
-        negative_store = store_from_dict(payload["negative_store"])
+        from repro.core.uddsketch import UDDSketch
+        from repro.store import UniformCollapsingDenseStore
+
+        try:
+            mapping_payload = payload["mapping"]
+            if not isinstance(mapping_payload, dict):
+                raise DeserializationError("the 'mapping' section must be an object")
+            mapping = KeyMapping.from_dict(mapping_payload)
+            store = store_from_dict(payload["store"])
+            negative_store = store_from_dict(payload["negative_store"])
+            uniform_stores = sum(
+                isinstance(s, UniformCollapsingDenseStore)
+                for s in (store, negative_store)
+            )
+            # Uniform-collapse stores fold their keys on overflow, which is
+            # only sound when the owning sketch re-squares gamma in step —
+            # i.e. when it is a UDDSketch with *both* stores uniform; and a
+            # UDDSketch cannot drive the collapse bookkeeping of any other
+            # store family.
+            if uniform_stores and not issubclass(cls, UDDSketch):
+                raise DeserializationError(
+                    "payload carries uniform-collapse stores; decode it as a "
+                    "UDDSketch (or let the default class auto-upgrade)"
+                )
+            if issubclass(cls, UDDSketch) and uniform_stores != 2:
+                raise DeserializationError(
+                    "a UDDSketch payload requires two uniform-collapse stores, "
+                    f"got {type(store).__name__}/{type(negative_store).__name__}"
+                )
+            zero_count = float(payload.get("zero_count", 0.0))
+            count = float(
+                payload.get("count", store.count + negative_store.count + zero_count)
+            )
+            total = float(payload.get("sum", 0.0))
+            if not math.isfinite(zero_count) or zero_count < 0.0:
+                raise DeserializationError(f"invalid zero count {zero_count!r}")
+            if not math.isfinite(count) or count < 0.0:
+                raise DeserializationError(f"invalid total count {count!r}")
+            if not math.isfinite(total):
+                raise DeserializationError(f"invalid sum {total!r}")
+            minimum = payload.get("min")
+            maximum = payload.get("max")
+            minimum = float("inf") if minimum is None else float(minimum)
+            maximum = float("-inf") if maximum is None else float(maximum)
+        except DeserializationError:
+            raise
+        except ReproError as error:
+            raise DeserializationError(f"malformed sketch payload: {error}") from error
+        except (KeyError, TypeError, ValueError, AttributeError, OverflowError) as error:
+            raise DeserializationError(f"malformed sketch payload: {error}") from error
+
         sketch = cls.__new__(cls)
         BaseDDSketch.__init__(
             sketch,
             mapping=mapping,
             store=store,
             negative_store=negative_store,
-            zero_count=payload.get("zero_count", 0.0),
+            zero_count=zero_count,
         )
-        sketch._count = payload.get("count", store.count + negative_store.count + sketch._zero_count)
-        sketch._sum = payload.get("sum", 0.0)
-        minimum = payload.get("min")
-        maximum = payload.get("max")
-        sketch._min = float("inf") if minimum is None else float(minimum)
-        sketch._max = float("-inf") if maximum is None else float(maximum)
+        sketch._count = count
+        sketch._sum = total
+        sketch._min = minimum
+        sketch._max = maximum
         return sketch
 
     def to_bytes(self) -> bytes:

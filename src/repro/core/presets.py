@@ -13,6 +13,7 @@ preset                                   paper configuration
 :class:`SparseDDSketch`                    sparse buckets + the exact Algorithm 3 collapse
 :class:`LogCollapsingHighestDenseDDSketch` collapse from the highest buckets instead
 :class:`PaperDDSketch`                     alias of the Table 2 configuration
+:class:`UniformCollapsingDDSketch`         UDDSketch: uniform collapse, adaptive alpha
 ================================         ===========================================
 """
 
@@ -26,6 +27,7 @@ from repro.core.ddsketch import (
     DEFAULT_BIN_LIMIT,
     DEFAULT_RELATIVE_ACCURACY,
 )
+from repro.core.uddsketch import UDDSketch
 from repro.exceptions import IllegalArgumentError
 from repro.mapping import (
     CubicallyInterpolatedMapping,
@@ -210,3 +212,8 @@ class SparseDDSketch(BaseDDSketch):
 #: Alias for the exact configuration used throughout the paper's experiments
 #: (Table 2): relative accuracy 1% and at most 2048 buckets.
 PaperDDSketch = DDSketch
+
+#: Alias naming the uniform-collapse variant in the preset family: bounded
+#: memory with a guarantee that degrades uniformly (UDDSketch) instead of
+#: abandoning one tail (the Algorithm 3/4 collapse of the presets above).
+UniformCollapsingDDSketch = UDDSketch

@@ -188,6 +188,34 @@ class KeyMapping(ABC):
             count=keys.size,
         )
 
+    def with_doubled_gamma(self) -> "KeyMapping":
+        """Return the same mapping family refined to the squared ``gamma``.
+
+        This is the mapping half of a uniform collapse (UDDSketch, Epicoco et
+        al., 2020): folding even/odd bucket pairs ``k -> ceil(k / 2)`` in the
+        store turns a sketch with growth factor ``gamma`` into exactly the
+        sketch with growth factor ``gamma**2``, whose relative accuracy is
+
+            ``alpha' = 2 * alpha / (1 + alpha**2)``
+
+        (substitute ``gamma**2 = ((1 + alpha) / (1 - alpha))**2`` into
+        ``alpha' = (gamma' - 1) / (gamma' + 1)``).  The key offset is halved,
+        which keeps the refined mapping consistent with the store-side fold
+        **only for offset 0** (``key = ceil(log_gamma(x)) + offset`` folds to
+        ``ceil(key / 2)``, which equals ``ceil(log_{gamma^2}(x)) + offset/2``
+        exactly when the offset term vanishes; an odd or fractional offset is
+        off the folded grid by up to one bucket).  :class:`repro.core.UDDSketch`
+        therefore requires an offset-0 mapping.  For offset 0 the
+        correspondence is exact for the logarithmic mapping
+        (``ceil(ceil(y) / 2) == ceil(y / 2)``) and holds to within the usual
+        one-bucket approximation for the interpolated mappings.
+        """
+        alpha = self._relative_accuracy
+        return type(self)(
+            relative_accuracy=(2.0 * alpha) / (1.0 + alpha * alpha),
+            offset=self._offset / 2.0,
+        )
+
     def lower_bound(self, key: int) -> float:
         """Return the exclusive lower bound of the bucket identified by ``key``."""
         return self._pow_gamma(key - self._offset - 1)

@@ -75,6 +75,14 @@ class MonitoringSimulation:
         of the paper's Figure 3.
     seed:
         Seed for deterministic workloads.
+    sketch_factory:
+        Zero-argument callable creating the sketch used by every agent and
+        by the aggregator's rollups; defaults to
+        ``DDSketch(relative_accuracy=relative_accuracy)``.  Pass e.g.
+        ``lambda: UDDSketch(relative_accuracy=0.01, bin_limit=256)`` to run
+        the whole pipeline on the uniform-collapse variant — mismatched-alpha
+        payloads (hosts that collapsed a different number of times) merge to
+        the coarser guarantee instead of being rejected.
     """
 
     def __init__(
@@ -86,6 +94,7 @@ class MonitoringSimulation:
         latency_generator: Optional[Callable[[int, Optional[int]], np.ndarray]] = None,
         seed: Optional[int] = 0,
         metric: str = "web.request.latency",
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
     ) -> None:
         if num_hosts < 1:
             raise IllegalArgumentError(f"num_hosts must be positive, got {num_hosts!r}")
@@ -103,7 +112,8 @@ class MonitoringSimulation:
         self._seed = seed
         self._metric = metric
 
-        sketch_factory = lambda: DDSketch(relative_accuracy=self._relative_accuracy)  # noqa: E731
+        if sketch_factory is None:
+            sketch_factory = lambda: DDSketch(relative_accuracy=self._relative_accuracy)  # noqa: E731
         self._agents = [
             MetricAgent(host=f"host-{index:03d}", sketch_factory=sketch_factory)
             for index in range(self._num_hosts)

@@ -95,6 +95,11 @@ class VarintReader:
         """Whether every byte of the payload has been consumed."""
         return self._offset >= len(self._payload)
 
+    @property
+    def remaining(self) -> int:
+        """Number of unconsumed bytes left in the payload."""
+        return max(len(self._payload) - self._offset, 0)
+
     def read_varint(self) -> int:
         value, self._offset = decode_varint(self._payload, self._offset)
         return value

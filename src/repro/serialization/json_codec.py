@@ -14,14 +14,24 @@ from typing import Any, Dict, Type
 
 import numpy as np
 
-from repro.exceptions import DeserializationError
+from repro.exceptions import DeserializationError, ReproError
 from repro.store import (
     CollapsingHighestDenseStore,
     CollapsingLowestDenseStore,
     DenseStore,
     SparseStore,
     Store,
+    UniformCollapsingDenseStore,
 )
+
+#: Largest key span a decoded dense store may cover; mirrors the binary
+#: codec's sanity limit so a malformed payload cannot request a giant
+#: allocation through either codec.
+_MAX_DECODED_KEY_SPAN = 1 << 23
+
+#: Sanity cap on deserialized collapse counts; see
+#: :data:`repro.core.uddsketch.MAX_COLLAPSE_COUNT` for the rationale.
+_MAX_COLLAPSE_COUNT = 64
 
 
 def _store_registry() -> Dict[str, Type[Store]]:
@@ -30,30 +40,69 @@ def _store_registry() -> Dict[str, Type[Store]]:
         "SparseStore": SparseStore,
         "CollapsingLowestDenseStore": CollapsingLowestDenseStore,
         "CollapsingHighestDenseStore": CollapsingHighestDenseStore,
+        "UniformCollapsingDenseStore": UniformCollapsingDenseStore,
     }
 
 
 def store_from_dict(payload: Dict[str, Any]) -> Store:
-    """Rebuild a store from the output of :meth:`Store.to_dict`."""
-    registry = _store_registry()
-    type_name = payload.get("type")
-    if type_name not in registry:
-        raise DeserializationError(f"unknown store type {type_name!r}")
-    store_cls = registry[type_name]
-    kwargs: Dict[str, Any] = {}
-    if type_name in ("CollapsingLowestDenseStore", "CollapsingHighestDenseStore"):
-        kwargs["bin_limit"] = int(payload.get("bin_limit", 2048))
-    store = store_cls(**kwargs)
-    bins = payload.get("bins", {})
-    if bins:
-        # Rebuild through the vectorized bulk-insertion path: the key order
-        # of a JSON object is arbitrary, so sort for a deterministic window
-        # placement, then let add_batch do one allocation + one bincount.
-        items = sorted((int(key), float(count)) for key, count in bins.items())
-        keys = np.array([key for key, _ in items], dtype=np.int64)
-        counts = np.array([count for _, count in items], dtype=np.float64)
-        store.add_batch(keys, counts)
-    return store
+    """Rebuild a store from the output of :meth:`Store.to_dict`.
+
+    Raises :class:`~repro.exceptions.DeserializationError` for any malformed
+    payload — wrong types, non-numeric keys or counts, absurd key spans —
+    rather than letting ``ValueError``/``TypeError`` escape from the parsing
+    internals.
+    """
+    try:
+        registry = _store_registry()
+        type_name = payload.get("type")
+        if type_name not in registry:
+            raise DeserializationError(f"unknown store type {type_name!r}")
+        store_cls = registry[type_name]
+        kwargs: Dict[str, Any] = {}
+        if type_name in (
+            "CollapsingLowestDenseStore",
+            "CollapsingHighestDenseStore",
+            "UniformCollapsingDenseStore",
+        ):
+            kwargs["bin_limit"] = int(payload.get("bin_limit", 2048))
+        store = store_cls(**kwargs)
+        bins = payload.get("bins", {})
+        if bins:
+            # Rebuild through the vectorized bulk-insertion path: the key order
+            # of a JSON object is arbitrary, so sort for a deterministic window
+            # placement, then let add_batch do one allocation + one bincount.
+            items = sorted((int(key), float(count)) for key, count in bins.items())
+            keys = np.array([key for key, _ in items], dtype=np.int64)
+            counts = np.array([count for _, count in items], dtype=np.float64)
+            if int(keys[-1]) - int(keys[0]) + 1 > _MAX_DECODED_KEY_SPAN:
+                raise DeserializationError(
+                    f"decoded key span exceeds the sanity limit {_MAX_DECODED_KEY_SPAN}"
+                )
+            if not np.isfinite(counts).all() or (counts < 0.0).any():
+                raise DeserializationError("bucket counts must be finite and non-negative")
+            store.add_batch(keys, counts)
+        if isinstance(store, UniformCollapsingDenseStore):
+            if store.collapse_count:
+                # A well-formed payload's span already fits its bin limit; a
+                # fold during the rebuild means the declared limit and the
+                # encoded buckets contradict each other.
+                raise DeserializationError(
+                    "encoded bucket span exceeds the store's declared bin limit"
+                )
+            collapse_count = int(payload.get("collapse_count", 0))
+            if not 0 <= collapse_count <= _MAX_COLLAPSE_COUNT:
+                raise DeserializationError(
+                    f"collapse count {collapse_count} outside [0, {_MAX_COLLAPSE_COUNT}]"
+                )
+            # Restore the collapse count recorded at serialization time.
+            store._collapse_count = collapse_count
+        return store
+    except DeserializationError:
+        raise
+    except ReproError as error:
+        raise DeserializationError(f"malformed store payload: {error}") from error
+    except (KeyError, TypeError, ValueError, AttributeError, OverflowError) as error:
+        raise DeserializationError(f"malformed store payload: {error}") from error
 
 
 def sketch_to_json(sketch: Any) -> str:
@@ -66,16 +115,30 @@ def sketch_from_json(payload: str, sketch_cls: Any = None) -> Any:
 
     ``sketch_cls`` defaults to :class:`repro.core.BaseDDSketch`; pass a
     subclass to get an instance of that type (its stores are restored from the
-    payload, not re-created from the subclass defaults).
+    payload, not re-created from the subclass defaults).  Payloads whose
+    positive store is a uniform-collapse store default to
+    :class:`~repro.core.UDDSketch` instead, so the adaptive-accuracy merge
+    semantics survive the round trip.
     """
     from repro.core.ddsketch import BaseDDSketch
+    from repro.core.uddsketch import UDDSketch
 
-    if sketch_cls is None:
-        sketch_cls = BaseDDSketch
     try:
         data = json.loads(payload)
     except json.JSONDecodeError as exc:
         raise DeserializationError(f"invalid JSON payload: {exc}") from exc
     if not isinstance(data, dict):
         raise DeserializationError("expected a JSON object at the top level")
+    if sketch_cls is None:
+        sketch_cls = BaseDDSketch
+    if sketch_cls is BaseDDSketch:
+        store_payload = data.get("store")
+        if (
+            isinstance(store_payload, dict)
+            and store_payload.get("type") == "UniformCollapsingDenseStore"
+        ):
+            # Same upgrade rule as the binary codec: the generic base class
+            # becomes a UDDSketch when the payload carries uniform-collapse
+            # state; explicit subclasses are honored as-is.
+            sketch_cls = UDDSketch
     return sketch_cls.from_dict(data)

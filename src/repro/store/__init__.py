@@ -14,6 +14,10 @@ interface so that the sketch logic is independent of the storage strategy:
   bound is exceeded (Algorithm 3 / 4 of the paper).
 * :class:`CollapsingHighestDenseStore` — same, collapsing from the highest
   keys instead; used for the negative-value half of a full sketch.
+* :class:`UniformCollapsingDenseStore` — a dense store that bounds its size by
+  folding even/odd key pairs together (the UDDSketch scheme), preserving a
+  degraded relative-error guarantee over the whole quantile range instead of
+  sacrificing one tail.
 """
 
 from repro.store.base import Store, Bucket
@@ -23,6 +27,7 @@ from repro.store.collapsing import (
     CollapsingLowestDenseStore,
     CollapsingHighestDenseStore,
 )
+from repro.store.uniform import UniformCollapsingDenseStore
 
 __all__ = [
     "Store",
@@ -31,4 +36,5 @@ __all__ = [
     "SparseStore",
     "CollapsingLowestDenseStore",
     "CollapsingHighestDenseStore",
+    "UniformCollapsingDenseStore",
 ]

@@ -1,13 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the Hypothesis profiles.
+
+Two Hypothesis profiles are registered here: ``ci`` (thorough — more
+examples and longer stateful runs, no deadline so shared runners cannot
+flake) and ``dev`` (fast feedback for local loops).  CI selects the ``ci``
+profile automatically via the ``CI`` environment variable that every major
+CI system sets; override with ``HYPOTHESIS_PROFILE=ci|dev``.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro import DDSketch
 from repro.baselines.exact import ExactQuantiles
+
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    stateful_step_count=50,
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev")
+)
 
 #: Quantiles checked throughout the accuracy tests.
 STANDARD_QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0)

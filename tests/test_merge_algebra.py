@@ -1,0 +1,235 @@
+"""Property tests for the algebra of ``merge``.
+
+The paper's full-mergeability claim (Section 2.1, Table 1) is an algebraic
+one: because bucket boundaries are fixed by ``gamma`` and counters simply
+add, ``merge`` is commutative and associative with the empty sketch as the
+identity.  These tests check those laws *observably* — identical bucket
+contents, scalar summaries, and quantile answers — across:
+
+* mixed store types (dense, sparse, tail-collapsing) sharing one mapping,
+* :class:`~repro.core.UDDSketch` instances with **different** current
+  accuracies, where the fusion rule (collapse the finer side first) must
+  still commute and associate, and the merged sketch must carry exactly the
+  *coarser* input's ``alpha``.
+
+Unit weights keep every counter an integer below 2**53, so bucket contents,
+counts, and quantile answers obey all the laws *exactly*.  The one summary
+compared with a (1e-12) tolerance is the exact ``sum``: float addition is not
+associative, so re-parenthesising the merge tree may shift its last ulp.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import (
+    BaseDDSketch,
+    CollapsingHighestDenseStore,
+    CollapsingLowestDenseStore,
+    DenseStore,
+    LogarithmicMapping,
+    SparseStore,
+    UDDSketch,
+)
+
+#: Store factories producing (positive, negative) pairs that all share the
+#: LogarithmicMapping(0.02) bucket layout.  The tail-collapsing pair gets the
+#: default 2048-bucket budget, which the test value range never exhausts, so
+#: its merge stays exact.
+STORE_PAIRS = {
+    "dense": lambda: (DenseStore(), DenseStore()),
+    "sparse": lambda: (SparseStore(), SparseStore()),
+    "collapsing": lambda: (
+        CollapsingLowestDenseStore(bin_limit=2048),
+        CollapsingHighestDenseStore(bin_limit=2048),
+    ),
+}
+
+_magnitudes = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_values = st.one_of(st.just(0.0), _magnitudes, _magnitudes.map(lambda x: -x))
+_value_lists = st.lists(_values, max_size=50)
+
+# Narrow-range values whose keys fit a 64-bucket budget without collapsing;
+# merging wide-range and narrow-range UDDSketches of the *same* budget is
+# what produces mismatched collapse counts (mixed alpha) deterministically.
+_narrow_magnitudes = st.floats(
+    min_value=1.0, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+_narrow_values = st.one_of(st.just(0.0), _narrow_magnitudes, _narrow_magnitudes.map(lambda x: -x))
+_narrow_value_lists = st.lists(_narrow_values, max_size=50)
+
+_QUANTILES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)
+
+
+def _plain(store_kind: str, values: list) -> BaseDDSketch:
+    store, negative_store = STORE_PAIRS[store_kind]()
+    sketch = BaseDDSketch(
+        mapping=LogarithmicMapping(0.02), store=store, negative_store=negative_store
+    )
+    if values:
+        sketch.add_batch(np.asarray(values, dtype=np.float64))
+    return sketch
+
+
+def _uniform(values: list, bin_limit: int = 64) -> UDDSketch:
+    sketch = UDDSketch(relative_accuracy=0.02, bin_limit=bin_limit)
+    if values:
+        sketch.add_batch(np.asarray(values, dtype=np.float64))
+    return sketch
+
+
+def _assert_same_contents(a: BaseDDSketch, b: BaseDDSketch) -> None:
+    """Observable equality: buckets, summaries, and quantile answers."""
+    assert a.store.key_counts() == b.store.key_counts()
+    assert a.negative_store.key_counts() == b.negative_store.key_counts()
+    assert a.zero_count == b.zero_count
+    assert a.count == b.count
+    assert math.isclose(a.sum, b.sum, rel_tol=1e-12, abs_tol=1e-9)
+    if a.count > 0:
+        assert a.min == b.min
+        assert a.max == b.max
+    assert a.get_quantiles(_QUANTILES) == b.get_quantiles(_QUANTILES)
+
+
+class TestPlainSketchAlgebra:
+    @given(
+        kind_a=st.sampled_from(sorted(STORE_PAIRS)),
+        kind_b=st.sampled_from(sorted(STORE_PAIRS)),
+        values_a=_value_lists,
+        values_b=_value_lists,
+    )
+    def test_commutativity_across_store_types(self, kind_a, kind_b, values_a, values_b):
+        ab = _plain(kind_a, values_a)
+        ab.merge(_plain(kind_b, values_b))
+        ba = _plain(kind_b, values_b)
+        ba.merge(_plain(kind_a, values_a))
+        _assert_same_contents(ab, ba)
+
+    @given(
+        kinds=st.tuples(*[st.sampled_from(sorted(STORE_PAIRS))] * 3),
+        values=st.tuples(_value_lists, _value_lists, _value_lists),
+    )
+    def test_associativity_across_store_types(self, kinds, values):
+        def build(i):
+            return _plain(kinds[i], values[i])
+
+        left = build(0)
+        left.merge(build(1))
+        left.merge(build(2))
+
+        right_tail = build(1)
+        right_tail.merge(build(2))
+        right = build(0)
+        right.merge(right_tail)
+        _assert_same_contents(left, right)
+
+    @given(kind=st.sampled_from(sorted(STORE_PAIRS)), values=_value_lists)
+    def test_empty_sketch_is_the_identity(self, kind, values):
+        sketch = _plain(kind, values)
+        merged = _plain(kind, values)
+        merged.merge(_plain(kind, []))
+        _assert_same_contents(sketch, merged)
+
+        absorbed = _plain(kind, [])
+        absorbed.merge(sketch)
+        _assert_same_contents(sketch, absorbed)
+
+
+class TestUDDSketchAlgebra:
+    """The fusion rule must preserve the merge algebra across mixed alpha."""
+
+    @given(values_a=_value_lists, values_b=_narrow_value_lists)
+    def test_commutativity_mixed_alpha(self, values_a, values_b):
+        # Equal budgets (the algebra is only closed under one budget), but
+        # the wide-range operand generally collapsed more often than the
+        # narrow-range one, so the fusion path is exercised.
+        ab = _uniform(values_a, bin_limit=64)
+        ab.merge(_uniform(values_b, bin_limit=64))
+        ba = _uniform(values_b, bin_limit=64)
+        ba.merge(_uniform(values_a, bin_limit=64))
+        assert ab.relative_accuracy == ba.relative_accuracy
+        assert ab.collapse_count == ba.collapse_count
+        _assert_same_contents(ab, ba)
+
+    @given(values=st.tuples(_value_lists, _narrow_value_lists, _narrow_value_lists))
+    def test_associativity_mixed_alpha(self, values):
+        def build(i):
+            return _uniform(values[i], bin_limit=64)
+
+        left = build(0)
+        left.merge(build(1))
+        left.merge(build(2))
+
+        right_tail = build(1)
+        right_tail.merge(build(2))
+        right = build(0)
+        right.merge(right_tail)
+        assert left.relative_accuracy == right.relative_accuracy
+        assert left.collapse_count == right.collapse_count
+        _assert_same_contents(left, right)
+
+    @given(values=_value_lists)
+    def test_empty_uddsketch_is_the_identity(self, values):
+        sketch = _uniform(values)
+        merged = _uniform(values)
+        merged.merge(_uniform([]))
+        assert merged.relative_accuracy == sketch.relative_accuracy
+        _assert_same_contents(sketch, merged)
+
+        absorbed = _uniform([])
+        absorbed.merge(sketch)
+        assert absorbed.relative_accuracy == sketch.relative_accuracy
+        _assert_same_contents(sketch, absorbed)
+
+    def test_result_carries_the_coarser_alpha(self):
+        """Fusion of different-alpha sketches yields the coarser guarantee."""
+        coarse = _uniform(list(np.logspace(-3.0, 3.0, 2000)), bin_limit=64)
+        fine = _uniform(list(np.linspace(1.0, 5.0, 2000)), bin_limit=64)
+        assert coarse.collapse_count > 0
+        assert fine.collapse_count == 0
+        coarser_alpha = coarse.relative_accuracy
+
+        merged = coarse.copy()
+        merged.merge(fine)
+        assert merged.relative_accuracy == coarser_alpha
+
+        merged_other_way = fine.copy()
+        merged_other_way.merge(coarse)
+        assert merged_other_way.relative_accuracy == coarser_alpha
+        # The finer operand itself must never be coarsened by the merge.
+        assert fine.collapse_count == 0
+        assert fine.relative_accuracy < coarser_alpha
+
+    def test_lineage_mismatch_is_rejected(self):
+        from repro.exceptions import UnequalSketchParametersError
+
+        a = _uniform([1.0, 2.0])
+        b = UDDSketch(relative_accuracy=0.05, bin_limit=64)
+        b.add(1.0)
+        with pytest.raises(UnequalSketchParametersError):
+            a.merge(b)
+
+    def test_rejected_merge_does_not_coarsen_the_target(self):
+        """Regression: lineage is validated *before* any folding, so a
+        rejected merge must leave the target's guarantee untouched — even
+        when the incompatible peer has collapsed more often."""
+        from repro.exceptions import UnequalSketchParametersError
+
+        fine = _uniform(list(np.linspace(1.0, 4.0, 500)), bin_limit=64)
+        assert fine.collapse_count == 0
+        foreign = UDDSketch(relative_accuracy=0.05, bin_limit=64)
+        foreign.add_batch(np.logspace(-3.0, 5.0, 2_000))
+        assert foreign.collapse_count > 0
+        alpha_before = fine.relative_accuracy
+        buckets_before = fine.store.key_counts()
+        with pytest.raises(UnequalSketchParametersError):
+            fine.merge(foreign)
+        assert fine.relative_accuracy == alpha_before
+        assert fine.collapse_count == 0
+        assert fine.store.key_counts() == buckets_before

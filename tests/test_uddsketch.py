@@ -1,0 +1,303 @@
+"""Unit tests for the uniform-collapse store family and UDDSketch.
+
+Covers the three layers of the UDDSketch subsystem (Epicoco et al., 2020):
+
+* :class:`~repro.store.UniformCollapsingDenseStore` — the even/odd fold
+  (``k -> ceil(k / 2)``), weight conservation, budget enforcement, and the
+  no-midway-collapse merge rule;
+* :meth:`~repro.mapping.KeyMapping.with_doubled_gamma` — the ``gamma**2``
+  refinement and its alpha-degradation formula;
+* :class:`~repro.core.UDDSketch` — adaptive accuracy tracked through
+  collapses, the whole-range guarantee after forced collapses, mixed-alpha
+  fusion, and the wiring through CLI and the monitoring pipeline.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    LogarithmicMapping,
+    UDDSketch,
+    UniformCollapsingDDSketch,
+    UniformCollapsingDenseStore,
+)
+from repro.exceptions import IllegalArgumentError
+from repro.store import SparseStore
+
+from tests.conftest import assert_relative_accuracy
+
+
+def _fold(key_counts: dict, times: int = 1) -> dict:
+    """Reference implementation of the uniform fold on a {key: count} dict."""
+    for _ in range(times):
+        folded: dict = {}
+        for key, count in key_counts.items():
+            new_key = -(-key // 2)
+            folded[new_key] = folded.get(new_key, 0.0) + count
+        key_counts = folded
+    return key_counts
+
+
+class TestUniformCollapsingDenseStore:
+    def test_rejects_degenerate_bin_limit(self):
+        with pytest.raises(IllegalArgumentError):
+            UniformCollapsingDenseStore(bin_limit=1)
+
+    def test_no_collapse_within_budget(self):
+        store = UniformCollapsingDenseStore(bin_limit=64)
+        for key in range(-20, 21):
+            store.add(key)
+        assert store.collapse_count == 0
+        assert not store.is_collapsed
+        assert store.key_counts() == {key: 1.0 for key in range(-20, 21)}
+
+    def test_fold_matches_reference_semantics(self):
+        # One whole batch lands before the span check runs, so a single
+        # uniform fold of the full key set is the expected outcome.  (Under
+        # scalar insertion each add() is in the key space current *at that
+        # moment* — re-keying across collapses is the sketch's job.)
+        store = UniformCollapsingDenseStore(bin_limit=16)
+        keys = list(range(-15, 16))  # span 31 > 16 -> exactly one collapse
+        store.add_batch(np.asarray(keys, dtype=np.int64), np.full(len(keys), 2.0))
+        assert store.collapse_count == 1
+        expected = _fold({key: 2.0 for key in keys})
+        assert store.key_counts() == expected
+        assert store.count == 2.0 * len(keys)
+
+    def test_repeated_collapse_until_span_fits(self):
+        store = UniformCollapsingDenseStore(bin_limit=8)
+        store.add_batch(np.arange(0, 100, dtype=np.int64))
+        span = store.max_key - store.min_key + 1
+        assert span <= 8
+        assert store.collapse_count >= 4
+        assert store.count == 100.0
+        assert store.key_counts() == _fold({k: 1.0 for k in range(100)}, store.collapse_count)
+
+    def test_explicit_collapse_on_empty_store_counts(self):
+        store = UniformCollapsingDenseStore(bin_limit=8)
+        store.collapse()
+        assert store.collapse_count == 1
+        assert store.is_empty
+
+    def test_allocation_stays_within_budget(self):
+        store = UniformCollapsingDenseStore(bin_limit=32)
+        store.add_batch(np.arange(0, 500, dtype=np.int64))
+        assert store.key_span <= 32
+        assert store.size_in_bytes() <= 64 + 8 * 32
+
+    def test_merge_into_empty_equals_bulk_insert(self):
+        """Merging must not fold mid-stream: the per-item path would corrupt
+        keys once a collapse fired partway through the source buckets."""
+        source = UniformCollapsingDenseStore(bin_limit=1024)
+        source.add_batch(np.arange(-80, 81, dtype=np.int64))
+        target = UniformCollapsingDenseStore(bin_limit=32)
+        target.merge(source)
+        reference = UniformCollapsingDenseStore(bin_limit=32)
+        reference.add_batch(np.arange(-80, 81, dtype=np.int64))
+        assert target.collapse_count == reference.collapse_count
+        assert target.key_counts() == reference.key_counts()
+
+    def test_merge_from_sparse_store(self):
+        sparse = SparseStore()
+        for key in range(-40, 41):
+            sparse.add(key, 3.0)
+        store = UniformCollapsingDenseStore(bin_limit=16)
+        store.merge(sparse)
+        assert store.count == 3.0 * 81
+        assert store.key_counts() == _fold({k: 3.0 for k in range(-40, 41)}, store.collapse_count)
+
+    def test_copy_preserves_collapse_state(self):
+        store = UniformCollapsingDenseStore(bin_limit=8)
+        store.add_batch(np.arange(0, 50, dtype=np.int64))
+        clone = store.copy()
+        assert clone.collapse_count == store.collapse_count
+        assert clone.key_counts() == store.key_counts()
+        clone.add(1000)
+        assert clone.collapse_count > store.collapse_count  # independent state
+
+    def test_clear_resets_collapse_count(self):
+        store = UniformCollapsingDenseStore(bin_limit=8)
+        store.add_batch(np.arange(0, 50, dtype=np.int64))
+        store.clear()
+        assert store.collapse_count == 0
+        assert store.is_empty
+
+
+class TestWithDoubledGamma:
+    def test_gamma_squares_and_alpha_degrades(self):
+        mapping = LogarithmicMapping(0.01)
+        doubled = mapping.with_doubled_gamma()
+        assert doubled.gamma == pytest.approx(mapping.gamma**2, rel=1e-12)
+        alpha = mapping.relative_accuracy
+        assert doubled.relative_accuracy == pytest.approx(
+            2 * alpha / (1 + alpha * alpha), rel=1e-12
+        )
+
+    def test_folded_key_stays_alpha_accurate(self):
+        """value(ceil(k/2)) under gamma**2 must be within alpha' of x."""
+        mapping = LogarithmicMapping(0.02)
+        doubled = mapping.with_doubled_gamma()
+        for x in np.logspace(-6, 6, 400):
+            folded_key = -(-mapping.key(x) // 2)
+            estimate = doubled.value(folded_key)
+            assert abs(estimate - x) / x <= doubled.relative_accuracy * (1 + 1e-9)
+
+    def test_offset_is_halved(self):
+        mapping = LogarithmicMapping(0.01, offset=4.0)
+        assert mapping.with_doubled_gamma().offset == 2.0
+
+
+class TestUDDSketch:
+    def test_alias_and_defaults(self):
+        assert UniformCollapsingDDSketch is UDDSketch
+        sketch = UDDSketch()
+        assert sketch.bin_limit == 512
+        assert sketch.collapse_count == 0
+        assert sketch.initial_relative_accuracy == sketch.relative_accuracy
+
+    def test_rejects_mapping_with_nonzero_offset(self):
+        """The store fold matches gamma**2 only for unshifted keys."""
+        with pytest.raises(IllegalArgumentError):
+            UDDSketch(relative_accuracy=0.01, mapping=LogarithmicMapping(0.01, offset=3.0))
+
+    def test_alpha_follows_the_degradation_formula(self):
+        sketch = UDDSketch(relative_accuracy=0.01, bin_limit=128)
+        sketch.add_batch(np.logspace(-3, 6, 10_000))
+        assert sketch.collapse_count >= 1
+        alpha = sketch.initial_relative_accuracy
+        for _ in range(sketch.collapse_count):
+            alpha = 2 * alpha / (1 + alpha * alpha)
+        assert sketch.relative_accuracy == alpha
+
+    def test_stores_and_mapping_stay_in_step(self):
+        sketch = UDDSketch(relative_accuracy=0.01, bin_limit=64)
+        sketch.add_batch(np.logspace(-3, 5, 5_000))  # collapses the positive store
+        sketch.add_batch(-np.linspace(0.5, 2.0, 100))  # negative store must follow
+        assert sketch.store.collapse_count == sketch.collapse_count
+        assert sketch.negative_store.collapse_count == sketch.collapse_count
+
+    def test_whole_range_guarantee_after_forced_collapses(self):
+        """Every quantile stays within the *current* alpha after collapses."""
+        rng = np.random.default_rng(20200612)
+        values = rng.pareto(1.0, 1_000_000) + 1.0  # heavy-tailed
+        sketch = UDDSketch(relative_accuracy=0.005, bin_limit=256)
+        sketch.add_batch(values)
+        assert sketch.collapse_count >= 1
+        assert sketch.relative_accuracy > sketch.initial_relative_accuracy
+        quantiles = tuple(np.linspace(0.01, 0.99, 33)) + (0.001, 0.999)
+        assert_relative_accuracy(
+            sketch, values, alpha=sketch.relative_accuracy, quantiles=quantiles
+        )
+
+    def test_scalar_and_batch_ingestion_agree(self):
+        values = np.logspace(-2, 4, 700)
+        batched = UDDSketch(relative_accuracy=0.02, bin_limit=64).add_batch(values)
+        scalar = UDDSketch(relative_accuracy=0.02, bin_limit=64)
+        for value in values.tolist():
+            scalar.add(value)
+        assert scalar.collapse_count == batched.collapse_count
+        assert scalar.store.key_counts() == batched.store.key_counts()
+
+    def test_merged_mixed_alpha_answers_within_coarser_alpha(self):
+        rng = np.random.default_rng(7)
+        wide = rng.pareto(1.0, 100_000) + 1.0
+        narrow = rng.uniform(1.0, 8.0, 100_000)
+        a = UDDSketch(relative_accuracy=0.01, bin_limit=256).add_batch(wide)
+        b = UDDSketch(relative_accuracy=0.01, bin_limit=256).add_batch(narrow)
+        assert a.collapse_count > b.collapse_count
+        merged = a.copy()
+        merged.merge(b)
+        assert merged.relative_accuracy == max(a.relative_accuracy, b.relative_accuracy)
+        combined = np.concatenate([wide, narrow])
+        assert_relative_accuracy(
+            merged,
+            combined,
+            alpha=merged.relative_accuracy,
+            quantiles=tuple(np.linspace(0.01, 0.99, 21)),
+        )
+
+    def test_repr_reports_the_adaptive_alpha(self):
+        sketch = UDDSketch(relative_accuracy=0.01, bin_limit=64)
+        sketch.add_batch(np.logspace(-3, 5, 2_000))
+        text = repr(sketch)
+        assert "initial_relative_accuracy=0.01" in text
+        assert "current_relative_accuracy=" in text
+        assert f"collapse_count={sketch.collapse_count}" in text
+
+    def test_delete_and_weighted_add(self):
+        sketch = UDDSketch(relative_accuracy=0.02, bin_limit=64)
+        sketch.add(2.0, weight=3.0)
+        sketch.delete(2.0, weight=1.0)
+        assert sketch.count == 2.0
+        assert math.isclose(sketch.get_quantile_value(0.5), 2.0, rel_tol=0.03)
+
+    def test_draining_a_store_keeps_the_collapse_lineage(self):
+        """Regression: fully deleting a collapsed store must not reset its
+        collapse counter — a later insertion would be folded twice and land
+        orders of magnitude away from its value."""
+        sketch = UDDSketch(relative_accuracy=0.01, bin_limit=64)
+        sketch.add_batch(np.logspace(-3, 5, 2_000))
+        assert sketch.collapse_count > 0
+        for key, count in list(sketch.store.key_counts().items()):
+            sketch.delete(sketch.mapping.value(key), count)
+        assert sketch.store.count == 0.0
+        assert sketch.store.collapse_count == sketch.collapse_count
+        sketch.add(100.0)
+        estimate = sketch.get_quantile_value(0.5)
+        assert abs(estimate - 100.0) / 100.0 <= sketch.relative_accuracy
+
+
+class TestUDDSketchWiring:
+    def test_cli_variant_flag_reports_effective_alpha(self):
+        from repro.cli import main
+
+        data = "\n".join(str(10 ** (i / 100.0 - 3.0)) for i in range(900))
+        out = io.StringIO()
+        exit_code = main(
+            ["sketch", "-", "--variant", "uddsketch", "--bin-limit", "64"],
+            stdin=io.StringIO(data),
+            stdout=out,
+        )
+        assert exit_code == 0
+        text = out.getvalue()
+        assert "alpha (effective)" in text
+        assert "collapses" in text
+
+    def test_monitoring_pipeline_runs_on_uddsketch(self):
+        from repro.monitoring.pipeline import MonitoringSimulation
+
+        simulation = MonitoringSimulation(
+            num_hosts=4,
+            requests_per_interval=2_000,
+            num_intervals=4,
+            sketch_factory=lambda: UDDSketch(relative_accuracy=0.01, bin_limit=128),
+        )
+        report = simulation.run()
+        rollup = simulation.aggregator.series(simulation.metric).rollup()
+        assert isinstance(rollup, UDDSketch)
+        # Payload decode preserved the variant, fusion merged any mixed-alpha
+        # flushes, and the pipeline's answers honour the rolled-up guarantee.
+        assert report.max_relative_error() <= rollup.relative_accuracy * (1 + 1e-9)
+
+    def test_aggregator_merges_mixed_alpha_payloads(self):
+        from repro.monitoring.agent import MetricAgent
+        from repro.monitoring.aggregator import Aggregator
+
+        factory = lambda: UDDSketch(relative_accuracy=0.01, bin_limit=128)  # noqa: E731
+        wide_agent = MetricAgent(host="wide", sketch_factory=factory)
+        narrow_agent = MetricAgent(host="narrow", sketch_factory=factory)
+        wide_agent.record_batch("latency", np.logspace(-3.0, 5.0, 4_000))
+        narrow_agent.record_batch("latency", np.linspace(1.0, 2.0, 4_000))
+
+        aggregator = Aggregator(sketch_factory=factory)
+        for agent in (wide_agent, narrow_agent):
+            for payload in agent.flush(0.0):
+                aggregator.ingest(payload)
+        assert aggregator.count("latency") == 8_000.0
+        p50, p99 = aggregator.quantiles("latency", (0.5, 0.99))
+        assert p50 > 0 and p99 >= p50
