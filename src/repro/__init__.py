@@ -36,6 +36,7 @@ from repro.core import (
     BaseDDSketch,
     DDSketch,
     FastDDSketch,
+    GroupedIngest,
     LogCollapsingHighestDenseDDSketch,
     LogCollapsingLowestDenseDDSketch,
     LogUnboundedDenseDDSketch,
@@ -45,6 +46,7 @@ from repro.core import (
     UDDSketch,
     UniformCollapsingDDSketch,
 )
+from repro.registry import SeriesKey, SketchRegistry
 from repro.exceptions import (
     DeserializationError,
     EmptySketchError,
@@ -84,6 +86,10 @@ __all__ = [
     "UDDSketch",
     "UniformCollapsingDDSketch",
     "QuantileSketch",
+    # High-cardinality registry
+    "GroupedIngest",
+    "SeriesKey",
+    "SketchRegistry",
     # Mappings
     "KeyMapping",
     "LogarithmicMapping",

@@ -22,6 +22,14 @@ Four subcommands cover the common workflows:
 ``bounds``
     Evaluate the Section 3 sketch-size bounds for a given stream size.
 
+``simulate``
+    Run the Section 1 monitoring fleet end to end — agents sketching skewed
+    latencies, multi-sketch wire frames, a tag-aware aggregator — and print
+    the distributed quantiles next to the exact ones.
+    ``--series-cardinality N`` fans the metric out into ``N`` tagged
+    endpoint series ingested through the grouped registry pipeline; the
+    report then includes a tag-filtered per-endpoint p99 sample.
+
 Run ``python -m repro --help`` for details.
 """
 
@@ -120,6 +128,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
     )
 
+    simulate = subparsers.add_parser(
+        "simulate", help="run the Section 1 monitoring fleet end to end"
+    )
+    simulate.add_argument("--hosts", type=int, default=8, help="fleet size (default: 8)")
+    simulate.add_argument(
+        "--intervals", type=int, default=12, help="flush intervals to simulate (default: 12)"
+    )
+    simulate.add_argument(
+        "--requests-per-interval",
+        type=int,
+        default=5000,
+        help="requests handled by the fleet per interval (default: 5000)",
+    )
+    simulate.add_argument(
+        "--series-cardinality",
+        type=int,
+        default=1,
+        help=(
+            "number of tagged endpoint series the metric fans out into; "
+            "values > 1 exercise the grouped registry ingestion and the "
+            "multi-sketch wire frames (default: 1)"
+        ),
+    )
+    simulate.add_argument(
+        "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
+    )
+    simulate.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    simulate.add_argument(
+        "--quantiles",
+        type=_parse_quantiles,
+        default=[0.5, 0.75, 0.9, 0.95, 0.99],
+        help="comma-separated quantiles (default: 0.5,0.75,0.9,0.95,0.99)",
+    )
+
     return parser
 
 
@@ -213,6 +255,51 @@ def _run_bounds(args: argparse.Namespace, stdout) -> int:
     return 0
 
 
+def _run_simulate(args: argparse.Namespace, stdout) -> int:
+    from repro.monitoring import MonitoringSimulation
+
+    simulation = MonitoringSimulation(
+        num_hosts=args.hosts,
+        requests_per_interval=args.requests_per_interval,
+        num_intervals=args.intervals,
+        relative_accuracy=args.relative_accuracy,
+        seed=args.seed,
+        series_cardinality=args.series_cardinality,
+    )
+    simulation.run()
+    report = simulation.report(quantiles=tuple(args.quantiles))
+    print(
+        f"metric: {report.metric}   hosts = {report.num_hosts}   "
+        f"intervals = {report.num_intervals}   series = {report.num_series}",
+        file=stdout,
+    )
+    rows = [
+        ["requests", f"{report.total_requests}"],
+        ["bytes on wire", f"{report.bytes_on_wire}"],
+        ["max relative error", f"{report.max_relative_error():.6g}"],
+    ]
+    print(format_table(["statistic", "value"], rows), file=stdout)
+    print("", file=stdout)
+    quantile_rows = [
+        [
+            f"p{quantile * 100:g}",
+            f"{report.overall_quantiles[quantile]:.6g}",
+            f"{report.exact_quantiles[quantile]:.6g}",
+        ]
+        for quantile in args.quantiles
+    ]
+    print(format_table(["quantile", "distributed", "exact"], quantile_rows), file=stdout)
+    if report.endpoint_p99:
+        print("", file=stdout)
+        print("tag-filtered p99 per endpoint (first 5):", file=stdout)
+        endpoint_rows = [
+            [endpoint, f"{value:.6g}"]
+            for endpoint, value in sorted(report.endpoint_p99.items())[:5]
+        ]
+        print(format_table(["endpoint", "p99"], endpoint_rows), file=stdout)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
     """CLI entry point; returns the process exit code."""
     stdin = stdin if stdin is not None else sys.stdin
@@ -228,6 +315,8 @@ def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
             return _run_evaluate(args, stdout)
         if args.command == "bounds":
             return _run_bounds(args, stdout)
+        if args.command == "simulate":
+            return _run_simulate(args, stdout)
     except ReproError as error:
         print(f"error: {error}", file=stdout)
         return 2

@@ -6,6 +6,7 @@ combinations evaluated in the paper (memory-optimal, fast, unbounded, sparse).
 """
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.core.grouped import GroupedIngest
 from repro.core.uddsketch import UDDSketch, DEFAULT_UNIFORM_BIN_LIMIT
 from repro.core.presets import (
     LogCollapsingLowestDenseDDSketch,
@@ -30,6 +31,7 @@ __all__ = [
     "UDDSketch",
     "UniformCollapsingDDSketch",
     "DEFAULT_UNIFORM_BIN_LIMIT",
+    "GroupedIngest",
     "QuantileSketch",
     "SketchMetadata",
     "sketch_metadata",

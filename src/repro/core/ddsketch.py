@@ -24,7 +24,7 @@ extensions discussed in Section 2.2:
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -116,6 +116,19 @@ class BaseDDSketch:
     @property
     def count(self) -> float:
         """Total inserted weight."""
+        return self._count
+
+    @property
+    def total_count(self) -> float:
+        """Alias of :attr:`count`.
+
+        Mirrors the ``total_count`` properties of the aggregation containers
+        (:class:`~repro.monitoring.SketchTimeSeries`,
+        :class:`~repro.core.GroupedIngest`), so generic code can read
+        ``total_count`` off a sketch or a container of sketches alike.
+        (:meth:`repro.registry.SketchRegistry.total_count` is a *method*, as
+        it takes metric/tag filters.)
+        """
         return self._count
 
     @property
@@ -278,27 +291,7 @@ class BaseDDSketch:
         values = np.asarray(values, dtype=np.float64).reshape(-1)
         if values.size == 0:
             return self
-        if not np.isfinite(values).all():
-            bad = values[~np.isfinite(values)][0]
-            raise IllegalArgumentError(f"value must be a finite number, got {bad!r}")
-        if weights is None:
-            weight_array: Optional[np.ndarray] = None
-        else:
-            weight_array = np.asarray(weights, dtype=np.float64)
-            if weight_array.ndim == 0:
-                weight_array = np.full(values.shape, float(weight_array))
-            else:
-                weight_array = weight_array.reshape(-1)
-            if weight_array.shape != values.shape:
-                raise IllegalArgumentError(
-                    f"weights shape {weight_array.shape} does not match "
-                    f"values shape {values.shape}"
-                )
-            if not np.isfinite(weight_array).all() or not (weight_array > 0.0).all():
-                bad = weight_array[~(np.isfinite(weight_array) & (weight_array > 0.0))][0]
-                raise IllegalArgumentError(
-                    f"weight must be a positive finite number, got {bad!r}"
-                )
+        values, weight_array = self._coerce_values_weights(values, weights)
 
         min_possible = self._mapping.min_possible
         positive_mask = values > min_possible
@@ -337,6 +330,182 @@ class BaseDDSketch:
         if batch_max > self._max:
             self._max = batch_max
         return self
+
+    @staticmethod
+    def _coerce_values_weights(
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]],
+    ) -> "Tuple[np.ndarray, Optional[np.ndarray]]":
+        """Normalize and validate one ingestion batch (shared by the batch
+        and grouped entry points): flat finite ``float64`` values plus either
+        ``None`` (unit weights) or a matching array of positive finite
+        weights (a scalar weight is broadcast)."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if not np.isfinite(values).all():
+            bad = values[~np.isfinite(values)][0]
+            raise IllegalArgumentError(f"value must be a finite number, got {bad!r}")
+        if weights is None:
+            return values, None
+        weight_array = np.asarray(weights, dtype=np.float64)
+        if weight_array.ndim == 0:
+            weight_array = np.full(values.shape, float(weight_array))
+        else:
+            weight_array = weight_array.reshape(-1)
+        if weight_array.shape != values.shape:
+            raise IllegalArgumentError(
+                f"weights shape {weight_array.shape} does not match "
+                f"values shape {values.shape}"
+            )
+        if not np.isfinite(weight_array).all() or not (weight_array > 0.0).all():
+            bad = weight_array[~(np.isfinite(weight_array) & (weight_array > 0.0))][0]
+            raise IllegalArgumentError(
+                f"weight must be a positive finite number, got {bad!r}"
+            )
+        return values, weight_array
+
+    @staticmethod
+    def add_grouped_batch(
+        sketches: Sequence["BaseDDSketch"],
+        group_indices: "np.ndarray",
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> None:
+        """Ingest one columnar batch into many sketches at once (group-by path).
+
+        This is the sketch half of the high-cardinality ingestion pipeline:
+        a batch arrives as parallel ``(group_index, value)`` columns — one
+        series per group — and is folded into ``sketches[group]`` without a
+        Python-level loop over the samples.
+
+        When every sketch shares the same mapping and uses plain (unbounded)
+        dense stores, the whole batch is keyed with **one**
+        :meth:`~repro.mapping.KeyMapping.key_batch` call per sign and
+        accumulated across all groups with one combined ``bincount``
+        (:func:`repro.store.grouped.add_grouped_batch`); the exact per-sketch
+        ``count``/``sum``/``min``/``max`` summaries come from grouped array
+        reductions.  Any other configuration — bounded or sparse stores,
+        sketches whose mappings have diverged (e.g. independently collapsed
+        :class:`~repro.core.UDDSketch` series) — falls back to one stable
+        sort plus a per-group :meth:`add_batch` slice, which preserves each
+        sketch type's semantics exactly (collapse windows, adaptive alpha,
+        bucket limits).
+
+        Parameters
+        ----------
+        sketches:
+            The target sketches; ``group_indices`` values index into this
+            sequence.
+        group_indices : numpy.ndarray
+            Integer group index per sample, each in ``[0, len(sketches))``.
+        values : numpy.ndarray
+            Finite floats, parallel to ``group_indices``.
+        weights : float or numpy.ndarray, optional
+            Positive finite multiplicities (scalar or per-sample array).
+
+        Notes
+        -----
+        The result is identical to splitting the columns by group and calling
+        ``sketches[g].add_batch`` per group — and therefore to looping
+        :meth:`add` per sample (bit-for-bit for unit weights; ``sum`` matches
+        the per-item loop's left-to-right accumulation order).
+        """
+        from repro.store.grouped import add_grouped_batch as store_add_grouped
+        from repro.store.grouped import group_totals
+
+        sketches = list(sketches)
+        num_groups = len(sketches)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        group_indices = np.asarray(group_indices, dtype=np.int64).reshape(-1)
+        if group_indices.shape != values.shape:
+            raise IllegalArgumentError(
+                f"group_indices shape {group_indices.shape} does not match "
+                f"values shape {values.shape}"
+            )
+        if values.size == 0:
+            return
+        if num_groups == 0:
+            raise IllegalArgumentError("cannot ingest a grouped batch into zero sketches")
+        if int(group_indices.min()) < 0 or int(group_indices.max()) >= num_groups:
+            raise IllegalArgumentError(
+                f"group indices must be in [0, {num_groups}), got range "
+                f"[{int(group_indices.min())}, {int(group_indices.max())}]"
+            )
+        values, weight_array = BaseDDSketch._coerce_values_weights(values, weights)
+
+        from repro.store.dense import DenseStore
+
+        mapping = sketches[0]._mapping
+        shared_fast_path = all(
+            type(sketch).add_batch is BaseDDSketch.add_batch
+            and type(sketch._store) is DenseStore
+            and type(sketch._negative_store) is DenseStore
+            and sketch._mapping == mapping
+            for sketch in sketches
+        )
+
+        if not shared_fast_path:
+            # Per-group fallback: one stable sort, then each group's slice
+            # through its own add_batch (full subclass semantics preserved).
+            order = np.argsort(group_indices, kind="stable")
+            sorted_groups = group_indices[order]
+            sorted_values = values[order]
+            sorted_weights = None if weight_array is None else weight_array[order]
+            boundaries = np.searchsorted(sorted_groups, np.arange(num_groups + 1))
+            for group in np.unique(sorted_groups).tolist():
+                low, high = int(boundaries[group]), int(boundaries[group + 1])
+                sketches[group].add_batch(
+                    sorted_values[low:high],
+                    None if sorted_weights is None else sorted_weights[low:high],
+                )
+            return
+
+        min_possible = mapping.min_possible
+        positive_mask = values > min_possible
+        negative_mask = values < -min_possible
+
+        if positive_mask.any():
+            store_add_grouped(
+                [sketch._store for sketch in sketches],
+                group_indices[positive_mask],
+                mapping.key_batch(values[positive_mask]),
+                None if weight_array is None else weight_array[positive_mask],
+            )
+        if negative_mask.any():
+            store_add_grouped(
+                [sketch._negative_store for sketch in sketches],
+                group_indices[negative_mask],
+                mapping.key_batch(-values[negative_mask]),
+                None if weight_array is None else weight_array[negative_mask],
+            )
+
+        zero_mask = ~(positive_mask | negative_mask)
+        zero_add = group_totals(num_groups, group_indices[zero_mask],
+                                None if weight_array is None else weight_array[zero_mask])
+        count_add = group_totals(num_groups, group_indices, weight_array)
+        sum_add = np.bincount(
+            group_indices,
+            weights=values if weight_array is None else values * weight_array,
+            minlength=num_groups,
+        )
+
+        # Per-group min/max via scatter reductions — min and max are
+        # order-independent, so the unordered accumulation is exact.
+        group_mins = np.full(num_groups, np.inf)
+        group_maxs = np.full(num_groups, -np.inf)
+        np.minimum.at(group_mins, group_indices, values)
+        np.maximum.at(group_maxs, group_indices, values)
+
+        for group in np.flatnonzero(count_add > 0.0).tolist():
+            sketch = sketches[group]
+            sketch._zero_count += float(zero_add[group])
+            sketch._count += float(count_add[group])
+            sketch._sum += float(sum_add[group])
+            batch_min = float(group_mins[group])
+            batch_max = float(group_maxs[group])
+            if batch_min < sketch._min:
+                sketch._min = batch_min
+            if batch_max > sketch._max:
+                sketch._max = batch_max
 
     def add_all(self, values: Iterable[float]) -> "BaseDDSketch":
         """Insert every value from an iterable; returns ``self`` for chaining.
@@ -488,6 +657,21 @@ class BaseDDSketch:
     def __iadd__(self, other: "BaseDDSketch") -> "BaseDDSketch":
         self.merge(other)
         return self
+
+    def __add__(self, other: "BaseDDSketch") -> "BaseDDSketch":
+        """Return a new sketch holding the merge of both operands.
+
+        Neither operand is mutated.  The merge goes through :meth:`merge` on
+        a copy of ``self``, so subclass semantics are preserved — in
+        particular two :class:`~repro.core.UDDSketch` operands with different
+        collapse counts fuse to the coarser guarantee, exactly as an explicit
+        ``merge`` would.
+        """
+        if not isinstance(other, BaseDDSketch):
+            return NotImplemented
+        result = self.copy()
+        result.merge(other)
+        return result
 
     def copy(self) -> "BaseDDSketch":
         """Return a deep copy of this sketch."""

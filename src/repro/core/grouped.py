@@ -1,0 +1,205 @@
+"""Grouped ingestion facade: raw ``(series_id, value)`` columns into sketches.
+
+The high-cardinality pipeline (see :mod:`repro.registry`) receives columnar
+batches where each sample is labelled with an arbitrary hashable series
+identifier.  :class:`GroupedIngest` owns the id-to-sketch dictionary and the
+factorization step (turning the id column into dense group indices), then
+hands the whole batch to :meth:`repro.core.BaseDDSketch.add_grouped_batch`,
+which keys it with one :meth:`~repro.mapping.KeyMapping.key_batch` call per
+sign and accumulates every series' buckets in one combined ``bincount`` when
+the sketch family allows it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+
+
+class GroupedIngest:
+    """Bulk ingestion of ``(series_id, value)`` columns into many sketches.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable creating the sketch for a series the first
+        time it receives data; defaults to the paper's configuration
+        (``DDSketch(relative_accuracy=0.01)``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> ingest = GroupedIngest()
+    >>> ingest.ingest_columns(np.array(["a", "b", "a"]), np.array([1.0, 2.0, 3.0]))
+    3
+    >>> sorted(ingest.series_ids())
+    ['a', 'b']
+    >>> ingest.sketch("a").count
+    2.0
+    """
+
+    def __init__(self, sketch_factory: Optional[Callable[[], BaseDDSketch]] = None) -> None:
+        self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
+        self._sketches: Dict[Hashable, BaseDDSketch] = {}
+
+    # ------------------------------------------------------------------ #
+    # Series access
+    # ------------------------------------------------------------------ #
+
+    def sketch(self, series_id: Hashable) -> BaseDDSketch:
+        """The sketch for ``series_id``, created on first use."""
+        existing = self._sketches.get(series_id)
+        if existing is None:
+            existing = self._sketch_factory()
+            self._sketches[series_id] = existing
+        return existing
+
+    def get(self, series_id: Hashable) -> BaseDDSketch:
+        """The sketch for ``series_id``; raises for an unknown series."""
+        existing = self._sketches.get(series_id)
+        if existing is None:
+            raise EmptySketchError(f"no data for series {series_id!r}")
+        return existing
+
+    def series_ids(self) -> List[Hashable]:
+        """The ids of every series holding a sketch (insertion order)."""
+        return list(self._sketches)
+
+    @property
+    def total_count(self) -> float:
+        """Total inserted weight across every series."""
+        return sum(sketch.count for sketch in self._sketches.values())
+
+    def merge_sketch(
+        self, series_id: Hashable, sketch: BaseDDSketch, copy: bool = True
+    ) -> None:
+        """Fold one sketch into a series (adopting it for a new series).
+
+        A new series stores ``sketch`` itself when ``copy`` is false (useful
+        when the caller hands over ownership, e.g. a decoded wire frame) and
+        a copy otherwise; an existing series merges it in either way.
+        """
+        existing = self._sketches.get(series_id)
+        if existing is None:
+            self._sketches[series_id] = sketch.copy() if copy else sketch
+        else:
+            existing.merge(sketch)
+
+    def clear(self) -> None:
+        """Drop every series."""
+        self._sketches = {}
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def __contains__(self, series_id: Hashable) -> bool:
+        return series_id in self._sketches
+
+    def __iter__(self) -> Iterator[Tuple[Hashable, BaseDDSketch]]:
+        return iter(self._sketches.items())
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest_grouped(
+        self,
+        series_ids: Sequence[Hashable],
+        group_indices: "np.ndarray",
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Ingest pre-factorized columns: ``values[i]`` goes to ``series_ids[group_indices[i]]``.
+
+        The fast shape for producers that already hold dense group codes (a
+        simulation, a parser emitting an id table).  Sketches are only
+        created for groups that actually receive samples.  Returns the number
+        of samples ingested.
+        """
+        group_indices = np.asarray(group_indices, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if group_indices.shape != values.shape:
+            raise IllegalArgumentError(
+                f"group_indices shape {group_indices.shape} does not match "
+                f"values shape {values.shape}"
+            )
+        if group_indices.size == 0:
+            return 0
+        lowest = int(group_indices.min())
+        highest = int(group_indices.max())
+        num_listed = len(series_ids)
+        if lowest < 0 or highest >= num_listed:
+            raise IllegalArgumentError(
+                f"group indices must be in [0, {num_listed}), got range "
+                f"[{lowest}, {highest}]"
+            )
+        # Validate the batch BEFORE creating any sketch: a rejected batch
+        # must not leave empty phantom series behind.  add_grouped_batch
+        # re-validates the (now clean) arrays — a deliberate duplication,
+        # since it is a public entry point of its own and the repeated
+        # isfinite pass costs ~2% of this path.
+        values, weights = BaseDDSketch._coerce_values_weights(values, weights)
+        # Sketches are only created for groups that actually receive samples;
+        # the presence scan and the dense re-coding are both O(n) array passes
+        # (a lookup table beats a searchsorted remap by ~60x at 1M samples).
+        occupancy = np.bincount(group_indices, minlength=num_listed)
+        present = np.flatnonzero(occupancy)
+        if present.size == num_listed:
+            compact = group_indices
+        else:
+            recode = np.empty(num_listed, dtype=np.int64)
+            recode[present] = np.arange(present.size)
+            compact = recode[group_indices]
+        sketches = [self.sketch(series_ids[position]) for position in present.tolist()]
+        BaseDDSketch.add_grouped_batch(sketches, compact, values, weights)
+        return int(group_indices.size)
+
+    def ingest_columns(
+        self,
+        series_ids: Sequence[Hashable],
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Ingest raw parallel columns: ``values[i]`` goes to series ``series_ids[i]``.
+
+        The id column is factorized once — vectorized via ``numpy.unique``
+        when the ids form a non-object array (strings, integers), with a
+        dictionary fallback for arbitrary hashables — and the batch then
+        flows through :meth:`ingest_grouped`.  Returns the number of samples
+        ingested.
+        """
+        uniques, codes = _factorize(series_ids)
+        if not uniques:
+            if np.asarray(values, dtype=np.float64).reshape(-1).size:
+                raise IllegalArgumentError(
+                    "series_ids is empty but values is not"
+                )
+            return 0
+        return self.ingest_grouped(uniques, codes, values, weights)
+
+
+def _factorize(series_ids: Sequence[Hashable]) -> Tuple[List[Hashable], "np.ndarray"]:
+    """Turn an id column into ``(unique_ids, dense_codes)``.
+
+    NumPy-native id columns (string or integer arrays) are factorized with
+    one vectorized ``numpy.unique`` pass; anything else falls back to a
+    dictionary scan.  Unique ids are returned as plain Python objects so they
+    behave as ordinary dictionary keys.
+    """
+    array = np.asarray(series_ids)
+    if array.ndim == 1 and array.dtype != object:
+        uniques, codes = np.unique(array, return_inverse=True)
+        return [unique.item() for unique in uniques], codes.astype(np.int64)
+    positions: Dict[Hashable, int] = {}
+    codes = np.empty(len(series_ids), dtype=np.int64)
+    for index, series_id in enumerate(series_ids):
+        position = positions.get(series_id)
+        if position is None:
+            position = len(positions)
+            positions[series_id] = position
+        codes[index] = position
+    return list(positions), codes

@@ -154,6 +154,10 @@ class SparseDDSketch(BaseDDSketch):
     and 4 — rather than the windowed collapse used by the dense stores.
     """
 
+    # Class-level default so instances built via ``__new__`` (generic
+    # ``copy()``, the codecs) are well-formed before the real value lands.
+    _max_num_buckets: Optional[int] = None
+
     def __init__(
         self,
         relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
@@ -195,6 +199,12 @@ class SparseDDSketch(BaseDDSketch):
     def merge(self, other: BaseDDSketch) -> None:
         super().merge(other)
         self._enforce_limit()
+
+    def copy(self) -> "SparseDDSketch":
+        new = super().copy()
+        assert isinstance(new, SparseDDSketch)
+        new._max_num_buckets = self._max_num_buckets
+        return new
 
     def _enforce_limit(self) -> None:
         if self._max_num_buckets is None:

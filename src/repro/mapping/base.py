@@ -125,6 +125,13 @@ class KeyMapping(ABC):
         this base implementation is a correct per-item fallback for mappings
         that have no vectorized form.
 
+        The grouped high-cardinality pipeline
+        (:meth:`repro.core.BaseDDSketch.add_grouped_batch`) relies on one
+        property of this method: because the key of a value depends only on
+        the mapping (compared via ``__eq__``), a single ``key_batch`` call
+        can serve a whole batch spanning *many* sketches, as long as they
+        share an equal mapping.
+
         Parameters
         ----------
         values : numpy.ndarray

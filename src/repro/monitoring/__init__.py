@@ -6,30 +6,39 @@ requests it handles, periodically ships a summary to a central monitoring
 system, and the monitoring system must answer quantile queries over arbitrary
 aggregations (across hosts and across time) without ever seeing the raw data.
 
-This package implements that pipeline end to end:
+This package implements that pipeline end to end, generalized to **high
+cardinality** — every metric fans out into tagged ``(metric, tags)`` series
+(see :mod:`repro.registry`):
 
 * :class:`MetricAgent` — the per-container agent recording values into a
-  sketch and flushing it once per interval (serialized, as it would be on the
-  wire).
-* :class:`Aggregator` — the ingestion tier that merges incoming sketch
-  payloads per metric and time interval.
-* :class:`SketchTimeSeries` — per-metric storage of one merged sketch per
-  interval, supporting quantile series and time-window rollups.
+  :class:`~repro.registry.SketchRegistry` (scalar, batched, or grouped
+  columnar ingestion) and flushing once per interval, either as per-series
+  :class:`SketchPayload` messages or as one multi-sketch
+  :class:`FramePayload` wire frame.
+* :class:`Aggregator` — the ingestion tier that merges incoming payloads and
+  frames per tagged series and time interval, answering exact-series,
+  tag-filtered, and metric-rollup quantile queries.
+* :class:`SketchTimeSeries` — per-series storage of one merged sketch per
+  interval, with hierarchical coarser-window rollups materialised by merge
+  (cached, so "p99 over any window" does not re-merge every interval).
 * :class:`MonitoringSimulation` — a deterministic simulation of a fleet of
-  hosts producing skewed request latencies, used by the Figure 2 benchmark and
-  the ``distributed_monitoring`` example.
+  hosts producing skewed request latencies across many tagged endpoint
+  series, used by the Figure 2 benchmark, the ``repro simulate`` CLI
+  command, and the ``distributed_monitoring`` example.
 """
 
-from repro.monitoring.agent import MetricAgent, SketchPayload
+from repro.monitoring.agent import FramePayload, MetricAgent, SketchPayload
 from repro.monitoring.aggregator import Aggregator
-from repro.monitoring.timeseries import SketchTimeSeries
+from repro.monitoring.timeseries import DEFAULT_WINDOW_FACTORS, SketchTimeSeries
 from repro.monitoring.pipeline import MonitoringSimulation, SimulationReport
 
 __all__ = [
     "MetricAgent",
     "SketchPayload",
+    "FramePayload",
     "Aggregator",
     "SketchTimeSeries",
+    "DEFAULT_WINDOW_FACTORS",
     "MonitoringSimulation",
     "SimulationReport",
 ]

@@ -2,37 +2,49 @@
 
 A :class:`MetricAgent` is the component running next to the application code
 in the paper's motivating scenario (Section 1, Figure 1): it records raw
-measurements into a DDSketch and, once per flush interval, emits the
-serialized sketch together with routing metadata and resets its local state.
-Because the sketch is fully mergeable (Section 2.1), the monitoring backend
-can combine payloads from any number of agents and flush intervals without
-losing the accuracy guarantee.
+measurements into local sketches and, once per flush interval, emits the
+serialized state together with routing metadata and resets.  Because the
+sketch is fully mergeable (Section 2.1), the monitoring backend can combine
+payloads from any number of agents and flush intervals without losing the
+accuracy guarantee.
 
-High-rate sources hand the agent whole arrays via :meth:`MetricAgent.record_batch`,
-which feeds the sketch's vectorized ingestion path instead of one Python call
-per measurement.
+The agent is built on a :class:`~repro.registry.SketchRegistry`, so every
+metric may fan out into many tagged series (host/endpoint/status, …).
+High-rate sources hand it whole arrays via :meth:`MetricAgent.record_batch`
+(one series) or :meth:`MetricAgent.record_grouped` (columnar batches across
+many series, ingested through the grouped ``bincount`` pipeline), and a
+flush can ship the entire series population as **one** multi-sketch wire
+frame (:meth:`MetricAgent.flush_frame`) instead of one payload per series.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import IllegalArgumentError
+from repro.registry import SeriesKey, SketchRegistry
+from repro.registry.series import SeriesLike, TagsLike
 
 
 @dataclass(frozen=True)
 class SketchPayload:
-    """A flushed sketch as it would travel to the monitoring backend."""
+    """One flushed series as it would travel to the monitoring backend."""
 
     host: str
     metric: str
     interval_start: float
     interval_length: float
     payload: bytes
+    tags: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @property
+    def series_key(self) -> SeriesKey:
+        """The tagged series identity this payload belongs to."""
+        return SeriesKey(self.metric, self.tags)
 
     def decode(self) -> BaseDDSketch:
         """Deserialize the sketch carried by this payload."""
@@ -44,15 +56,37 @@ class SketchPayload:
         return len(self.payload)
 
 
+@dataclass(frozen=True)
+class FramePayload:
+    """A whole flushed series population in one multi-sketch wire frame."""
+
+    host: str
+    interval_start: float
+    interval_length: float
+    payload: bytes
+    num_series: int
+
+    def decode(self) -> List[Tuple[SeriesKey, BaseDDSketch]]:
+        """Deserialize every ``(series, sketch)`` pair carried by this frame."""
+        from repro.serialization.frame import decode_frame
+
+        return decode_frame(self.payload)
+
+    @property
+    def size_in_bytes(self) -> int:
+        """Number of bytes this frame puts on the wire."""
+        return len(self.payload)
+
+
 class MetricAgent:
-    """Records values for one or more metrics and flushes sketches per interval.
+    """Records values for tagged series and flushes sketches per interval.
 
     Parameters
     ----------
     host:
         Identifier of the container/host this agent runs on.
     sketch_factory:
-        Zero-argument callable creating a fresh sketch for each metric and
+        Zero-argument callable creating a fresh sketch for each series and
         interval; defaults to the paper's configuration
         (``DDSketch(relative_accuracy=0.01)``).
     interval_length:
@@ -71,7 +105,7 @@ class MetricAgent:
         self._host = str(host)
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
         self._interval_length = float(interval_length)
-        self._sketches: Dict[str, BaseDDSketch] = {}
+        self._registry = SketchRegistry(sketch_factory=self._sketch_factory)
         self._records = 0
 
     @property
@@ -85,28 +119,40 @@ class MetricAgent:
         return self._interval_length
 
     @property
+    def registry(self) -> SketchRegistry:
+        """The registry holding this agent's unflushed series."""
+        return self._registry
+
+    @property
     def pending_metrics(self) -> List[str]:
         """Metrics with unflushed data."""
-        return sorted(self._sketches)
+        return self._registry.metrics()
+
+    @property
+    def pending_series(self) -> List[SeriesKey]:
+        """Tagged series with unflushed data, in sorted order."""
+        return self._registry.series_keys()
 
     @property
     def records_since_flush(self) -> int:
         """Number of values recorded since the last flush."""
         return self._records
 
-    def record(self, metric: str, value: float, weight: float = 1.0) -> None:
-        """Record one measurement for ``metric``."""
-        sketch = self._sketches.get(metric)
-        if sketch is None:
-            sketch = self._sketch_factory()
-            self._sketches[metric] = sketch
-        sketch.add(value, weight)
+    def record(
+        self, metric: SeriesLike, value: float, weight: float = 1.0, tags: TagsLike = None
+    ) -> None:
+        """Record one measurement for a (possibly tagged) series."""
+        self._registry.add(metric, value, weight, tags=tags)
         self._records += 1
 
     def record_batch(
-        self, metric: str, values: "np.ndarray", weights: Optional["np.ndarray"] = None
+        self,
+        metric: SeriesLike,
+        values: "np.ndarray",
+        weights: Optional["np.ndarray"] = None,
+        tags: TagsLike = None,
     ) -> None:
-        """Record a whole array of measurements for ``metric`` at once.
+        """Record a whole array of measurements for one series at once.
 
         Equivalent to calling :meth:`record` for every element, but ingested
         through the sketch's vectorized ``add_batch`` path — the natural
@@ -116,33 +162,69 @@ class MetricAgent:
         values = np.asarray(values, dtype=np.float64).reshape(-1)
         if values.size == 0:
             return
-        sketch = self._sketches.get(metric)
-        if sketch is None:
-            sketch = self._sketch_factory()
-            self._sketches[metric] = sketch
-        sketch.add_batch(values, weights)
+        self._registry.add_batch(metric, values, weights, tags=tags)
         self._records += int(values.size)
 
-    def flush(self, interval_start: float) -> List[SketchPayload]:
-        """Serialize and return the pending sketches, then reset local state.
+    def record_grouped(
+        self,
+        series: Sequence[SeriesLike],
+        group_indices: "np.ndarray",
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Record one columnar batch across many series at once.
 
-        Returns one payload per metric that received data during the interval;
-        an agent with no data returns an empty list (transient containers that
-        served no request send nothing, as in the paper's deployment).
+        ``series`` lists one (possibly tagged) series per group and
+        ``group_indices`` maps each sample to a position in that list; the
+        batch flows through the registry's grouped ``bincount`` pipeline.
+        Returns the number of samples recorded.
+        """
+        recorded = self._registry.ingest_grouped(series, group_indices, values, weights)
+        self._records += recorded
+        return recorded
+
+    def flush(self, interval_start: float) -> List[SketchPayload]:
+        """Serialize and return the pending series, then reset local state.
+
+        Returns one payload per series that received data during the
+        interval, in sorted series order; an agent with no data returns an
+        empty list (transient containers that served no request send
+        nothing, as in the paper's deployment).
         """
         payloads = [
             SketchPayload(
                 host=self._host,
-                metric=metric,
+                metric=key.metric,
                 interval_start=float(interval_start),
                 interval_length=self._interval_length,
                 payload=sketch.to_bytes(),
+                tags=key.tags,
             )
-            for metric, sketch in sorted(self._sketches.items())
+            for key, sketch in self._registry
         ]
-        self._sketches = {}
+        self._registry.clear()
         self._records = 0
         return payloads
+
+    def flush_frame(self, interval_start: float) -> Optional[FramePayload]:
+        """Serialize every pending series into **one** wire frame, then reset.
+
+        The high-cardinality flush: thousands of series leave in a single
+        length-prefixed payload (format v3) instead of one payload each.
+        Returns ``None`` when the agent holds no data.
+        """
+        num_series = self._registry.num_series
+        if num_series == 0:
+            return None
+        frame = self._registry.flush_frame()
+        self._records = 0
+        return FramePayload(
+            host=self._host,
+            interval_start=float(interval_start),
+            interval_length=self._interval_length,
+            payload=frame,
+            num_series=num_series,
+        )
 
     def __repr__(self) -> str:
         return f"MetricAgent(host={self._host!r}, pending_metrics={self.pending_metrics})"

@@ -2,11 +2,19 @@
 
 The :class:`Aggregator` models the "monitoring system" box of the paper's
 motivating scenario (Section 1, Figure 1): it receives serialized sketches
-from any number of agents, groups them by metric, and maintains a
-:class:`~repro.monitoring.SketchTimeSeries` per metric.  Because merging is
+from any number of agents, groups them by **tagged series** (metric plus
+host/endpoint/status tags), and maintains a
+:class:`~repro.monitoring.SketchTimeSeries` per series.  Because merging is
 associative and commutative (Section 2.1), payloads can arrive out of order,
 from transient containers, or be routed through intermediate aggregators, and
 the final answer is identical to a single sketch over the raw stream.
+
+Queries come in the three high-cardinality shapes: **exact series** (pass
+``tags``), **tag-filtered merge** (pass ``tag_filter``; every series of the
+metric carrying those tags is merged), and **metric rollup** (pass neither).
+Each series' time dimension is served by the hierarchical window cache of
+:class:`~repro.monitoring.SketchTimeSeries`, so "p99 over any window" does
+not re-merge every interval.
 """
 
 from __future__ import annotations
@@ -17,31 +25,38 @@ import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import EmptySketchError, IllegalArgumentError
-from repro.monitoring.agent import SketchPayload
-from repro.monitoring.timeseries import SketchTimeSeries
+from repro.monitoring.agent import FramePayload, SketchPayload
+from repro.monitoring.timeseries import DEFAULT_WINDOW_FACTORS, SketchTimeSeries
+from repro.registry.series import SeriesKey, TagsLike
 
 
 class Aggregator:
-    """Receives sketch payloads and serves quantile queries per metric.
+    """Receives sketch payloads and serves quantile queries per tagged series.
 
     Parameters
     ----------
     interval_length:
-        Storage interval used for every metric's time series.
+        Storage interval used for every series' time series.
     sketch_factory:
         Factory for per-interval sketches (only used when raw values are
         ingested directly; payload ingestion reuses the decoded sketches).
+    window_factors:
+        Hierarchical rollup window sizes forwarded to every
+        :class:`SketchTimeSeries`.
     """
 
     def __init__(
         self,
         interval_length: float = 1.0,
         sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        window_factors: Sequence[int] = DEFAULT_WINDOW_FACTORS,
     ) -> None:
         self._interval_length = float(interval_length)
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
-        self._series: Dict[str, SketchTimeSeries] = {}
+        self._window_factors = tuple(int(factor) for factor in window_factors)
+        self._series: Dict[SeriesKey, SketchTimeSeries] = {}
         self._payloads_received = 0
+        self._series_received = 0
         self._bytes_received = 0
 
     # ------------------------------------------------------------------ #
@@ -50,29 +65,48 @@ class Aggregator:
 
     @property
     def metrics(self) -> List[str]:
-        """Names of the metrics with stored data."""
-        return sorted(self._series)
+        """Sorted names of the metrics with stored data."""
+        return sorted({key.metric for key in self._series})
+
+    def series_keys(
+        self, metric: Optional[str] = None, tag_filter: TagsLike = None
+    ) -> List[SeriesKey]:
+        """Sorted keys of the stored series, optionally filtered."""
+        return sorted(key for key in self._series if key.matches(metric, tag_filter))
+
+    @property
+    def num_series(self) -> int:
+        """Number of stored tagged series."""
+        return len(self._series)
 
     @property
     def payloads_received(self) -> int:
-        """Number of payloads ingested so far."""
+        """Number of payloads (single-series or frames) ingested so far."""
         return self._payloads_received
+
+    @property
+    def series_received(self) -> int:
+        """Number of per-series sketches ingested so far (frames count each)."""
+        return self._series_received
 
     @property
     def bytes_received(self) -> int:
         """Total wire bytes ingested so far."""
         return self._bytes_received
 
-    def series(self, metric: str) -> SketchTimeSeries:
-        """The time series for ``metric`` (created on first use)."""
-        existing = self._series.get(metric)
+    def series(self, metric: str, tags: TagsLike = None) -> SketchTimeSeries:
+        """The time series for one tagged series (created on first use)."""
+        key = SeriesKey.of(metric, tags)
+        existing = self._series.get(key)
         if existing is None:
             existing = SketchTimeSeries(
-                metric,
+                key.metric,
                 interval_length=self._interval_length,
                 sketch_factory=self._sketch_factory,
+                tags=key.tags,
+                window_factors=self._window_factors,
             )
-            self._series[metric] = existing
+            self._series[key] = existing
         return existing
 
     # ------------------------------------------------------------------ #
@@ -80,11 +114,31 @@ class Aggregator:
     # ------------------------------------------------------------------ #
 
     def ingest(self, payload: SketchPayload) -> None:
-        """Decode one payload and merge it into the matching metric/interval."""
+        """Decode one payload and merge it into the matching series/interval."""
         sketch = payload.decode()
-        self.series(payload.metric).ingest_sketch(payload.interval_start, sketch)
+        self.series(payload.metric, payload.tags).ingest_sketch(payload.interval_start, sketch)
         self._payloads_received += 1
+        self._series_received += 1
         self._bytes_received += payload.size_in_bytes
+
+    def ingest_frame(self, frame: FramePayload) -> int:
+        """Decode one multi-sketch frame and merge every carried series.
+
+        The high-cardinality ingestion path: one wire payload delivers an
+        agent's whole series population for the interval.  Returns the number
+        of series merged.
+        """
+        entries = frame.decode()
+        for key, sketch in entries:
+            # Decoded sketches are exclusively owned; adopt them instead of
+            # paying one deep copy per series.
+            self.series(key.metric, key.tags).ingest_sketch(
+                frame.interval_start, sketch, copy=False
+            )
+        self._payloads_received += 1
+        self._series_received += len(entries)
+        self._bytes_received += frame.size_in_bytes
+        return len(entries)
 
     def ingest_many(self, payloads: Iterable[SketchPayload]) -> int:
         """Ingest an iterable of payloads; returns how many were processed."""
@@ -100,19 +154,68 @@ class Aggregator:
         timestamp: float,
         values: "np.ndarray",
         weights: Optional["np.ndarray"] = None,
+        tags: TagsLike = None,
     ) -> None:
         """Record raw values directly (bypassing the agent/payload hop).
 
         Convenience for co-located producers — e.g. a service embedding the
         aggregator in-process — that want the batch ingestion path without
-        serializing a payload first.  All values land in ``metric``'s
+        serializing a payload first.  All values land in the series'
         interval containing ``timestamp``.
         """
-        self.series(metric).ingest_values(timestamp, values, weights)
+        self.series(metric, tags).ingest_values(timestamp, values, weights)
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+
+    def _selected_series(
+        self, metric: str, tags: TagsLike, tag_filter: TagsLike
+    ) -> List[SketchTimeSeries]:
+        """The stored time series a query addresses (never empty)."""
+        if tags is not None and tag_filter is not None:
+            raise IllegalArgumentError(
+                "pass either tags (exact series) or tag_filter, not both"
+            )
+        if tags is not None:
+            key = SeriesKey.of(metric, tags)
+            series = self._series.get(key)
+            if series is None:
+                raise EmptySketchError(f"no data for series {key}")
+            return [series]
+        selected = [self._series[key] for key in self.series_keys(metric, tag_filter)]
+        if not selected:
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        return selected
+
+    def rollup(
+        self,
+        metric: str,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> BaseDDSketch:
+        """Merge the addressed series over ``[start, end)`` into a new sketch.
+
+        Raises :class:`EmptySketchError` when the metric/series is unknown or
+        the window holds no data for any addressed series.
+        """
+        merged: Optional[BaseDDSketch] = None
+        for series in self._selected_series(metric, tags, tag_filter):
+            try:
+                piece = series.rollup(start, end)
+            except EmptySketchError:
+                continue
+            if merged is None:
+                merged = piece
+            else:
+                merged.merge(piece)
+        if merged is None:
+            raise EmptySketchError(
+                f"no data for metric {metric!r} in the requested window"
+            )
+        return merged
 
     def quantile(
         self,
@@ -120,15 +223,17 @@ class Aggregator:
         quantile: float,
         start: Optional[float] = None,
         end: Optional[float] = None,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
     ) -> float:
-        """Quantile of ``metric`` over the time window ``[start, end)``."""
-        if metric not in self._series:
-            raise EmptySketchError(f"no data for metric {metric!r}")
-        rollup = self._series[metric].rollup(start, end)
-        value = rollup.get_quantile_value(quantile)
-        if value is None:
-            raise EmptySketchError(f"no data for metric {metric!r} in the requested window")
-        return value
+        """Quantile of a metric over the time window ``[start, end)``.
+
+        ``tags`` addresses one exact series, ``tag_filter`` the merge of all
+        series carrying those tags, neither the whole metric.
+        """
+        return self.quantiles(
+            metric, (quantile,), start=start, end=end, tags=tags, tag_filter=tag_filter
+        )[0]
 
     def quantiles(
         self,
@@ -136,8 +241,10 @@ class Aggregator:
         quantiles: Sequence[float],
         start: Optional[float] = None,
         end: Optional[float] = None,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
     ) -> List[float]:
-        """Several quantiles of ``metric`` over ``[start, end)`` in one read.
+        """Several quantiles of a metric over ``[start, end)`` in one read.
 
         The rollup sketch is built once and every requested quantile is
         answered from a single cumulative-count pass
@@ -148,39 +255,86 @@ class Aggregator:
         for quantile in quantiles:
             if not 0 <= quantile <= 1:  # rejects NaN as well
                 raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
-        if metric not in self._series:
-            raise EmptySketchError(f"no data for metric {metric!r}")
-        rollup = self._series[metric].rollup(start, end)
+        rollup = self.rollup(metric, start=start, end=end, tags=tags, tag_filter=tag_filter)
         values = rollup.get_quantiles(quantiles)
         if any(value is None for value in values):
             raise EmptySketchError(f"no data for metric {metric!r} in the requested window")
         return [float(value) for value in values]
 
-    def quantile_series(self, metric: str, quantile: float) -> List[Tuple[float, float]]:
-        """Per-interval quantile estimates for ``metric``."""
-        if metric not in self._series:
-            raise EmptySketchError(f"no data for metric {metric!r}")
-        return self._series[metric].quantile_series(quantile)
+    def interval_series(
+        self, metric: str, tags: TagsLike = None, tag_filter: TagsLike = None
+    ) -> List[Tuple[float, BaseDDSketch]]:
+        """Per-interval sketches of the addressed series, merged across series.
+
+        One cross-series merge pass serves any number of reads (averages and
+        multi-quantile series alike); the returned sketches are the stored
+        ones when a single series is addressed and fresh merges otherwise —
+        treat them as read-only.
+        """
+        selected = self._selected_series(metric, tags, tag_filter)
+        if len(selected) == 1:
+            return list(selected[0])
+        merged: Dict[float, BaseDDSketch] = {}
+        for series in selected:
+            for interval_start, sketch in series:
+                existing = merged.get(interval_start)
+                if existing is None:
+                    merged[interval_start] = sketch.copy()
+                else:
+                    existing.merge(sketch)
+        return [(interval_start, merged[interval_start]) for interval_start in sorted(merged)]
+
+    def quantile_series(
+        self,
+        metric: str,
+        quantile: float,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> List[Tuple[float, float]]:
+        """Per-interval quantile estimates for a metric."""
+        return [
+            (interval_start, values[0])
+            for interval_start, values in self.quantiles_series(
+                metric, (quantile,), tags=tags, tag_filter=tag_filter
+            )
+            if values[0] is not None
+        ]
 
     def quantiles_series(
-        self, metric: str, quantiles: Sequence[float]
+        self,
+        metric: str,
+        quantiles: Sequence[float],
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
     ) -> List[Tuple[float, List[Optional[float]]]]:
-        """Per-interval estimates for several quantiles of ``metric`` at once."""
-        if metric not in self._series:
-            raise EmptySketchError(f"no data for metric {metric!r}")
-        return self._series[metric].quantiles_series(quantiles)
+        """Per-interval estimates for several quantiles of a metric at once."""
+        for quantile in quantiles:
+            if not 0 <= quantile <= 1:
+                raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        return [
+            (interval_start, sketch.get_quantiles(quantiles))
+            for interval_start, sketch in self.interval_series(metric, tags, tag_filter)
+        ]
 
-    def average_series(self, metric: str) -> List[Tuple[float, float]]:
-        """Per-interval averages for ``metric`` (exact)."""
-        if metric not in self._series:
-            raise EmptySketchError(f"no data for metric {metric!r}")
-        return self._series[metric].average_series()
+    def average_series(
+        self, metric: str, tags: TagsLike = None, tag_filter: TagsLike = None
+    ) -> List[Tuple[float, float]]:
+        """Per-interval averages for a metric (exact)."""
+        return [
+            (interval_start, sketch.avg)
+            for interval_start, sketch in self.interval_series(metric, tags, tag_filter)
+            if sketch.count > 0
+        ]
 
-    def count(self, metric: str) -> float:
-        """Total number of recorded values for ``metric``."""
-        if metric not in self._series:
+    def count(
+        self, metric: str, tags: TagsLike = None, tag_filter: TagsLike = None
+    ) -> float:
+        """Total number of recorded values for the addressed series (0.0 when none)."""
+        try:
+            selected = self._selected_series(metric, tags, tag_filter)
+        except EmptySketchError:
             return 0.0
-        return self._series[metric].total_count
+        return sum(series.total_count for series in selected)
 
     def size_in_bytes(self) -> int:
         """Modelled memory footprint of every stored sketch."""
@@ -188,5 +342,6 @@ class Aggregator:
 
     def __repr__(self) -> str:
         return (
-            f"Aggregator(metrics={self.metrics}, payloads_received={self._payloads_received})"
+            f"Aggregator(metrics={self.metrics}, num_series={self.num_series}, "
+            f"payloads_received={self._payloads_received})"
         )

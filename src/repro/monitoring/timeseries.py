@@ -1,12 +1,19 @@
-"""Per-metric time series of merged sketches.
+"""Per-series time series of merged sketches, with hierarchical rollups.
 
 This is the storage half of the monitoring system sketched in the paper's
-Section 1 (Figure 1): the backend keeps, for every metric, one merged sketch
-per time interval.  Thanks to full mergeability (Section 2.1, Algorithm 4 /
-Table 1), any rollup — a coarser time granularity, a dashboard window, a
-month-long SLO report — is obtained by merging the per-interval sketches,
-with exactly the same accuracy guarantee as if a single sketch had seen all
-the raw data.
+Section 1 (Figure 1): the backend keeps, for every tagged series, one merged
+sketch per time interval.  Thanks to full mergeability (Section 2.1,
+Algorithm 4 / Table 1), any rollup — a coarser time granularity, a dashboard
+window, a month-long SLO report — is obtained by merging the per-interval
+sketches, with exactly the same accuracy guarantee as if a single sketch had
+seen all the raw data.
+
+On top of the flat per-interval dict, the series maintains a **hierarchy of
+coarser windows** (``window_factors``, e.g. 16 and 256 intervals) that are
+materialised by merge on first use and cached until an underlying interval
+receives new data.  A "p99 over any window" query is answered by covering
+the window with the coarsest cached pieces and merging only those — instead
+of re-merging every interval on every query.
 """
 
 from __future__ import annotations
@@ -18,10 +25,16 @@ import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.registry.series import SeriesKey, TagsLike
+
+#: Default hierarchy: windows of 16 and 256 intervals.  With 1-second
+#: intervals that is ~quarter-minute and ~4-minute rollup granularities; a
+#: day-long query touches ~340 cached pieces instead of 86.4k intervals.
+DEFAULT_WINDOW_FACTORS: Tuple[int, ...] = (16, 256)
 
 
 class SketchTimeSeries:
-    """A time-indexed collection of sketches for a single metric.
+    """A time-indexed collection of sketches for a single tagged series.
 
     Parameters
     ----------
@@ -32,6 +45,13 @@ class SketchTimeSeries:
         to interval boundaries.
     sketch_factory:
         Factory used to create the per-interval sketches when data arrives.
+    tags:
+        Optional tags identifying this series within its metric.
+    window_factors:
+        Interval counts of the coarser rollup windows kept by the hierarchy;
+        strictly increasing, each a multiple of the previous.  Pass an empty
+        tuple to disable the hierarchy (every rollup then merges the raw
+        intervals).
     """
 
     def __init__(
@@ -39,13 +59,33 @@ class SketchTimeSeries:
         metric: str,
         interval_length: float = 1.0,
         sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        tags: TagsLike = None,
+        window_factors: Sequence[int] = DEFAULT_WINDOW_FACTORS,
     ) -> None:
         if interval_length <= 0:
             raise IllegalArgumentError(f"interval_length must be positive, got {interval_length!r}")
-        self._metric = str(metric)
+        self._series_key = SeriesKey.of(str(metric), tags)
+        self._metric = self._series_key.metric
         self._interval_length = float(interval_length)
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
         self._buckets: Dict[float, BaseDDSketch] = {}
+        self._by_index: Dict[int, float] = {}
+
+        factors = tuple(int(factor) for factor in window_factors)
+        previous = 1
+        for factor in factors:
+            if factor < 2 or factor % previous != 0 or factor == previous:
+                raise IllegalArgumentError(
+                    "window_factors must be strictly increasing multiples of "
+                    f"each other (>= 2), got {factors!r}"
+                )
+            previous = factor
+        self._window_factors = factors
+        # Per-factor cache of materialised window sketches, keyed by the
+        # integer window index; an entry holding None records "known empty".
+        self._window_cache: Dict[int, Dict[int, Optional[BaseDDSketch]]] = {
+            factor: {} for factor in factors
+        }
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -57,14 +97,39 @@ class SketchTimeSeries:
         return self._metric
 
     @property
+    def series_key(self) -> SeriesKey:
+        """The tagged series identity of this time series."""
+        return self._series_key
+
+    @property
+    def tags(self) -> Tuple[Tuple[str, str], ...]:
+        """The normalized tags of this series."""
+        return self._series_key.tags
+
+    @property
     def interval_length(self) -> float:
         """Storage interval length in seconds."""
         return self._interval_length
 
     @property
+    def window_factors(self) -> Tuple[int, ...]:
+        """Interval counts of the hierarchical rollup windows."""
+        return self._window_factors
+
+    @property
     def num_intervals(self) -> int:
         """Number of intervals holding data."""
         return len(self._buckets)
+
+    @property
+    def cached_window_count(self) -> int:
+        """Number of materialised window sketches currently cached."""
+        return sum(
+            1
+            for cache in self._window_cache.values()
+            for sketch in cache.values()
+            if sketch is not None
+        )
 
     @property
     def total_count(self) -> float:
@@ -86,23 +151,46 @@ class SketchTimeSeries:
     def _bucket_start(self, timestamp: float) -> float:
         return math.floor(timestamp / self._interval_length) * self._interval_length
 
-    def ingest_sketch(self, timestamp: float, sketch: BaseDDSketch) -> None:
-        """Merge a sketch into the interval containing ``timestamp``."""
-        start = self._bucket_start(timestamp)
-        existing = self._buckets.get(start)
-        if existing is None:
-            self._buckets[start] = sketch.copy()
-        else:
-            existing.merge(sketch)
+    def _index_of(self, interval_start: float) -> int:
+        return int(round(interval_start / self._interval_length))
 
-    def ingest_value(self, timestamp: float, value: float, weight: float = 1.0) -> None:
-        """Record a single raw value into the interval containing ``timestamp``."""
+    def _bucket_for(self, timestamp: float) -> BaseDDSketch:
+        """The interval sketch containing ``timestamp`` (created on demand)."""
         start = self._bucket_start(timestamp)
         sketch = self._buckets.get(start)
         if sketch is None:
             sketch = self._sketch_factory()
             self._buckets[start] = sketch
-        sketch.add(value, weight)
+            self._by_index[self._index_of(start)] = start
+        self._invalidate_windows(start)
+        return sketch
+
+    def _invalidate_windows(self, interval_start: float) -> None:
+        """Drop every cached window covering a freshly-mutated interval."""
+        index = self._index_of(interval_start)
+        for factor in self._window_factors:
+            self._window_cache[factor].pop(index // factor, None)
+
+    def ingest_sketch(self, timestamp: float, sketch: BaseDDSketch, copy: bool = True) -> None:
+        """Merge a sketch into the interval containing ``timestamp``.
+
+        With ``copy=False`` a sketch landing in a fresh interval is adopted
+        directly instead of deep-copied — for callers handing over ownership
+        (e.g. sketches decoded from a wire frame), which avoids one copy per
+        series on the high-cardinality ingestion path.
+        """
+        start = self._bucket_start(timestamp)
+        existing = self._buckets.get(start)
+        if existing is None:
+            self._buckets[start] = sketch.copy() if copy else sketch
+            self._by_index[self._index_of(start)] = start
+        else:
+            existing.merge(sketch)
+        self._invalidate_windows(start)
+
+    def ingest_value(self, timestamp: float, value: float, weight: float = 1.0) -> None:
+        """Record a single raw value into the interval containing ``timestamp``."""
+        self._bucket_for(timestamp).add(value, weight)
 
     def ingest_values(
         self,
@@ -118,12 +206,67 @@ class SketchTimeSeries:
         values = np.asarray(values, dtype=np.float64).reshape(-1)
         if values.size == 0:
             return
-        start = self._bucket_start(timestamp)
-        sketch = self._buckets.get(start)
-        if sketch is None:
-            sketch = self._sketch_factory()
-            self._buckets[start] = sketch
-        sketch.add_batch(values, weights)
+        self._bucket_for(timestamp).add_batch(values, weights)
+
+    # ------------------------------------------------------------------ #
+    # Hierarchical windows
+    # ------------------------------------------------------------------ #
+
+    def _window_sketch(self, level: int, window_index: int) -> Optional[BaseDDSketch]:
+        """The cached merge of the window's children (None when empty).
+
+        Level 0 windows merge raw intervals; higher levels merge the windows
+        of the level below, so a cold cache still builds each coarse window
+        from ``factor / child_factor`` pieces rather than from every
+        interval.
+        """
+        factor = self._window_factors[level]
+        cache = self._window_cache[factor]
+        if window_index in cache:
+            return cache[window_index]
+        child_factor = self._window_factors[level - 1] if level > 0 else 1
+        merged: Optional[BaseDDSketch] = None
+        first_child = window_index * (factor // child_factor)
+        for child_index in range(first_child, first_child + factor // child_factor):
+            if child_factor == 1:
+                start = self._by_index.get(child_index)
+                piece = None if start is None else self._buckets.get(start)
+            else:
+                piece = self._window_sketch(level - 1, child_index)
+            if piece is not None and piece.count > 0:
+                if merged is None:
+                    merged = piece.copy()
+                else:
+                    merged.merge(piece)
+        cache[window_index] = merged
+        return merged
+
+    def _cover_pieces(self, lo_index: int, hi_index: int) -> List[BaseDDSketch]:
+        """Sketches covering interval indices ``[lo_index, hi_index)``.
+
+        Greedy left-to-right cover: at every position the coarsest aligned
+        window fitting inside the range is taken, falling back to the raw
+        interval.  The pieces are returned in time order, so merging them is
+        the same multiset sum as merging every interval directly.
+        """
+        pieces: List[BaseDDSketch] = []
+        index = lo_index
+        while index < hi_index:
+            piece: Optional[BaseDDSketch] = None
+            step = 1
+            for level in range(len(self._window_factors) - 1, -1, -1):
+                factor = self._window_factors[level]
+                if index % factor == 0 and index + factor <= hi_index:
+                    piece = self._window_sketch(level, index // factor)
+                    step = factor
+                    break
+            else:
+                start = self._by_index.get(index)
+                piece = None if start is None else self._buckets.get(start)
+            if piece is not None and piece.count > 0:
+                pieces.append(piece)
+            index += step
+        return pieces
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -137,24 +280,35 @@ class SketchTimeSeries:
         """Merge every interval in ``[start, end)`` into a single sketch.
 
         With both bounds omitted the rollup covers the whole series.  The
-        result is a *new* sketch; the stored per-interval sketches are not
-        modified.
+        merge is served from the hierarchical window cache: the queried range
+        is covered with the coarsest materialised windows available, so
+        repeated "p99 over any window" reads merge a handful of cached
+        pieces instead of every interval.  The result is a *new* sketch; the
+        stored per-interval sketches are not modified.
         """
         if not self._buckets:
             raise EmptySketchError(f"no data stored for metric {self._metric!r}")
+        lower = None if start is None else self._bucket_start(start)
         selected = [
-            sketch
-            for interval_start, sketch in sorted(self._buckets.items())
-            if (start is None or interval_start >= self._bucket_start(start))
+            interval_start
+            for interval_start in sorted(self._buckets)
+            if (lower is None or interval_start >= lower)
             and (end is None or interval_start < end)
         ]
         if not selected:
             raise EmptySketchError(
                 f"no data for metric {self._metric!r} in [{start!r}, {end!r})"
             )
-        merged = selected[0].copy()
-        for sketch in selected[1:]:
-            merged.merge(sketch)
+        pieces = self._cover_pieces(
+            self._index_of(selected[0]), self._index_of(selected[-1]) + 1
+        )
+        if not pieces:
+            # Every selected interval holds an empty sketch; preserve the
+            # plain-merge behaviour of returning an empty copy.
+            return self._buckets[selected[0]].copy()
+        merged = pieces[0].copy()
+        for piece in pieces[1:]:
+            merged.merge(piece)
         return merged
 
     def quantile_series(self, quantile: float) -> List[Tuple[float, float]]:
@@ -225,6 +379,6 @@ class SketchTimeSeries:
 
     def __repr__(self) -> str:
         return (
-            f"SketchTimeSeries(metric={self._metric!r}, intervals={len(self._buckets)}, "
+            f"SketchTimeSeries(series={str(self._series_key)!r}, intervals={len(self._buckets)}, "
             f"total_count={self.total_count!r})"
         )

@@ -1,0 +1,309 @@
+"""The sketch registry: many tagged series behind one ingestion front-end.
+
+:class:`SketchRegistry` owns one sketch per :class:`~repro.registry.SeriesKey`
+and feeds them in bulk: columnar batches labelled with series keys flow
+through the grouped ingestion pipeline (one
+:meth:`~repro.mapping.KeyMapping.key_batch` call and one combined
+``bincount`` for the whole batch when the sketch family allows it — see
+:meth:`repro.core.BaseDDSketch.add_grouped_batch`), and reads answer the
+three query shapes of a high-cardinality monitoring backend:
+
+* **exact series** — the sketch of one ``(metric, tags)`` combination;
+* **tag-filtered merge** — every series of a metric carrying the filter
+  tags, merged (full mergeability, Section 2.1 of the paper, keeps the
+  accuracy guarantee intact);
+* **metric rollup** — all series of a metric, merged.
+
+A registry serializes to the length-prefixed multi-sketch wire frame
+(:mod:`repro.serialization.frame`), which is how an agent flushes thousands
+of series in one payload.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ddsketch import BaseDDSketch, DDSketch
+from repro.core.grouped import GroupedIngest
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.registry.series import SeriesKey, SeriesLike, TagsLike
+
+
+class SketchRegistry:
+    """A collection of sketches keyed by tagged series, fed in bulk.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Zero-argument callable creating the sketch for a series the first
+        time it receives data; defaults to the paper's configuration
+        (``DDSketch(relative_accuracy=0.01)``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> registry = SketchRegistry()
+    >>> keys = [SeriesKey("latency", (("endpoint", "/home"),)),
+    ...         SeriesKey("latency", (("endpoint", "/api"),))]
+    >>> registry.ingest_grouped(keys, np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]))
+    3
+    >>> registry.total_count()
+    3.0
+    >>> registry.quantile("latency", 0.5, tag_filter={"endpoint": "/home"}) > 0
+    True
+    """
+
+    def __init__(self, sketch_factory: Optional[Callable[[], BaseDDSketch]] = None) -> None:
+        self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
+        self._ingest = GroupedIngest(self._sketch_factory)
+
+    # ------------------------------------------------------------------ #
+    # Series access
+    # ------------------------------------------------------------------ #
+
+    def sketch(self, series: SeriesLike, tags: TagsLike = None) -> BaseDDSketch:
+        """The sketch for a series, created on first use."""
+        return self._ingest.sketch(SeriesKey.of(series, tags))
+
+    def get(self, series: SeriesLike, tags: TagsLike = None) -> BaseDDSketch:
+        """The sketch for a series; raises :class:`EmptySketchError` if unknown."""
+        key = SeriesKey.of(series, tags)
+        try:
+            return self._ingest.get(key)
+        except EmptySketchError:
+            raise EmptySketchError(f"no data for series {key}") from None
+
+    def series_keys(self, metric: Optional[str] = None, tag_filter: TagsLike = None) -> List[SeriesKey]:
+        """Sorted keys of the stored series, optionally filtered."""
+        return sorted(
+            key for key in self._ingest.series_ids()
+            if key.matches(metric, tag_filter)
+        )
+
+    def metrics(self) -> List[str]:
+        """Sorted names of the metrics with at least one series."""
+        return sorted({key.metric for key in self._ingest.series_ids()})
+
+    @property
+    def num_series(self) -> int:
+        """Number of stored series."""
+        return len(self._ingest)
+
+    def __len__(self) -> int:
+        return len(self._ingest)
+
+    def __contains__(self, series: SeriesLike) -> bool:
+        return SeriesKey.of(series) in self._ingest
+
+    def __iter__(self) -> Iterator[Tuple[SeriesKey, BaseDDSketch]]:
+        """Iterate ``(key, sketch)`` pairs in sorted key order."""
+        for key in self.series_keys():
+            yield key, self._ingest.get(key)
+
+    def total_count(self, metric: Optional[str] = None, tag_filter: TagsLike = None) -> float:
+        """Total inserted weight over the matching series (0.0 when none match)."""
+        return sum(
+            self._ingest.get(key).count
+            for key in self.series_keys(metric, tag_filter)
+        )
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint of every stored sketch."""
+        return sum(sketch.size_in_bytes() for _, sketch in self._ingest)
+
+    def clear(self) -> None:
+        """Drop every series."""
+        self._ingest.clear()
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def add(
+        self,
+        series: SeriesLike,
+        value: float,
+        weight: float = 1.0,
+        tags: TagsLike = None,
+    ) -> None:
+        """Record one value for one series."""
+        self.sketch(series, tags).add(value, weight)
+
+    def add_batch(
+        self,
+        series: SeriesLike,
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+        tags: TagsLike = None,
+    ) -> None:
+        """Record a whole array for one series (vectorized)."""
+        self.sketch(series, tags).add_batch(values, weights)
+
+    def ingest_grouped(
+        self,
+        series: Sequence[SeriesLike],
+        group_indices: "np.ndarray",
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Ingest pre-factorized columns across many series at once.
+
+        ``series`` lists one key per group and ``group_indices`` maps each
+        sample to a position in that list; the batch flows through the
+        grouped pipeline (one ``key_batch``, one combined ``bincount`` where
+        possible).  Returns the number of samples ingested.
+        """
+        keys = [SeriesKey.of(entry) for entry in series]
+        return self._ingest.ingest_grouped(keys, group_indices, values, weights)
+
+    def ingest_columns(
+        self,
+        series: Sequence[SeriesLike],
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Ingest raw parallel ``(series, value)`` columns (factorized here).
+
+        ``series`` may be an array of metric strings (the common columnar
+        shape) or any sequence of loose series descriptions; each unique
+        entry is normalized to a :class:`SeriesKey` once.
+        """
+        array = np.asarray(series)
+        if array.ndim == 1 and array.dtype.kind == "U":
+            # Vectorized factorization for the all-strings column, then one
+            # SeriesKey normalization per *unique* metric.  (Bytes columns
+            # fall through to the loose path, which rejects non-string
+            # metrics instead of repr-mangling them.)
+            uniques, codes = np.unique(array, return_inverse=True)
+            keys = [SeriesKey.of(str(unique)) for unique in uniques.tolist()]
+            return self._ingest.ingest_grouped(keys, codes.astype(np.int64), values, weights)
+        # Loose descriptions: normalize to hashable keys, then let the
+        # facade's own factorization do the dict scan.
+        keys = [SeriesKey.of(entry) for entry in series]
+        return self._ingest.ingest_columns(keys, values, weights)
+
+    def merge(self, other: "SketchRegistry") -> None:
+        """Fold every series of ``other`` into this registry (per-series merge)."""
+        for key, sketch in other:
+            self._ingest.merge_sketch(key, sketch)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def rollup(self, metric: str, tag_filter: TagsLike = None) -> BaseDDSketch:
+        """Merge every matching series into a new sketch.
+
+        With no filter this is the metric-level rollup; with a filter it is
+        the tag-filtered merge.  The stored per-series sketches are not
+        modified.  Raises :class:`EmptySketchError` when nothing matches.
+        """
+        selected = self.series_keys(metric, tag_filter)
+        if not selected:
+            raise EmptySketchError(
+                f"no data for metric {metric!r}"
+                + (f" with tags {dict(self._normalized_filter(tag_filter))}" if tag_filter else "")
+            )
+        merged = self._ingest.get(selected[0]).copy()
+        for key in selected[1:]:
+            merged.merge(self._ingest.get(key))
+        return merged
+
+    @staticmethod
+    def _normalized_filter(tag_filter: TagsLike) -> Tuple[Tuple[str, str], ...]:
+        from repro.registry.series import normalize_tags
+
+        return normalize_tags(tag_filter)
+
+    def quantile(
+        self,
+        metric: str,
+        quantile: float,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> float:
+        """One quantile of a metric: exact series, tag-filtered, or rollup.
+
+        ``tags`` selects one exact series; ``tag_filter`` merges every series
+        carrying those tags; neither merges the whole metric.  Raises
+        :class:`IllegalArgumentError` for an out-of-range quantile and
+        :class:`EmptySketchError` when no matching data exists.
+        """
+        return self.quantiles(metric, (quantile,), tags=tags, tag_filter=tag_filter)[0]
+
+    def quantiles(
+        self,
+        metric: str,
+        quantiles: Sequence[float],
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> List[float]:
+        """Several quantiles from one merged read (single cumulative pass)."""
+        for quantile in quantiles:
+            if not 0 <= quantile <= 1:  # rejects NaN as well
+                raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        if tags is not None and tag_filter is not None:
+            raise IllegalArgumentError("pass either tags (exact series) or tag_filter, not both")
+        if tags is not None:
+            sketch: BaseDDSketch = self.get(metric, tags)
+        else:
+            sketch = self.rollup(metric, tag_filter)
+        values = sketch.get_quantiles(quantiles)
+        if any(value is None for value in values):
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        return [float(value) for value in values]
+
+    # ------------------------------------------------------------------ #
+    # Wire frames
+    # ------------------------------------------------------------------ #
+
+    def to_frame(self) -> bytes:
+        """Serialize every series into one multi-sketch wire frame (v3)."""
+        from repro.serialization.frame import encode_frame
+
+        return encode_frame(self)
+
+    def flush_frame(self) -> bytes:
+        """Serialize every series into one frame, then drop the local state.
+
+        This is the agent-side flush of the paper's monitoring loop
+        (Section 1), generalized to high cardinality: thousands of series
+        leave in a single length-prefixed payload.
+        """
+        frame = self.to_frame()
+        self.clear()
+        return frame
+
+    def merge_frame(self, payload: bytes) -> int:
+        """Decode a frame and merge every carried series into this registry.
+
+        Returns the number of series merged.  Raises
+        :class:`~repro.exceptions.DeserializationError` for malformed
+        payloads (the stored state is only modified for well-formed frames).
+        """
+        from repro.serialization.frame import decode_frame
+
+        entries = decode_frame(payload)
+        for key, sketch in entries:
+            # The decoded sketch is owned by nobody else; adopt it directly.
+            self._ingest.merge_sketch(key, sketch, copy=False)
+        return len(entries)
+
+    @classmethod
+    def from_frame(
+        cls,
+        payload: bytes,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+    ) -> "SketchRegistry":
+        """Rebuild a registry from one wire frame."""
+        registry = cls(sketch_factory=sketch_factory)
+        registry.merge_frame(payload)
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchRegistry(num_series={self.num_series}, "
+            f"metrics={self.metrics()})"
+        )

@@ -1,0 +1,130 @@
+"""Tagged series identity: ``(metric, tags)`` keys for the sketch registry.
+
+In the paper's monitoring scenario (Section 1) a "metric" is really a family
+of thousands of concrete series — one per host/endpoint/status combination.
+:class:`SeriesKey` is the canonical identity of one such series: a metric
+name plus a normalized (sorted, duplicate-free) tuple of ``(key, value)``
+string tags.  Keys are hashable, totally ordered (for deterministic flush
+and iteration order), and support the subset matching used by tag-filtered
+queries (``host="web-1"`` selects every series carrying that tag, whatever
+its other tags are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import IllegalArgumentError
+
+#: Anything accepted where tags are expected: a mapping, an iterable of
+#: ``(key, value)`` pairs, or ``None`` for an untagged series.
+TagsLike = Union[None, Mapping[str, str], Iterable[Tuple[str, str]]]
+
+#: Anything accepted where a series is expected: a ready-made key, a bare
+#: metric name, or a ``(metric, tags)`` pair.
+SeriesLike = Union["SeriesKey", str, Tuple[str, TagsLike]]
+
+
+def normalize_tags(tags: TagsLike) -> Tuple[Tuple[str, str], ...]:
+    """Normalize tags to a sorted, validated tuple of string pairs."""
+    if tags is None:
+        return ()
+    if isinstance(tags, Mapping):
+        items = tags.items()
+    else:
+        items = list(tags)
+    normalized = []
+    seen = set()
+    for item in items:
+        try:
+            key, value = item
+        except (TypeError, ValueError) as error:
+            raise IllegalArgumentError(
+                f"tags must be (key, value) pairs, got {item!r}"
+            ) from error
+        if not isinstance(key, str) or not isinstance(value, str):
+            raise IllegalArgumentError(
+                f"tag keys and values must be strings, got {(key, value)!r}"
+            )
+        if not key:
+            raise IllegalArgumentError("tag keys must be non-empty strings")
+        if key in seen:
+            raise IllegalArgumentError(f"duplicate tag key {key!r}")
+        seen.add(key)
+        normalized.append((key, value))
+    return tuple(sorted(normalized))
+
+
+@dataclass(frozen=True, order=True)
+class SeriesKey:
+    """Identity of one tagged series: a metric name plus normalized tags.
+
+    Instances are immutable, hashable, and ordered by ``(metric, tags)`` so
+    registries and frames enumerate series deterministically.  Use
+    :meth:`of` to build keys from loose inputs (bare metric strings,
+    ``(metric, tags)`` pairs, tag mappings).
+    """
+
+    metric: str
+    tags: Tuple[Tuple[str, str], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.metric, str) or not self.metric:
+            raise IllegalArgumentError(
+                f"metric must be a non-empty string, got {self.metric!r}"
+            )
+        object.__setattr__(self, "tags", normalize_tags(self.tags))
+
+    @classmethod
+    def of(cls, series: SeriesLike, tags: TagsLike = None) -> "SeriesKey":
+        """Coerce a loose series description into a :class:`SeriesKey`.
+
+        Accepts an existing key (returned as-is when no extra ``tags`` are
+        supplied), a bare metric string, or a ``(metric, tags)`` pair; an
+        explicit ``tags`` argument combines with a bare metric string.
+        """
+        if isinstance(series, SeriesKey):
+            if tags is not None:
+                raise IllegalArgumentError(
+                    "cannot combine an existing SeriesKey with extra tags"
+                )
+            return series
+        if isinstance(series, str):
+            return cls(series, normalize_tags(tags))
+        if isinstance(series, tuple) and len(series) == 2:
+            if tags is not None:
+                raise IllegalArgumentError(
+                    "cannot combine a (metric, tags) pair with extra tags"
+                )
+            metric, pair_tags = series
+            return cls(metric, normalize_tags(pair_tags))
+        raise IllegalArgumentError(
+            f"expected a SeriesKey, metric string, or (metric, tags) pair, got {series!r}"
+        )
+
+    @property
+    def tag_dict(self) -> Mapping[str, str]:
+        """The tags as a plain dictionary (copy)."""
+        return dict(self.tags)
+
+    def matches(self, metric: Optional[str] = None, tag_filter: TagsLike = None) -> bool:
+        """Whether this series belongs to ``metric`` and carries every filter tag.
+
+        ``tag_filter`` selects by subset: a series matches when each filter
+        pair appears among its tags (extra tags are ignored).  A ``None``
+        metric matches any metric; an empty filter matches any tags.
+        """
+        if metric is not None and self.metric != metric:
+            return False
+        wanted = normalize_tags(tag_filter)
+        if not wanted:
+            return True
+        own = dict(self.tags)
+        return all(own.get(key) == value for key, value in wanted)
+
+    def __str__(self) -> str:
+        if not self.tags:
+            return self.metric
+        rendered = ",".join(f"{key}={value}" for key, value in self.tags)
+        return f"{self.metric}{{{rendered}}}"

@@ -10,6 +10,11 @@ provided:
 * :mod:`repro.serialization.binary_codec` — a compact binary format using
   variable-length integers and delta-encoded bucket keys, representative of
   what a production agent would put on the wire.
+
+High-cardinality agents batch all of their tagged series into one
+length-prefixed multi-sketch **frame** (format version 3,
+:mod:`repro.serialization.frame`) instead of shipping one payload per
+series.
 """
 
 from repro.serialization.encoding import (
@@ -27,6 +32,12 @@ from repro.serialization.json_codec import (
     store_from_dict,
 )
 from repro.serialization.binary_codec import encode_sketch, decode_sketch
+from repro.serialization.frame import (
+    encode_frame,
+    decode_frame,
+    frame_to_dict,
+    frame_from_dict,
+)
 
 __all__ = [
     "encode_varint",
@@ -41,4 +52,8 @@ __all__ = [
     "store_from_dict",
     "encode_sketch",
     "decode_sketch",
+    "encode_frame",
+    "decode_frame",
+    "frame_to_dict",
+    "frame_from_dict",
 ]

@@ -1,0 +1,238 @@
+"""Multi-sketch wire frame (format version 3): one payload, many series.
+
+The per-sketch binary format (:mod:`repro.serialization.binary_codec`,
+versions 1–2) matches the paper's one-payload-per-metric flush.  A
+high-cardinality agent instead tracks thousands of ``(metric, tags)`` series
+per flush interval; shipping one payload per series would drown the backend
+in per-payload overhead.  The frame format batches them: a small header
+followed by length-prefixed entries, each carrying the series identity
+(metric plus tags, as varint-length-prefixed UTF-8 strings) and one embedded
+version-2 sketch payload.
+
+Format (all multi-byte integers are varints unless noted)::
+
+    magic        2 bytes   b"DD"
+    version      varint    3
+    n series     varint
+    entries      n * entry
+
+    entry:
+      metric     varint length + UTF-8 bytes
+      n tags     varint
+      tags       n * (varint length + UTF-8 key, varint length + UTF-8 value)
+      sketch len varint
+      sketch     sketch-len bytes, a version-2 payload (decode_sketch)
+
+Like the per-sketch codec, decoding is fuzz-hardened: truncated, bit-flipped,
+or adversarial frames (absurd series/tag counts or lengths, duplicate
+series, trailing bytes, embedded-sketch corruption) raise
+:class:`~repro.exceptions.DeserializationError` — never an ``IndexError`` or
+``MemoryError`` from the internals.  A JSON-object twin
+(:func:`frame_to_dict` / :func:`frame_from_dict`) round-trips the same
+content readably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.exceptions import DeserializationError, ReproError
+from repro.registry.series import SeriesKey
+from repro.serialization.encoding import VarintReader, encode_varint
+
+_MAGIC = b"DD"
+_FRAME_VERSION = 3
+
+#: Ceiling on any single decoded string (metric, tag key, tag value).  Real
+#: series names are tens of bytes; anything larger is a malformed length
+#: field that would otherwise drive a giant slice.
+_MAX_STRING_BYTES = 1 << 16
+
+#: Minimum wire size of one frame entry: metric (>= 2 bytes), tag count,
+#: sketch length, and the smallest well-formed version-2 sketch payload
+#: (fixed header floats alone are 56 bytes).  Used to reject series counts
+#: that cannot possibly fit in the remaining payload.
+_MIN_ENTRY_BYTES = 2 + 1 + 1 + 60
+
+
+def _encode_string(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return encode_varint(len(encoded)) + encoded
+
+
+def _read_string(reader: VarintReader, what: str) -> str:
+    length = reader.read_varint()
+    if length > _MAX_STRING_BYTES:
+        raise DeserializationError(
+            f"{what} length {length} exceeds the sanity limit {_MAX_STRING_BYTES}"
+        )
+    chunk = reader.read_bytes(length)
+    try:
+        return chunk.decode("utf-8")
+    except UnicodeDecodeError as error:
+        raise DeserializationError(f"{what} is not valid UTF-8") from error
+
+
+def encode_frame(entries: Iterable[Tuple[SeriesKey, Any]]) -> bytes:
+    """Serialize ``(series_key, sketch)`` pairs into one frame payload.
+
+    Accepts any iterable of pairs — a :class:`~repro.registry.SketchRegistry`
+    iterates as one — and embeds each sketch via
+    :func:`~repro.serialization.binary_codec.encode_sketch`.
+    """
+    from repro.serialization.binary_codec import encode_sketch
+
+    body = bytearray()
+    count = 0
+    for key, sketch in entries:
+        key = SeriesKey.of(key)
+        body += _encode_string(key.metric)
+        body += encode_varint(len(key.tags))
+        for tag_key, tag_value in key.tags:
+            body += _encode_string(tag_key)
+            body += _encode_string(tag_value)
+        sketch_bytes = encode_sketch(sketch)
+        body += encode_varint(len(sketch_bytes))
+        body += sketch_bytes
+        count += 1
+    return _MAGIC + encode_varint(_FRAME_VERSION) + encode_varint(count) + bytes(body)
+
+
+def decode_frame(payload: bytes, sketch_cls: Any = None) -> List[Tuple[SeriesKey, Any]]:
+    """Decode a frame into ``(series_key, sketch)`` pairs, in wire order.
+
+    ``sketch_cls`` is forwarded to
+    :func:`~repro.serialization.binary_codec.decode_sketch` for every entry
+    (by default, payloads carrying uniform-collapse stores auto-upgrade to
+    :class:`~repro.core.UDDSketch`).
+
+    Raises
+    ------
+    DeserializationError
+        For any malformed payload: wrong magic or version, series/tag counts
+        or string/sketch lengths that cannot fit the remaining bytes,
+        invalid UTF-8, duplicate series, corrupt embedded sketches, or
+        trailing bytes.
+    """
+    from repro.serialization.binary_codec import decode_sketch
+
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
+        raise DeserializationError(
+            f"frame payload must be bytes, got {type(payload).__name__}"
+        )
+    payload = bytes(payload)
+    if payload[:2] != _MAGIC:
+        raise DeserializationError("payload does not start with the DDSketch magic bytes")
+    reader = VarintReader(payload[2:])
+    entries: List[Tuple[SeriesKey, Any]] = []
+    seen: set = set()
+    try:
+        version = reader.read_varint()
+        if version != _FRAME_VERSION:
+            raise DeserializationError(f"unsupported frame version {version}")
+        num_series = reader.read_varint()
+        if num_series > reader.remaining // _MIN_ENTRY_BYTES:
+            raise DeserializationError(
+                f"series count {num_series} cannot fit in the remaining payload"
+            )
+        for _ in range(num_series):
+            metric = _read_string(reader, "metric name")
+            num_tags = reader.read_varint()
+            if num_tags > reader.remaining // 2:
+                raise DeserializationError(
+                    f"tag count {num_tags} cannot fit in the remaining payload"
+                )
+            tags = tuple(
+                (_read_string(reader, "tag key"), _read_string(reader, "tag value"))
+                for _ in range(num_tags)
+            )
+            sketch_length = reader.read_varint()
+            if sketch_length > reader.remaining:
+                raise DeserializationError(
+                    f"sketch length {sketch_length} exceeds the remaining payload"
+                )
+            sketch_bytes = reader.read_bytes(sketch_length)
+            key = SeriesKey(metric, tags)
+            if key in seen:
+                raise DeserializationError(f"duplicate series {key} in frame")
+            seen.add(key)
+            entries.append((key, decode_sketch(sketch_bytes, sketch_cls=sketch_cls)))
+        if not reader.exhausted:
+            raise DeserializationError(
+                f"{reader.remaining} trailing bytes after the frame"
+            )
+    except DeserializationError:
+        raise
+    except ReproError as error:
+        # Anything the library itself rejected (e.g. a malformed SeriesKey)
+        # means the payload is bad.
+        raise DeserializationError(f"malformed frame payload: {error}") from error
+    return entries
+
+
+def frame_to_dict(entries: Iterable[Tuple[SeriesKey, Any]]) -> Dict[str, Any]:
+    """JSON-friendly twin of :func:`encode_frame`."""
+    series = []
+    for key, sketch in entries:
+        key = SeriesKey.of(key)
+        series.append(
+            {
+                "metric": key.metric,
+                "tags": {tag_key: tag_value for tag_key, tag_value in key.tags},
+                "sketch": sketch.to_dict(),
+            }
+        )
+    return {"version": _FRAME_VERSION, "series": series}
+
+
+def frame_from_dict(payload: Dict[str, Any]) -> List[Tuple[SeriesKey, Any]]:
+    """Rebuild ``(series_key, sketch)`` pairs from :func:`frame_to_dict` output.
+
+    Applies the same auto-upgrade rule as the binary path: a series whose
+    positive store carries uniform-collapse state decodes to
+    :class:`~repro.core.UDDSketch`.
+    """
+    from repro.core.ddsketch import BaseDDSketch
+    from repro.core.uddsketch import UDDSketch
+
+    if not isinstance(payload, dict):
+        raise DeserializationError("expected a JSON object at the top level")
+    if payload.get("version") != _FRAME_VERSION:
+        raise DeserializationError(
+            f"unsupported frame version {payload.get('version')!r}"
+        )
+    series = payload.get("series")
+    if not isinstance(series, list):
+        raise DeserializationError("the 'series' section must be an array")
+    entries: List[Tuple[SeriesKey, Any]] = []
+    seen: set = set()
+    for entry in series:
+        try:
+            if not isinstance(entry, dict):
+                raise DeserializationError("every series entry must be an object")
+            tags = entry.get("tags", {})
+            if not isinstance(tags, dict):
+                raise DeserializationError("the 'tags' section must be an object")
+            key = SeriesKey(entry["metric"], tuple(tags.items()))
+            sketch_payload = entry["sketch"]
+            if not isinstance(sketch_payload, dict):
+                raise DeserializationError("the 'sketch' section must be an object")
+            store_payload = sketch_payload.get("store")
+            sketch_cls = BaseDDSketch
+            if (
+                isinstance(store_payload, dict)
+                and store_payload.get("type") == "UniformCollapsingDenseStore"
+            ):
+                sketch_cls = UDDSketch
+            sketch = sketch_cls.from_dict(sketch_payload)
+        except DeserializationError:
+            raise
+        except ReproError as error:
+            raise DeserializationError(f"malformed frame payload: {error}") from error
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise DeserializationError(f"malformed frame payload: {error}") from error
+        if key in seen:
+            raise DeserializationError(f"duplicate series {key} in frame")
+        seen.add(key)
+        entries.append((key, sketch))
+    return entries

@@ -18,6 +18,12 @@ interface so that the sketch logic is independent of the storage strategy:
   folding even/odd key pairs together (the UDDSketch scheme), preserving a
   degraded relative-error guarantee over the whole quantile range instead of
   sacrificing one tail.
+
+For high-cardinality workloads — many stores fed from one columnar batch —
+:func:`add_grouped_batch` accumulates parallel ``(group_index, key)`` arrays
+into a whole sequence of stores with a single combined ``bincount`` pass
+(falling back to per-group ``add_batch`` slices for the bounded and sparse
+store families).
 """
 
 from repro.store.base import Store, Bucket
@@ -28,6 +34,7 @@ from repro.store.collapsing import (
     CollapsingHighestDenseStore,
 )
 from repro.store.uniform import UniformCollapsingDenseStore
+from repro.store.grouped import add_grouped_batch
 
 __all__ = [
     "Store",
@@ -37,4 +44,5 @@ __all__ = [
     "CollapsingLowestDenseStore",
     "CollapsingHighestDenseStore",
     "UniformCollapsingDenseStore",
+    "add_grouped_batch",
 ]

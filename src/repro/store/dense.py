@@ -128,6 +128,46 @@ class DenseStore(Store):
         segment += counts
         self._count += float(weights.sum()) if weights is not None else float(keys.size)
 
+    def _add_binned_segment(self, min_key: int, counts: "np.ndarray", total: float) -> None:
+        """Accumulate a pre-binned contiguous counter segment starting at ``min_key``.
+
+        This is the fan-out half of the grouped ingestion primitive
+        (:func:`repro.store.grouped.add_grouped_batch`): the caller has
+        already folded a batch into per-key counts (one row of the combined
+        ``bincount``), so this method only has to place the window once and
+        add the segment in.  ``total`` is the batch's total weight for this
+        store, accumulated by the caller in input order so the running count
+        matches a per-item loop bit for bit.
+
+        The window placement and the clipping of out-of-window keys onto the
+        boundary buckets mirror :meth:`add_batch` exactly, so a segment
+        produced from a batch's keys lands in the same buckets the batch
+        itself would.
+        """
+        if counts.size == 0 or total <= 0.0:
+            return
+        if self._count <= 0 and self._bins.size:
+            # Same re-anchoring as add_batch: an emptied store must not let a
+            # stale window constrain where new weight lands.
+            self.clear()
+        max_key = min_key + int(counts.size) - 1
+        self._batch_extend_range(min_key, max_key)
+        last_index = self._bins.size - 1
+        low = min(max(min_key - self._offset, 0), last_index)
+        high = min(max(max_key - self._offset, 0), last_index)
+        if low == min_key - self._offset and high == max_key - self._offset:
+            segment_counts = counts
+        else:
+            # Part of the segment falls outside a bounded window: fold it
+            # onto the boundary buckets, exactly where add_batch's index
+            # clipping sends the matching keys.
+            indices = np.clip(np.arange(min_key, max_key + 1) - self._offset, low, high) - low
+            segment_counts = np.bincount(indices, weights=counts, minlength=high - low + 1)
+        segment = self._bins[low : high + 1]
+        self._num_positive += int(np.count_nonzero((segment == 0.0) & (segment_counts > 0)))
+        segment += segment_counts
+        self._count += float(total)
+
     def remove(self, key: int, weight: float = 1.0) -> None:
         """Decrease the counter of ``key`` by ``weight``, clamped at zero."""
         weight = self._validate_weight(weight)

@@ -1,0 +1,116 @@
+"""Tests for the sketch API sugar: ``len``, ``total_count``, ``+``/``+=``."""
+
+import numpy as np
+import pytest
+
+from repro import DDSketch, SparseDDSketch, UDDSketch
+from repro.exceptions import UnequalSketchParametersError
+
+
+def filled(factory, seed, size=5_000):
+    sketch = factory()
+    sketch.add_batch(np.random.default_rng(seed).lognormal(0.0, 1.0, size))
+    return sketch
+
+
+class TestLenAndTotalCount:
+    def test_len_is_the_integer_count(self):
+        sketch = DDSketch()
+        assert len(sketch) == 0
+        sketch.add(1.0)
+        sketch.add(2.0, weight=2.5)
+        assert len(sketch) == int(sketch.count) == 3
+        assert sketch.count == 3.5
+
+    def test_total_count_aliases_count(self):
+        sketch = filled(DDSketch, 0)
+        assert sketch.total_count == sketch.count == 5_000.0
+
+
+class TestAddOperators:
+    def test_add_returns_merge_and_leaves_operands_untouched(self):
+        left = filled(DDSketch, 1)
+        right = filled(DDSketch, 2)
+        left_bytes, right_bytes = left.to_bytes(), right.to_bytes()
+
+        combined = left + right
+        assert combined.count == 10_000.0
+        assert left.to_bytes() == left_bytes
+        assert right.to_bytes() == right_bytes
+
+        reference = left.copy()
+        reference.merge(right)
+        assert combined.store.key_counts() == reference.store.key_counts()
+        assert combined.get_quantiles((0.5, 0.99)) == reference.get_quantiles((0.5, 0.99))
+
+    def test_iadd_merges_in_place(self):
+        left = filled(DDSketch, 3)
+        right = filled(DDSketch, 4)
+        reference = left.copy()
+        reference.merge(right)
+        left += right
+        assert left.count == 10_000.0
+        assert left.store.key_counts() == reference.store.key_counts()
+
+    def test_add_preserves_subclass(self):
+        left = filled(lambda: SparseDDSketch(relative_accuracy=0.01), 5)
+        right = filled(lambda: SparseDDSketch(relative_accuracy=0.01), 6)
+        combined = left + right
+        assert isinstance(combined, SparseDDSketch)
+        assert combined.count == 10_000.0
+
+    def test_add_rejects_non_sketches(self):
+        with pytest.raises(TypeError):
+            DDSketch() + 3
+        with pytest.raises(TypeError):
+            3 + DDSketch()
+
+    def test_incompatible_mappings_still_raise(self):
+        with pytest.raises(UnequalSketchParametersError):
+            filled(lambda: DDSketch(relative_accuracy=0.01), 7) + filled(
+                lambda: DDSketch(relative_accuracy=0.02), 8
+            )
+
+
+class TestUDDSketchFusionOperators:
+    def make_pair(self):
+        coarse = UDDSketch(relative_accuracy=0.005, bin_limit=64)
+        coarse.add_batch(np.logspace(-3, 6, 20_000))  # forces collapses
+        fine = UDDSketch(relative_accuracy=0.005, bin_limit=64)
+        fine.add_batch(np.linspace(1.0, 2.0, 1_000))
+        assert coarse.collapse_count > fine.collapse_count
+        return coarse, fine
+
+    def test_operator_merge_fuses_mixed_alpha_to_the_coarser(self):
+        coarse, fine = self.make_pair()
+        fine_alpha_before = fine.relative_accuracy
+
+        fused = fine + coarse
+        reference = fine.copy()
+        reference.merge(coarse)
+
+        assert isinstance(fused, UDDSketch)
+        assert fused.count == 21_000.0
+        assert fused.relative_accuracy == coarse.relative_accuracy
+        assert fused.collapse_count == coarse.collapse_count
+        assert fused.store.key_counts() == reference.store.key_counts()
+        # Operands are untouched: the finer sketch keeps its finer guarantee.
+        assert fine.relative_accuracy == fine_alpha_before
+        assert fine.count == 1_000.0
+
+    def test_operator_merge_is_symmetric_in_content(self):
+        coarse, fine = self.make_pair()
+        one = coarse + fine
+        other = fine + coarse
+        assert one.store.key_counts() == other.store.key_counts()
+        assert one.relative_accuracy == other.relative_accuracy
+        quantiles = (0.01, 0.5, 0.99)
+        assert one.get_quantiles(quantiles) == other.get_quantiles(quantiles)
+
+    def test_iadd_fuses_too(self):
+        coarse, fine = self.make_pair()
+        reference = fine.copy()
+        reference.merge(coarse)
+        fine += coarse
+        assert fine.relative_accuracy == coarse.relative_accuracy
+        assert fine.store.key_counts() == reference.store.key_counts()
