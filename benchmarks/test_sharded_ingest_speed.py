@@ -1,0 +1,191 @@
+"""Sharded concurrent ingestion speed gate and bit-exactness proof.
+
+The sharded tier (:class:`repro.registry.ShardedRegistry`) exists so that a
+multi-threaded producer fleet can flush 8 shard buffers **concurrently**:
+the grouped ``bincount`` ingestion inside each drain is NumPy work that
+releases the GIL (``log`` keying, ``bincount`` accumulation, ``concatenate``
+assembly), so shard drains genuinely overlap on multi-core machines.  This
+module gates that design:
+
+* at 8 shards with a thread-pool flush, draining the same buffered workload
+  must be **>= 2x** faster than the single-shard sequential flush — on
+  machines with at least ``MIN_CPUS_FOR_GATE`` usable cores.  Thread
+  parallelism physically cannot beat sequential wall-clock on a single
+  core, so on smaller machines (like some CI sandboxes) the speed
+  assertion is skipped, the timings are still measured and recorded, and
+  the equivalence assertions below always run;
+* whatever the speed, every query answer must be **bit-exact** versus an
+  unsharded :class:`~repro.registry.SketchRegistry` fed the same stream —
+  per-series quantiles, tag-filtered merges, metric rollups, total counts,
+  and the encoded wire frame itself (byte-identical).  Sharding is a
+  concurrency change, never an accuracy change (full mergeability, paper
+  Section 2.1/2.3).
+
+The measured timings are written to ``BENCH_sharded.json`` at the
+repository root (next to ``BENCH_groupby.json``) so the CI perf job can
+archive the benchmark trajectory across commits.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.presets import LogUnboundedDenseDDSketch
+from repro.evaluation.config import bench_scale
+from repro.registry import SeriesKey, ShardedRegistry, SketchRegistry
+
+N_VALUES = 1_000_000
+N_SERIES = 512
+N_SHARDS = 8
+
+#: Cores below which the >= 2x thread-parallelism assertion is vacuous and
+#: therefore skipped (the equivalence assertions always run).  GitHub CI
+#: runners have 4 cores, so the gate is enforced there.
+MIN_CPUS_FOR_GATE = 4
+REQUIRED_SPEEDUP = 2.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
+
+
+def _record_bench(section: str, payload: dict) -> None:
+    """Merge one section into the BENCH_sharded.json trajectory file."""
+    data = {}
+    if BENCH_OUTPUT.is_file():
+        try:
+            data = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[section] = payload
+    BENCH_OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def _time(function):
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+@pytest.fixture(scope="module")
+def workload():
+    size = max(int(N_VALUES * bench_scale()), 50_000)
+    series = max(min(N_SERIES, size // 100), 64)
+    rng = np.random.default_rng(0)
+    group_indices = rng.integers(0, series, size)
+    values = rng.lognormal(0.0, 1.5, size)
+    keys = [SeriesKey("web.latency", (("endpoint", f"/e{index:04d}"),)) for index in range(series)]
+    return keys, group_indices, values
+
+
+def _factory():
+    return LogUnboundedDenseDDSketch(relative_accuracy=0.01)
+
+
+def _buffered(num_shards, keys, group_indices, values, workers):
+    """A sharded registry with the whole workload buffered, nothing flushed."""
+    registry = ShardedRegistry(
+        num_shards=num_shards,
+        sketch_factory=_factory,
+        max_pending=len(values) + 1,  # never spill: the flush IS the measurement
+        flush_workers=workers,
+    )
+    registry.record_grouped(keys, group_indices, values)
+    assert registry.pending_samples == len(values)
+    return registry
+
+
+def test_sharded_flush_speedup_and_bit_exactness(benchmark, workload):
+    """8-shard thread-pool flush >= 2x over single-shard; answers bit-exact."""
+    keys, group_indices, values = workload
+    cpus = os.cpu_count() or 1
+
+    def measure():
+        # Warm up one-time costs (ufunc dispatch, allocator, thread pool)
+        # outside the measured windows.
+        _buffered(N_SHARDS, keys, group_indices, values, N_SHARDS).flush(parallel=True)
+
+        single = _buffered(1, keys, group_indices, values, 1)
+        single_seconds, _ = _time(lambda: single.flush(parallel=False))
+
+        sharded = _buffered(N_SHARDS, keys, group_indices, values, N_SHARDS)
+        sharded_seconds, _ = _time(lambda: sharded.flush(parallel=True))
+        return single_seconds, sharded_seconds, single, sharded
+
+    single_seconds, sharded_seconds, single, sharded = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = single_seconds / sharded_seconds
+    n = len(values)
+    gate_enforced = cpus >= MIN_CPUS_FOR_GATE
+    print()
+    print(f"sharded flush: {n} buffered values over {len(keys)} series, {cpus} cpu(s)")
+    print(f"  single-shard flush  {single_seconds / n * 1e9:10.0f} ns/value")
+    print(f"  {N_SHARDS}-shard pool flush  {sharded_seconds / n * 1e9:10.0f} ns/value")
+    print(f"  speedup             {speedup:10.2f} x  (gate {'enforced' if gate_enforced else 'skipped: needs >= ' + str(MIN_CPUS_FOR_GATE) + ' cores'})")
+
+    # --- Bit-exactness: sharding must never change an answer. ------------ #
+    unsharded = SketchRegistry(sketch_factory=_factory)
+    unsharded.ingest_grouped(keys, group_indices, values)
+    quantiles = (0.5, 0.9, 0.99, 1.0)
+    assert sharded.total_count() == unsharded.total_count()
+    assert sharded.num_series == unsharded.num_series
+    for key in (keys[0], keys[len(keys) // 2], keys[-1]):
+        assert sharded.quantiles("web.latency", quantiles, tags=dict(key.tags)) == (
+            unsharded.quantiles("web.latency", quantiles, tags=dict(key.tags))
+        )
+        assert sharded.get(key).store.key_counts() == unsharded.get(key).store.key_counts()
+    assert sharded.quantiles("web.latency", quantiles) == unsharded.quantiles(
+        "web.latency", quantiles
+    )
+    # The wire frame is byte-identical too (sorted series order both ways).
+    assert sharded.to_frame() == unsharded.to_frame()
+    # The single-shard path is a plain partition of one: same answers.
+    assert single.quantiles("web.latency", quantiles) == unsharded.quantiles(
+        "web.latency", quantiles
+    )
+
+    _record_bench(
+        "sharded_flush",
+        {
+            "values": n,
+            "series": len(keys),
+            "shards": N_SHARDS,
+            "cpu_count": cpus,
+            "single_shard_seconds": single_seconds,
+            "sharded_seconds": sharded_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+            "gate_enforced": gate_enforced,
+        },
+    )
+    if gate_enforced:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x at {N_SHARDS} shards on {cpus} cores, "
+            f"measured {speedup:.2f}x"
+        )
+    else:
+        # One core cannot overlap threads; just guard against a pathological
+        # regression of the thread-pool path itself.
+        assert speedup >= 0.5, (
+            f"thread-pool flush pathologically slow on {cpus} core(s): {speedup:.2f}x"
+        )
+
+
+def test_spill_bound_keeps_pending_memory_bounded(workload):
+    """The ingest queue spills at its bound instead of growing unboundedly."""
+    keys, group_indices, values = workload
+    bound = 20_000
+    registry = ShardedRegistry(
+        num_shards=N_SHARDS, sketch_factory=_factory, max_pending=bound, flush_workers=1
+    )
+    chunk = 5_000
+    for start in range(0, min(len(values), 200_000), chunk):
+        registry.record_grouped(
+            keys, group_indices[start : start + chunk], values[start : start + chunk]
+        )
+        assert registry.pending_samples <= N_SHARDS * bound
+    registry.flush()
+    assert registry.pending_samples == 0

@@ -27,8 +27,12 @@ Four subcommands cover the common workflows:
     latencies, multi-sketch wire frames, a tag-aware aggregator — and print
     the distributed quantiles next to the exact ones.
     ``--series-cardinality N`` fans the metric out into ``N`` tagged
-    endpoint series ingested through the grouped registry pipeline; the
-    report then includes a tag-filtered per-endpoint p99 sample.
+    endpoint series ingested through the grouped registry pipeline (flushed
+    as multi-sketch wire frames, frame v3); the report then includes a
+    tag-filtered per-endpoint p99 sample.  ``--shards N`` (with optional
+    ``--workers K``) runs every agent on the sharded concurrent registry:
+    per-shard ingest queues, a thread-pool flush, and one frame per shard
+    on the wire.
 
 Run ``python -m repro --help`` for details.
 """
@@ -148,7 +152,27 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "number of tagged endpoint series the metric fans out into; "
             "values > 1 exercise the grouped registry ingestion and the "
-            "multi-sketch wire frames (default: 1)"
+            "multi-sketch wire frames (frame v3, version byte 0x03; "
+            "default: 1)"
+        ),
+    )
+    simulate.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "ingestion shards per agent; values > 1 run the sharded "
+            "concurrent registry (per-shard ingest queues, thread-pool "
+            "flush, one frame-v3 payload per shard on the wire; default: 1)"
+        ),
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "flush worker threads per agent in sharded mode "
+            "(default: one per shard, capped at the CPU count)"
         ),
     )
     simulate.add_argument(
@@ -265,12 +289,15 @@ def _run_simulate(args: argparse.Namespace, stdout) -> int:
         relative_accuracy=args.relative_accuracy,
         seed=args.seed,
         series_cardinality=args.series_cardinality,
+        shards=args.shards,
+        flush_workers=args.workers,
     )
     simulation.run()
     report = simulation.report(quantiles=tuple(args.quantiles))
     print(
         f"metric: {report.metric}   hosts = {report.num_hosts}   "
-        f"intervals = {report.num_intervals}   series = {report.num_series}",
+        f"intervals = {report.num_intervals}   series = {report.num_series}"
+        + (f"   shards = {report.shards}" if report.shards > 1 else ""),
         file=stdout,
     )
     rows = [

@@ -369,6 +369,7 @@ class BaseDDSketch:
         group_indices: "np.ndarray",
         values: "np.ndarray",
         weights: Optional[Union[float, "np.ndarray"]] = None,
+        scratch: Optional["GroupedScratch"] = None,
     ) -> None:
         """Ingest one columnar batch into many sketches at once (group-by path).
 
@@ -401,6 +402,11 @@ class BaseDDSketch:
             Finite floats, parallel to ``group_indices``.
         weights : float or numpy.ndarray, optional
             Positive finite multiplicities (scalar or per-sample array).
+        scratch : repro.store.GroupedScratch, optional
+            Reusable flat-index scratch for the combined ``bincount`` pass;
+            single-writer callers that flush repeatedly (registry shards)
+            pass one to avoid reallocating the batch-sized temporary every
+            flush.  Results are bit-identical with or without it.
 
         Notes
         -----
@@ -469,6 +475,7 @@ class BaseDDSketch:
                 group_indices[positive_mask],
                 mapping.key_batch(values[positive_mask]),
                 None if weight_array is None else weight_array[positive_mask],
+                scratch=scratch,
             )
         if negative_mask.any():
             store_add_grouped(
@@ -476,6 +483,7 @@ class BaseDDSketch:
                 group_indices[negative_mask],
                 mapping.key_batch(-values[negative_mask]),
                 None if weight_array is None else weight_array[negative_mask],
+                scratch=scratch,
             )
 
         zero_mask = ~(positive_mask | negative_mask)

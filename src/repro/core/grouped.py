@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.store.grouped import GroupedScratch
 
 
 class GroupedIngest:
@@ -45,6 +46,10 @@ class GroupedIngest:
     def __init__(self, sketch_factory: Optional[Callable[[], BaseDDSketch]] = None) -> None:
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
         self._sketches: Dict[Hashable, BaseDDSketch] = {}
+        # One reusable flat-index scratch per facade: each registry (and each
+        # shard of a ShardedRegistry) owns exactly one GroupedIngest, so the
+        # single-writer discipline required by GroupedScratch holds.
+        self._scratch = GroupedScratch()
 
     # ------------------------------------------------------------------ #
     # Series access
@@ -155,7 +160,7 @@ class GroupedIngest:
             recode[present] = np.arange(present.size)
             compact = recode[group_indices]
         sketches = [self.sketch(series_ids[position]) for position in present.tolist()]
-        BaseDDSketch.add_grouped_batch(sketches, compact, values, weights)
+        BaseDDSketch.add_grouped_batch(sketches, compact, values, weights, scratch=self._scratch)
         return int(group_indices.size)
 
     def ingest_columns(

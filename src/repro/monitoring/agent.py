@@ -15,10 +15,19 @@ High-rate sources hand it whole arrays via :meth:`MetricAgent.record_batch`
 many series, ingested through the grouped ``bincount`` pipeline), and a
 flush can ship the entire series population as **one** multi-sketch wire
 frame (:meth:`MetricAgent.flush_frame`) instead of one payload per series.
+
+With ``shards=N`` the agent runs on the sharded concurrency tier
+(:class:`~repro.registry.ShardedRegistry`): record calls from any number of
+application threads buffer into per-shard columnar ingest queues, a flush
+drains them on a thread pool (the grouped ``bincount`` ingestion releases
+the GIL, so shard drains overlap), and
+:meth:`MetricAgent.flush_shard_frames` ships one frame per shard — the
+cross-process transport shape.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -26,7 +35,7 @@ import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import IllegalArgumentError
-from repro.registry import SeriesKey, SketchRegistry
+from repro.registry import SeriesKey, ShardedRegistry, SketchRegistry
 from repro.registry.series import SeriesLike, TagsLike
 
 
@@ -92,6 +101,17 @@ class MetricAgent:
     interval_length:
         Length of a flush interval in seconds (only recorded in the payload
         metadata; the agent itself is driven explicitly via :meth:`flush`).
+    shards:
+        With ``shards > 1`` the agent's registry becomes a
+        :class:`~repro.registry.ShardedRegistry`: record calls buffer into
+        per-shard columnar ingest queues, flushes drain them with one
+        grouped ``bincount`` pass per shard on a thread pool, and any
+        number of application threads may record concurrently.  ``1``
+        (the default) keeps the original single-writer
+        :class:`SketchRegistry`.
+    flush_workers:
+        Thread-pool width for sharded flushes (defaults to one worker per
+        shard, capped at the CPU count; ignored when ``shards == 1``).
     """
 
     def __init__(
@@ -99,14 +119,29 @@ class MetricAgent:
         host: str,
         sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
         interval_length: float = 1.0,
+        shards: int = 1,
+        flush_workers: Optional[int] = None,
     ) -> None:
         if interval_length <= 0:
             raise IllegalArgumentError(f"interval_length must be positive, got {interval_length!r}")
+        if shards < 1:
+            raise IllegalArgumentError(f"shards must be positive, got {shards!r}")
         self._host = str(host)
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
         self._interval_length = float(interval_length)
-        self._registry = SketchRegistry(sketch_factory=self._sketch_factory)
+        self._shards = int(shards)
+        if self._shards > 1:
+            self._registry: Union[SketchRegistry, ShardedRegistry] = ShardedRegistry(
+                num_shards=self._shards,
+                sketch_factory=self._sketch_factory,
+                flush_workers=flush_workers,
+            )
+        else:
+            self._registry = SketchRegistry(sketch_factory=self._sketch_factory)
         self._records = 0
+        # Sharded agents invite concurrent record calls; an unsynchronized
+        # += would silently lose counter updates under races.
+        self._records_lock = threading.Lock()
 
     @property
     def host(self) -> str:
@@ -119,9 +154,14 @@ class MetricAgent:
         return self._interval_length
 
     @property
-    def registry(self) -> SketchRegistry:
+    def registry(self) -> Union[SketchRegistry, ShardedRegistry]:
         """The registry holding this agent's unflushed series."""
         return self._registry
+
+    @property
+    def shards(self) -> int:
+        """Number of ingestion shards (1 = unsharded single-writer registry)."""
+        return self._shards
 
     @property
     def pending_metrics(self) -> List[str]:
@@ -143,7 +183,8 @@ class MetricAgent:
     ) -> None:
         """Record one measurement for a (possibly tagged) series."""
         self._registry.add(metric, value, weight, tags=tags)
-        self._records += 1
+        with self._records_lock:
+            self._records += 1
 
     def record_batch(
         self,
@@ -163,7 +204,8 @@ class MetricAgent:
         if values.size == 0:
             return
         self._registry.add_batch(metric, values, weights, tags=tags)
-        self._records += int(values.size)
+        with self._records_lock:
+            self._records += int(values.size)
 
     def record_grouped(
         self,
@@ -180,7 +222,8 @@ class MetricAgent:
         Returns the number of samples recorded.
         """
         recorded = self._registry.ingest_grouped(series, group_indices, values, weights)
-        self._records += recorded
+        with self._records_lock:
+            self._records += recorded
         return recorded
 
     def flush(self, interval_start: float) -> List[SketchPayload]:
@@ -225,6 +268,38 @@ class MetricAgent:
             payload=frame,
             num_series=num_series,
         )
+
+    def flush_shard_frames(self, interval_start: float) -> List[FramePayload]:
+        """Flush as **one wire frame per shard**, then reset local state.
+
+        The cross-process transport shape of the sharded tier: each shard's
+        series population leaves as its own frame-v3 payload, so a
+        shard-per-worker deployment never funnels all series through one
+        serialization pass.  Because merging is associative and commutative
+        (paper Section 2.1), the receiving
+        :meth:`~repro.monitoring.Aggregator.ingest_frames` reassembles the
+        identical state whatever the arrival order.  An unsharded agent
+        degrades to at most one frame.  Returns an empty list when the
+        agent holds no data.
+        """
+        payloads: List[FramePayload] = []
+        if isinstance(self._registry, ShardedRegistry):
+            for num_series, frame in self._registry.shard_frames(clear=True):
+                payloads.append(
+                    FramePayload(
+                        host=self._host,
+                        interval_start=float(interval_start),
+                        interval_length=self._interval_length,
+                        payload=frame,
+                        num_series=num_series,
+                    )
+                )
+        else:
+            single = self.flush_frame(interval_start)
+            if single is not None:
+                payloads.append(single)
+        self._records = 0
+        return payloads
 
     def __repr__(self) -> str:
         return f"MetricAgent(host={self._host!r}, pending_metrics={self.pending_metrics})"

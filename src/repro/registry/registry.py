@@ -184,10 +184,27 @@ class SketchRegistry:
         keys = [SeriesKey.of(entry) for entry in series]
         return self._ingest.ingest_columns(keys, values, weights)
 
+    def merge_series(
+        self,
+        series: SeriesLike,
+        sketch: BaseDDSketch,
+        tags: TagsLike = None,
+        copy: bool = True,
+    ) -> None:
+        """Fold one sketch into one series (created on first use).
+
+        With ``copy=False`` a *new* series adopts ``sketch`` itself instead
+        of a copy — the ownership-transfer shape used when routing decoded
+        wire-frame entries (:meth:`merge_frame`) or shard snapshots, where
+        the caller holds the only reference.  Merging into an existing
+        series behaves identically either way (Algorithm 4 mergeability).
+        """
+        self._ingest.merge_sketch(SeriesKey.of(series, tags), sketch, copy=copy)
+
     def merge(self, other: "SketchRegistry") -> None:
         """Fold every series of ``other`` into this registry (per-series merge)."""
         for key, sketch in other:
-            self._ingest.merge_sketch(key, sketch)
+            self.merge_series(key, sketch)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -288,7 +305,7 @@ class SketchRegistry:
         entries = decode_frame(payload)
         for key, sketch in entries:
             # The decoded sketch is owned by nobody else; adopt it directly.
-            self._ingest.merge_sketch(key, sketch, copy=False)
+            self.merge_series(key, sketch, copy=False)
         return len(entries)
 
     @classmethod

@@ -1,0 +1,627 @@
+"""Sharded concurrent ingestion engine: N single-writer shards, merge-on-read.
+
+Full mergeability (paper Sections 2.1 and 2.3) is what makes a sharded write
+path *correct by construction*: hash-partition the series space so each
+:class:`~repro.registry.SeriesKey` lives in exactly one shard, let every
+shard ingest independently, and answer any query by merging on read — the
+merged sketch is identical to the one a single writer would have built,
+with the full relative-error guarantee intact.  UDDSketch's mixed-alpha
+fusion rule (Epicoco et al.) extends the same property to shards whose
+sketches collapsed independently.
+
+:class:`ShardedRegistry` implements that tier on top of the PR-4
+:class:`~repro.registry.SketchRegistry`:
+
+* **Writes** never touch a sketch directly.  ``record`` /
+  ``record_batch`` / ``record_grouped`` hash-route their samples to
+  per-shard bounded columnar buffers
+  (:class:`~repro.registry.ingest_queue.ShardBuffer`); a buffer reaching
+  its bound spills — drains into its shard synchronously — so memory stays
+  bounded regardless of the record rate.
+* **Flush** drains every buffer with one grouped ``bincount`` ingestion
+  pass per shard (:meth:`~repro.registry.SketchRegistry.ingest_grouped`),
+  optionally on a thread pool: the heavy NumPy work (``log`` keying,
+  ``bincount`` accumulation) releases the GIL, so shard flushes genuinely
+  overlap on multi-core machines.
+* **Reads** are snapshot merge-on-read: the query drains the relevant
+  buffers, copies the matching per-series sketches under each shard's
+  writer lock, and merges the copies in sorted key order — bit-exact with
+  an unsharded registry fed the same stream
+  (``benchmarks/test_sharded_ingest_speed.py`` gates this).
+* **Transport** reuses the frame-v3 codec: :meth:`ShardedRegistry.shard_frames`
+  emits one multi-sketch wire frame per shard (the cross-process layout —
+  one worker process per shard shipping its own frame), and
+  :meth:`ShardedRegistry.merge_frame` routes a decoded frame's series back
+  onto their home shards.
+
+Concurrency contract: any number of threads may record concurrently with
+flushes and queries.  Each shard's registry is mutated only while holding
+that shard's writer lock (single-writer discipline), so per-series sketches
+are never written by two threads at once; queries copy under the same lock,
+so a returned answer is a consistent snapshot of every sample flushed — or
+drained by the query itself — before it ran.  Samples still sitting in a
+concurrent producer's unflushed buffer may or may not be included.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.ddsketch import BaseDDSketch
+from repro.exceptions import EmptySketchError, IllegalArgumentError
+from repro.registry.ingest_queue import ShardBuffer
+from repro.registry.registry import SketchRegistry
+from repro.registry.series import SeriesKey, SeriesLike, TagsLike, normalize_tags
+
+#: Default pending-sample bound per shard buffer before a spill flush.
+DEFAULT_MAX_PENDING = 65_536
+
+
+def shard_of(key: SeriesKey, num_shards: int) -> int:
+    """The home shard of a series: a stable hash partition.
+
+    Uses ``crc32`` of the rendered key rather than Python's ``hash`` so the
+    partition is identical across processes and runs (``PYTHONHASHSEED``
+    randomizes string hashing) — a requirement for the cross-process
+    shard-per-worker layout, where every worker must agree on the routing.
+    """
+    return zlib.crc32(str(key).encode("utf-8")) % num_shards
+
+
+class ShardedRegistry:
+    """A sharded, concurrency-safe front-end over N ``SketchRegistry`` shards.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of single-writer shards the series space is hash-partitioned
+        into.
+    sketch_factory:
+        Zero-argument callable creating the sketch for a series the first
+        time it receives data; forwarded to every shard (defaults to the
+        paper's ``DDSketch(relative_accuracy=0.01)``).
+    max_pending:
+        Per-shard pending-sample bound of the ingest buffer; a record call
+        pushing a buffer past the bound spills (drains that shard
+        synchronously).
+    flush_workers:
+        Thread-pool width used by :meth:`flush`; defaults to
+        ``min(num_shards, cpu_count)``.  ``1`` makes every flush
+        sequential.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> registry = ShardedRegistry(num_shards=4)
+    >>> keys = [SeriesKey("latency", (("endpoint", "/home"),)),
+    ...         SeriesKey("latency", (("endpoint", "/api"),))]
+    >>> registry.record_grouped(keys, np.array([0, 1, 0]), np.array([1.0, 2.0, 3.0]))
+    3
+    >>> registry.flush() <= 3  # samples not already spilled are drained here
+    True
+    >>> registry.total_count()
+    3.0
+    >>> registry.quantile("latency", 0.5, tag_filter={"endpoint": "/home"}) > 0
+    True
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        flush_workers: Optional[int] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise IllegalArgumentError(f"num_shards must be positive, got {num_shards!r}")
+        if max_pending < 1:
+            raise IllegalArgumentError(f"max_pending must be positive, got {max_pending!r}")
+        if flush_workers is not None and flush_workers < 1:
+            raise IllegalArgumentError(
+                f"flush_workers must be positive, got {flush_workers!r}"
+            )
+        self._num_shards = int(num_shards)
+        self._max_pending = int(max_pending)
+        self._flush_workers = int(
+            flush_workers
+            if flush_workers is not None
+            else max(1, min(self._num_shards, os.cpu_count() or 1))
+        )
+        self._shards = [SketchRegistry(sketch_factory=sketch_factory) for _ in range(num_shards)]
+        self._writer_locks = [threading.Lock() for _ in range(num_shards)]
+        self._buffers = [ShardBuffer(self._max_pending) for _ in range(num_shards)]
+        self._shard_cache: dict = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Partitioning
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        """Number of single-writer shards."""
+        return self._num_shards
+
+    @property
+    def flush_workers(self) -> int:
+        """Thread-pool width used by parallel flushes."""
+        return self._flush_workers
+
+    def shard_index(self, series: SeriesLike, tags: TagsLike = None) -> int:
+        """The home shard of a series (stable across processes)."""
+        return self._shard_of(SeriesKey.of(series, tags))
+
+    def _shard_of(self, key: SeriesKey) -> int:
+        # The cache write is a benign race: every thread computes the same
+        # stable value for the same key.
+        cached = self._shard_cache.get(key)
+        if cached is None:
+            cached = shard_of(key, self._num_shards)
+            self._shard_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # Ingestion (buffered writes)
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        series: SeriesLike,
+        value: float,
+        weight: float = 1.0,
+        tags: TagsLike = None,
+    ) -> None:
+        """Buffer one sample for one series (validated now, sketched at flush)."""
+        key = SeriesKey.of(series, tags)
+        value = float(value)
+        weight = float(weight)
+        if math.isnan(value) or math.isinf(value):
+            raise IllegalArgumentError(f"value must be a finite number, got {value!r}")
+        if not math.isfinite(weight) or weight <= 0.0:
+            raise IllegalArgumentError(
+                f"weight must be a positive finite number, got {weight!r}"
+            )
+        index = self._shard_of(key)
+        if self._buffers[index].append(key, value, weight) >= self._max_pending:
+            self._drain_shard(index)
+
+    def record_batch(
+        self,
+        series: SeriesLike,
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+        tags: TagsLike = None,
+    ) -> int:
+        """Buffer a whole array for one series; returns the sample count."""
+        key = SeriesKey.of(series, tags)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            return 0
+        values, weight_array = BaseDDSketch._coerce_values_weights(values, weights)
+        # Buffered ingestion outlives this call, so the buffer must own its
+        # arrays: copy defensively (coercion is a no-op view for an
+        # already-float64 input, which would otherwise alias the caller's —
+        # possibly reused — instrumentation buffer).
+        values = values.copy()
+        weight_array = None if weight_array is None else weight_array.copy()
+        index = self._shard_of(key)
+        if self._buffers[index].append_batch(key, values, weight_array) >= self._max_pending:
+            self._drain_shard(index)
+        return int(values.size)
+
+    def record_grouped(
+        self,
+        series: Sequence[SeriesLike],
+        group_indices: "np.ndarray",
+        values: "np.ndarray",
+        weights: Optional[Union[float, "np.ndarray"]] = None,
+    ) -> int:
+        """Buffer one columnar batch across many series, hash-split by shard.
+
+        ``series`` lists one key per group and ``group_indices`` maps each
+        sample to a position in that list (the shape of
+        :meth:`SketchRegistry.ingest_grouped`).  The batch is validated up
+        front — a rejected batch buffers nothing — then partitioned into
+        per-shard sub-batches with NumPy masks; each sub-batch lands in its
+        shard's buffer in one append.  Returns the number of samples
+        buffered (or spilled).
+        """
+        keys = [SeriesKey.of(entry) for entry in series]
+        group_indices = np.asarray(group_indices, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if group_indices.shape != values.shape:
+            raise IllegalArgumentError(
+                f"group_indices shape {group_indices.shape} does not match "
+                f"values shape {values.shape}"
+            )
+        if group_indices.size == 0:
+            return 0
+        lowest = int(group_indices.min())
+        highest = int(group_indices.max())
+        if lowest < 0 or highest >= len(keys):
+            raise IllegalArgumentError(
+                f"group indices must be in [0, {len(keys)}), got range "
+                f"[{lowest}, {highest}]"
+            )
+        values, weight_array = BaseDDSketch._coerce_values_weights(values, weights)
+
+        shard_by_group = np.fromiter(
+            (self._shard_of(key) for key in keys), dtype=np.int64, count=len(keys)
+        )
+        touched: List[int] = []
+        if self._num_shards == 1 or shard_by_group.max() == shard_by_group.min():
+            index = int(shard_by_group[0])
+            # Single touched shard: the whole columns go in as-is, so copy
+            # them defensively (the masked multi-shard path below produces
+            # fresh arrays already); group codes are remapped — and thereby
+            # copied — inside append_grouped.
+            self._buffers[index].append_grouped(
+                keys,
+                group_indices,
+                values.copy(),
+                None if weight_array is None else weight_array.copy(),
+            )
+            touched.append(index)
+        else:
+            sample_shards = shard_by_group[group_indices]
+            for index in np.unique(sample_shards).tolist():
+                mask = sample_shards == index
+                shard_groups = np.flatnonzero(shard_by_group == index)
+                local_of_global = np.full(len(keys), -1, dtype=np.int64)
+                local_of_global[shard_groups] = np.arange(shard_groups.size)
+                self._buffers[index].append_grouped(
+                    [keys[group] for group in shard_groups.tolist()],
+                    local_of_global[group_indices[mask]],
+                    values[mask],
+                    None if weight_array is None else weight_array[mask],
+                )
+                touched.append(index)
+        for index in touched:
+            if self._buffers[index].pending >= self._max_pending:
+                self._drain_shard(index)
+        return int(values.size)
+
+    # Registry-compatible aliases, so a ShardedRegistry can stand in for a
+    # SketchRegistry behind a MetricAgent (the writes become buffered).
+    add = record
+    add_batch = record_batch
+    ingest_grouped = record_grouped
+
+    @property
+    def pending_samples(self) -> int:
+        """Samples buffered across all shards, not yet flushed into sketches."""
+        return sum(buffer.pending for buffer in self._buffers)
+
+    # ------------------------------------------------------------------ #
+    # Flush
+    # ------------------------------------------------------------------ #
+
+    def _drain_locked(self, index: int) -> int:
+        """Drain shard ``index``'s buffer into its registry (lock held)."""
+        batch = self._buffers[index].take()
+        if batch is None:
+            return 0
+        self._shards[index].ingest_grouped(
+            batch.series, batch.group_indices, batch.values, batch.weights
+        )
+        return batch.count
+
+    def _drain_shard(self, index: int) -> int:
+        """Drain one shard under its writer lock; returns samples drained."""
+        with self._writer_locks[index]:
+            return self._drain_locked(index)
+
+    def flush(self, parallel: Optional[bool] = None) -> int:
+        """Drain every shard buffer into its sketches; returns samples flushed.
+
+        With ``parallel`` unset, the flush uses the configured thread pool
+        whenever ``flush_workers > 1``.  Each worker drains whole shards
+        (never splitting one shard across threads — the single-writer
+        discipline), and the grouped ``bincount`` ingestion inside each
+        drain releases the GIL, so drains overlap on multi-core machines.
+        The pool is created lazily on the first parallel flush and reused
+        afterwards (steady-state flush loops do not respawn worker
+        threads); :meth:`close` tears it down.
+        """
+        if parallel is None:
+            parallel = self._flush_workers > 1
+        if not parallel or self._num_shards == 1:
+            return sum(self._drain_shard(index) for index in range(self._num_shards))
+        return sum(self._flush_pool().map(self._drain_shard, range(self._num_shards)))
+
+    def _flush_pool(self) -> ThreadPoolExecutor:
+        """The lazily created, reused flush thread pool."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(self._flush_workers, self._num_shards),
+                    thread_name_prefix="repro-shard-flush",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the flush thread pool (idempotent).
+
+        Later parallel flushes recreate it on demand; calling this is only
+        needed when tearing a registry down promptly instead of waiting
+        for interpreter exit.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot merge-on-read
+    # ------------------------------------------------------------------ #
+
+    def _snapshot_entries(
+        self, metric: Optional[str] = None, tag_filter: TagsLike = None
+    ) -> List[Tuple[SeriesKey, BaseDDSketch]]:
+        """Copies of every matching ``(key, sketch)`` pair, in sorted key order.
+
+        Each shard is drained and copied under its writer lock, so the
+        snapshot reflects everything recorded before the call (by quiescent
+        producers) and is immune to concurrent mutation afterwards.
+        """
+        entries: List[Tuple[SeriesKey, BaseDDSketch]] = []
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                shard = self._shards[index]
+                for key in shard.series_keys(metric, tag_filter):
+                    entries.append((key, shard.get(key).copy()))
+        entries.sort(key=lambda entry: entry[0])
+        return entries
+
+    def snapshot(self) -> SketchRegistry:
+        """A point-in-time unsharded copy of the whole registry.
+
+        The returned :class:`SketchRegistry` owns independent sketch copies;
+        it is bit-exact with an unsharded registry fed the same stream and
+        safe to query while writers keep recording into ``self``.
+        """
+        snapshot = SketchRegistry()
+        for key, sketch in self._snapshot_entries():
+            snapshot.merge_series(key, sketch, copy=False)
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Series access / statistics
+    # ------------------------------------------------------------------ #
+
+    def get(self, series: SeriesLike, tags: TagsLike = None) -> BaseDDSketch:
+        """A copy of one series' sketch; raises :class:`EmptySketchError` if unknown."""
+        key = SeriesKey.of(series, tags)
+        index = self._shard_of(key)
+        with self._writer_locks[index]:
+            self._drain_locked(index)
+            return self._shards[index].get(key).copy()
+
+    def series_keys(
+        self, metric: Optional[str] = None, tag_filter: TagsLike = None
+    ) -> List[SeriesKey]:
+        """Sorted keys of the stored series, optionally filtered."""
+        keys: List[SeriesKey] = []
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                keys.extend(self._shards[index].series_keys(metric, tag_filter))
+        return sorted(keys)
+
+    def metrics(self) -> List[str]:
+        """Sorted names of the metrics with at least one series."""
+        return sorted({key.metric for key in self.series_keys()})
+
+    @property
+    def num_series(self) -> int:
+        """Number of stored series across all shards."""
+        return len(self.series_keys())
+
+    def __len__(self) -> int:
+        return self.num_series
+
+    def __contains__(self, series: SeriesLike) -> bool:
+        key = SeriesKey.of(series)
+        index = self._shard_of(key)
+        with self._writer_locks[index]:
+            self._drain_locked(index)
+            return key in self._shards[index]
+
+    def __iter__(self) -> Iterator[Tuple[SeriesKey, BaseDDSketch]]:
+        """Iterate ``(key, sketch-copy)`` pairs in sorted key order (a snapshot)."""
+        return iter(self._snapshot_entries())
+
+    def total_count(self, metric: Optional[str] = None, tag_filter: TagsLike = None) -> float:
+        """Total inserted weight over the matching series (0.0 when none match)."""
+        total = 0.0
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                total += self._shards[index].total_count(metric, tag_filter)
+        return total
+
+    def size_in_bytes(self) -> int:
+        """Modelled memory footprint of every stored sketch."""
+        total = 0
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                total += self._shards[index].size_in_bytes()
+        return total
+
+    def clear(self) -> None:
+        """Drop every series and every buffered sample."""
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._buffers[index].take()
+                self._shards[index].clear()
+        # Routing entries for dropped series would otherwise accumulate
+        # forever across flush/clear cycles of churning series.
+        self._shard_cache = {}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def rollup(self, metric: str, tag_filter: TagsLike = None) -> BaseDDSketch:
+        """Merge every matching series into a new sketch (snapshot merge-on-read).
+
+        Matching series are copied shard by shard and merged in sorted key
+        order — the same order :meth:`SketchRegistry.rollup` uses, so the
+        result is bit-exact with the unsharded registry.  Raises
+        :class:`EmptySketchError` when nothing matches.
+        """
+        entries = self._snapshot_entries(metric, tag_filter)
+        if not entries:
+            raise EmptySketchError(
+                f"no data for metric {metric!r}"
+                + (f" with tags {dict(normalize_tags(tag_filter))}" if tag_filter else "")
+            )
+        merged = entries[0][1]
+        for _, sketch in entries[1:]:
+            merged.merge(sketch)
+        return merged
+
+    def quantile(
+        self,
+        metric: str,
+        quantile: float,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> float:
+        """One quantile of a metric: exact series, tag-filtered, or rollup."""
+        return self.quantiles(metric, (quantile,), tags=tags, tag_filter=tag_filter)[0]
+
+    def quantiles(
+        self,
+        metric: str,
+        quantiles: Sequence[float],
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+    ) -> List[float]:
+        """Several quantiles from one merged read (single cumulative pass).
+
+        Mirrors :meth:`SketchRegistry.quantiles` exactly — same query
+        shapes (``tags`` exact series, ``tag_filter`` filtered merge,
+        neither the metric rollup), same error contract, bit-exact
+        answers.
+        """
+        for value in quantiles:
+            if not 0 <= value <= 1:  # rejects NaN as well
+                raise IllegalArgumentError(f"quantile must be in [0, 1], got {value!r}")
+        if tags is not None and tag_filter is not None:
+            raise IllegalArgumentError("pass either tags (exact series) or tag_filter, not both")
+        if tags is not None:
+            sketch: BaseDDSketch = self.get(metric, tags)
+        else:
+            sketch = self.rollup(metric, tag_filter)
+        values = sketch.get_quantiles(quantiles)
+        if any(value is None for value in values):
+            raise EmptySketchError(f"no data for metric {metric!r}")
+        return [float(value) for value in values]
+
+    # ------------------------------------------------------------------ #
+    # Wire frames (cross-process shard transport)
+    # ------------------------------------------------------------------ #
+
+    def to_frame(self) -> bytes:
+        """Serialize every series into one multi-sketch wire frame (v3).
+
+        Entries are emitted in sorted key order — byte-identical to the
+        frame an unsharded :class:`SketchRegistry` fed the same stream
+        would emit.
+        """
+        from repro.serialization.frame import encode_frame
+
+        return encode_frame(self._snapshot_entries())
+
+    def flush_frame(self) -> bytes:
+        """Serialize every series into one frame, then drop the local state.
+
+        Snapshot-and-clear happens **atomically per shard** (under each
+        shard's writer lock), so a sample recorded concurrently either
+        makes this frame or stays buffered for the next one — never lost.
+        The cleared shard dictionaries drop their references, so the
+        collected sketches are exclusively ours and need no copies before
+        encoding.
+        """
+        from repro.serialization.frame import encode_frame
+
+        entries: List[Tuple[SeriesKey, BaseDDSketch]] = []
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                shard = self._shards[index]
+                for key in shard.series_keys():
+                    entries.append((key, shard.get(key)))
+                shard.clear()
+        entries.sort(key=lambda entry: entry[0])
+        return encode_frame(entries)
+
+    def shard_frames(self, clear: bool = False) -> List[Tuple[int, bytes]]:
+        """One ``(num_series, frame)`` pair per non-empty shard.
+
+        This is the cross-process transport layout: one worker process per
+        shard can ship its own frame independently, and any consumer that
+        understands frame v3 (an :class:`~repro.monitoring.Aggregator`,
+        another registry's :meth:`merge_frame`) reassembles the population
+        by merge — order-independent, by full mergeability.  With
+        ``clear=True`` each shard is reset after encoding (a per-shard
+        flush).
+        """
+        frames: List[Tuple[int, bytes]] = []
+        for index in range(self._num_shards):
+            with self._writer_locks[index]:
+                self._drain_locked(index)
+                shard = self._shards[index]
+                if shard.num_series == 0:
+                    continue
+                frames.append((shard.num_series, shard.to_frame()))
+                if clear:
+                    shard.clear()
+        return frames
+
+    def merge_frame(self, payload: bytes) -> int:
+        """Decode one frame and merge every carried series onto its home shard.
+
+        Returns the number of series merged.  Raises
+        :class:`~repro.exceptions.DeserializationError` for malformed
+        payloads (nothing is merged in that case — decoding happens before
+        any routing).
+        """
+        from repro.serialization.frame import decode_frame
+
+        entries = decode_frame(payload)
+        for key, sketch in entries:
+            index = self._shard_of(key)
+            with self._writer_locks[index]:
+                self._shards[index].merge_series(key, sketch, copy=False)
+        return len(entries)
+
+    @classmethod
+    def from_frames(
+        cls,
+        payloads: Sequence[bytes],
+        num_shards: int = 8,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+    ) -> "ShardedRegistry":
+        """Rebuild a sharded registry from any number of wire frames."""
+        registry = cls(num_shards=num_shards, sketch_factory=sketch_factory)
+        for payload in payloads:
+            registry.merge_frame(payload)
+        return registry
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedRegistry(num_shards={self._num_shards}, "
+            f"num_series={self.num_series}, pending_samples={self.pending_samples})"
+        )

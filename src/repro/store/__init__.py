@@ -34,7 +34,7 @@ from repro.store.collapsing import (
     CollapsingHighestDenseStore,
 )
 from repro.store.uniform import UniformCollapsingDenseStore
-from repro.store.grouped import add_grouped_batch
+from repro.store.grouped import GroupedScratch, add_grouped_batch
 
 __all__ = [
     "Store",
@@ -44,5 +44,6 @@ __all__ = [
     "CollapsingLowestDenseStore",
     "CollapsingHighestDenseStore",
     "UniformCollapsingDenseStore",
+    "GroupedScratch",
     "add_grouped_batch",
 ]

@@ -37,6 +37,34 @@ from repro.store.dense import DenseStore
 MAX_FLAT_CELLS = 1 << 26
 
 
+class GroupedScratch:
+    """Reusable scratch for the combined-bincount fast path.
+
+    Every :func:`add_grouped_batch` call on the fast path materialises one
+    ``int64`` flat-index array as large as the batch.  A steady-state flush
+    loop — e.g. one shard of :class:`~repro.registry.ShardedRegistry`
+    draining its ingest buffer every interval — would reallocate that
+    temporary on every drain; holding a ``GroupedScratch`` per single-writer
+    owner lets the allocation be grown once and reused (the batch math is
+    computed in place with ``out=``, producing bit-identical indices).
+
+    Instances are **not** thread-safe: each concurrent writer (each shard)
+    must own its own scratch, which is exactly the single-writer discipline
+    the sharded registry enforces.
+    """
+
+    __slots__ = ("_flat",)
+
+    def __init__(self) -> None:
+        self._flat: Optional["np.ndarray"] = None
+
+    def flat_index(self, size: int) -> "np.ndarray":
+        """A writable ``int64`` view of ``size`` elements, grown on demand."""
+        if self._flat is None or self._flat.size < size:
+            self._flat = np.empty(max(size, 1024), dtype=np.int64)
+        return self._flat[:size]
+
+
 def _coerce_grouped(
     num_groups: int,
     group_indices: "np.ndarray",
@@ -90,6 +118,7 @@ def add_grouped_batch(
     group_indices: "np.ndarray",
     keys: "np.ndarray",
     weights: Optional["np.ndarray"] = None,
+    scratch: Optional[GroupedScratch] = None,
 ) -> None:
     """Accumulate ``(group, key[, weight])`` columns into ``stores[group]``.
 
@@ -104,6 +133,12 @@ def add_grouped_batch(
         Integer bucket keys, parallel to ``group_indices``.
     weights : numpy.ndarray, optional
         Positive finite per-sample weights; unit weights when omitted.
+    scratch : GroupedScratch, optional
+        Reusable flat-index scratch owned by a single-writer caller (e.g.
+        one registry shard); when given, the fast path computes its combined
+        index in place instead of allocating a fresh batch-sized temporary.
+        The resulting indices — and therefore the stores — are bit-identical
+        either way.
 
     Notes
     -----
@@ -147,7 +182,16 @@ def add_grouped_batch(
             )
         return
 
-    flat = group_indices * span + (keys - offset)
+    if scratch is None:
+        flat = group_indices * span + (keys - offset)
+    else:
+        # Same arithmetic, computed in place into the caller's reusable
+        # buffer: group * span + key, then the offset shift.
+        flat = scratch.flat_index(keys.size)
+        np.multiply(group_indices, span, out=flat)
+        np.add(flat, keys, out=flat)
+        if offset:
+            flat -= offset
     cells = np.bincount(flat, weights=weights, minlength=num_groups * span)
     cells = cells.reshape(num_groups, span)
     totals = group_totals(num_groups, group_indices, weights)

@@ -114,3 +114,42 @@ class TestParser:
         help_text = parser.format_help()
         for command in ("sketch", "generate", "evaluate", "bounds"):
             assert command in help_text
+
+
+class TestSimulateCommand:
+    def test_simulate_sharded_runs_and_reports(self):
+        exit_code, output = run_cli(
+            [
+                "simulate",
+                "--hosts", "2",
+                "--intervals", "2",
+                "--requests-per-interval", "400",
+                "--series-cardinality", "4",
+                "--shards", "3",
+                "--workers", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "shards = 3" in output
+        assert "tag-filtered p99 per endpoint" in output
+
+    def test_simulate_rejects_invalid_shards(self):
+        exit_code, output = run_cli(
+            ["simulate", "--hosts", "1", "--intervals", "1", "--shards", "0"]
+        )
+        assert exit_code == 2
+        assert "error" in output
+
+    def test_series_cardinality_help_names_frame_v3(self):
+        """The CLI help and the architecture guide must agree on the frame
+        name and version byte (pinned again in test_docs_examples)."""
+        parser = build_parser()
+        help_text = parser.format_help()
+        # argparse wraps help, so check the simulate subparser directly.
+        for action in parser._subparsers._group_actions[0].choices["simulate"]._actions:
+            if "--series-cardinality" in action.option_strings:
+                assert "frame v3" in action.help
+                assert "0x03" in action.help
+                break
+        else:  # pragma: no cover
+            pytest.fail("--series-cardinality option not found")

@@ -1,0 +1,59 @@
+"""Tier-1 wrapper for the docstring lint (``tools/check_docstrings.py``).
+
+The registry package and the grouped ingestion facade are the audited
+surface: every public module/class/function/method there must carry a
+docstring (the store/serialization convention from PR 1).  Running the lint
+inside the test suite means an undocumented public symbol fails tier-1
+locally, not just the dedicated CI step.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "tools" / "check_docstrings.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_docstrings", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_audited_modules_have_no_undocumented_public_symbols(capsys):
+    checker = _load_checker()
+    assert checker.main([]) == 0, capsys.readouterr().out
+
+
+def test_checker_flags_undocumented_symbols(tmp_path):
+    """The lint actually detects violations (it is not vacuously green)."""
+    checker = _load_checker()
+    bad = tmp_path / "bad_module.py"
+    bad.write_text(
+        '"""Documented module."""\n\n'
+        "class Documented:\n"
+        '    """Fine."""\n\n'
+        "    def undocumented_method(self):\n"
+        "        return 1\n\n"
+        "def undocumented_function():\n"
+        "    return 2\n"
+    )
+    # _missing_in_file requires the file to be under the repo root for the
+    # relative rendering, so call the AST walker pieces directly.
+    tree = ast.parse(bad.read_text())
+    names = []
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, ast.FunctionDef) and ast.get_docstring(member) is None:
+                    names.append(member.name)
+        elif isinstance(node, ast.FunctionDef) and ast.get_docstring(node) is None:
+            names.append(node.name)
+    assert names == ["undocumented_method", "undocumented_function"]
+    # And the end-to-end path agrees: pointing the checker at a tree with
+    # violations returns a failure exit code.
+    sys_argv_target = bad.parent
+    assert checker.main([str(sys_argv_target)]) in (1, 2)

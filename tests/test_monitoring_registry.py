@@ -329,3 +329,89 @@ class TestHighCardinalitySimulation:
                 simulation.metric, 0.99, tag_filter=dict(key.tags)
             )
             assert report.endpoint_p99[endpoint] == direct
+
+
+class TestShardedMonitoring:
+    """The shards=N mode of the monitoring tier (sharded agents, per-shard
+    frame transport, thread-pool flush) must be invisible in every answer."""
+
+    def test_sharded_agent_matches_unsharded_agent(self):
+        rng = np.random.default_rng(9)
+        keys = [SeriesKey("lat", (("e", f"/{index}"),)) for index in range(12)]
+        groups = rng.integers(0, len(keys), 20_000)
+        values = rng.lognormal(0.0, 1.0, 20_000)
+
+        plain = MetricAgent("host-a")
+        sharded = MetricAgent("host-a", shards=4, flush_workers=2)
+        assert plain.shards == 1 and sharded.shards == 4
+        plain.record_grouped(keys, groups, values)
+        sharded.record_grouped(keys, groups, values)
+        assert sharded.records_since_flush == 20_000
+        assert sharded.pending_series == plain.pending_series
+
+        frame_plain = plain.flush_frame(0.0)
+        frame_sharded = sharded.flush_frame(0.0)
+        assert frame_sharded.payload == frame_plain.payload
+        assert frame_sharded.num_series == frame_plain.num_series
+        assert sharded.records_since_flush == 0
+
+    def test_flush_shard_frames_reassembles_in_the_aggregator(self):
+        rng = np.random.default_rng(10)
+        keys = [SeriesKey("lat", (("e", f"/{index}"),)) for index in range(8)]
+        groups = rng.integers(0, len(keys), 10_000)
+        values = rng.lognormal(0.0, 1.0, 10_000)
+
+        plain = MetricAgent("host-a")
+        sharded = MetricAgent("host-a", shards=4)
+        plain.record_grouped(keys, groups, values)
+        sharded.record_grouped(keys, groups, values)
+
+        via_one_frame = Aggregator()
+        via_one_frame.ingest_frame(plain.flush_frame(0.0))
+        via_shard_frames = Aggregator()
+        frames = sharded.flush_shard_frames(0.0)
+        assert len(frames) > 1, "expected several per-shard frames"
+        merged = via_shard_frames.ingest_frames(frames)
+        assert merged == len(keys)
+        assert sharded.registry.num_series == 0
+
+        quantiles = (0.5, 0.9, 0.99)
+        assert via_shard_frames.quantiles("lat", quantiles) == (
+            via_one_frame.quantiles("lat", quantiles)
+        )
+        for key in keys:
+            assert via_shard_frames.quantiles("lat", quantiles, tags=dict(key.tags)) == (
+                via_one_frame.quantiles("lat", quantiles, tags=dict(key.tags))
+            )
+
+    def test_flush_shard_frames_degrades_gracefully_unsharded(self):
+        agent = MetricAgent("host-a")
+        assert agent.flush_shard_frames(0.0) == []
+        agent.record("lat", 1.0)
+        frames = agent.flush_shard_frames(1.0)
+        assert len(frames) == 1 and frames[0].num_series == 1
+
+    def test_sharded_simulation_is_bit_exact_with_unsharded(self):
+        plain = MonitoringSimulation(
+            num_hosts=3, requests_per_interval=800, num_intervals=3,
+            seed=21, series_cardinality=6,
+        )
+        sharded = MonitoringSimulation(
+            num_hosts=3, requests_per_interval=800, num_intervals=3,
+            seed=21, series_cardinality=6, shards=4, flush_workers=2,
+        )
+        report_plain = plain.run()
+        report_sharded = sharded.run()
+        assert report_sharded.shards == 4
+        assert report_sharded.overall_quantiles == report_plain.overall_quantiles
+        assert report_sharded.endpoint_p99 == report_plain.endpoint_p99
+        assert report_sharded.p99_series == report_plain.p99_series
+        assert report_sharded.total_requests == report_plain.total_requests
+        # One frame per non-empty shard per host/interval on the wire.
+        assert sharded.aggregator.payloads_received >= plain.aggregator.payloads_received
+
+    def test_invalid_shard_configuration_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            MetricAgent("h", shards=0)
+        with pytest.raises(IllegalArgumentError):
+            MonitoringSimulation(shards=0)

@@ -1,0 +1,211 @@
+"""Concurrency stress tests for the sharded registry.
+
+Any number of producer threads may record into a :class:`ShardedRegistry`
+while flushes and queries run concurrently; the invariants under test are
+the ones full mergeability guarantees (paper Section 2.1/2.3):
+
+* **count conservation** — after all threads join and a final flush, the
+  total inserted weight equals exactly what the producers recorded (no
+  sample is lost or double-counted by buffer swaps, spills, or parallel
+  drains);
+* **quantile equivalence** — because each series is written by one
+  producer in a deterministic order and hash-routed to exactly one shard,
+  the final per-series and rollup quantiles are bit-exact with an
+  unsharded :class:`SketchRegistry` fed the same per-series streams, no
+  matter how the threads interleaved;
+* **query safety** — queries racing the writers never crash, never tear a
+  sketch, and only ever raise the documented ``repro.exceptions`` errors;
+* the same holds for the **UDDSketch** variant, where shards collapse to
+  different alphas independently and the merge-on-read fuses mixed-alpha
+  sketches.
+
+Hypothesis drives the workload shapes (series counts, chunk sizes, value
+scales) with explicitly small ``max_examples`` — each example spins up real
+threads.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import SeriesKey, ShardedRegistry, SketchRegistry, UDDSketch
+from repro.exceptions import ReproError
+
+QUANTILES = (0.0, 0.01, 0.5, 0.9, 0.99, 1.0)
+
+
+def _per_writer_chunks(seed, num_writers, chunks_per_writer, chunk_size, scale):
+    """Deterministic per-writer workloads over disjoint series."""
+    rng = np.random.default_rng(seed)
+    workloads = {}
+    for writer in range(num_writers):
+        key = SeriesKey("lat", (("writer", f"{writer}"),))
+        workloads[key] = [
+            rng.lognormal(0.0, 1.0, chunk_size) * scale for _ in range(chunks_per_writer)
+        ]
+    return workloads
+
+
+def _run_stress(registry, workloads, flush_rounds=50):
+    """Writers + a flusher + a reader, racing; returns observed reader errors."""
+    stop = threading.Event()
+    failures = []
+
+    def writer(key, chunks):
+        try:
+            for index, chunk in enumerate(chunks):
+                if index % 3 == 0:
+                    for value in chunk[: min(5, chunk.size)].tolist():
+                        registry.record(key, value)
+                    rest = chunk[min(5, chunk.size):]
+                    if rest.size:
+                        registry.record_batch(key, rest)
+                else:
+                    registry.record_batch(key, chunk)
+        except BaseException as error:  # pragma: no cover - failure reporting
+            failures.append(error)
+
+    def flusher():
+        try:
+            while not stop.is_set():
+                registry.flush()
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+
+    def reader():
+        try:
+            while not stop.is_set():
+                try:
+                    values = registry.quantiles("lat", (0.5, 0.99))
+                    assert all(value > 0 for value in values)
+                    assert registry.total_count() >= 0.0
+                except ReproError:
+                    pass  # nothing flushed yet — the documented empty answer
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=writer, args=(key, chunks))
+        for key, chunks in workloads.items()
+    ]
+    aux = [threading.Thread(target=flusher), threading.Thread(target=reader)]
+    for thread in aux:
+        thread.start()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stop.set()
+    for thread in aux:
+        thread.join()
+    assert not failures, failures
+    registry.flush()
+
+
+def _reference(workloads, sketch_factory=None):
+    reference = SketchRegistry(sketch_factory=sketch_factory)
+    for key, chunks in workloads.items():
+        for chunk in chunks:
+            for value in chunk[: min(5, chunk.size)].tolist():
+                reference.add(key, value)
+            rest = chunk[min(5, chunk.size):]
+            if rest.size:
+                reference.add_batch(key, rest)
+    return reference
+
+
+# Writers interleave record (scalar), record_batch, spills (small
+# max_pending), flush() on a dedicated thread, and racing queries.
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    num_writers=st.integers(2, 4),
+    chunks_per_writer=st.integers(2, 6),
+    chunk_size=st.integers(50, 400),
+)
+def test_interleaved_record_flush_query_conserves_everything(
+    seed, num_writers, chunks_per_writer, chunk_size
+):
+    workloads = _per_writer_chunks(seed, num_writers, chunks_per_writer, chunk_size, 1.0)
+    registry = ShardedRegistry(num_shards=8, max_pending=97)
+    _run_stress(registry, workloads)
+
+    expected = sum(chunk.size for chunks in workloads.values() for chunk in chunks)
+    assert registry.total_count() == float(expected)
+    reference = _reference(workloads)
+    assert registry.quantiles("lat", QUANTILES) == reference.quantiles("lat", QUANTILES)
+    for key in workloads:
+        assert registry.quantiles("lat", QUANTILES, tags=dict(key.tags)) == (
+            reference.quantiles("lat", QUANTILES, tags=dict(key.tags))
+        )
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    num_writers=st.integers(2, 4),
+)
+def test_uddsketch_shards_collapse_independently_under_threads(seed, num_writers):
+    """Mixed-alpha shards (independent uniform collapses) stay exact."""
+    factory = lambda: UDDSketch(relative_accuracy=0.01, bin_limit=32)  # noqa: E731
+    rng = np.random.default_rng(seed)
+    workloads = {}
+    for writer in range(num_writers):
+        key = SeriesKey("lat", (("writer", f"{writer}"),))
+        # Per-writer spans differ by orders of magnitude, so the per-series
+        # sketches collapse a different number of times.
+        span = float(10.0 ** rng.integers(0, 8) + 1.001)
+        workloads[key] = [rng.uniform(1.0, span, 300) for _ in range(4)]
+
+    registry = ShardedRegistry(num_shards=4, sketch_factory=factory, max_pending=113)
+    _run_stress(registry, workloads)
+
+    expected = sum(chunk.size for chunks in workloads.values() for chunk in chunks)
+    assert registry.total_count() == float(expected)
+    reference = _reference(workloads, sketch_factory=factory)
+    assert registry.quantiles("lat", QUANTILES) == reference.quantiles("lat", QUANTILES)
+    for key in workloads:
+        sharded_sketch = registry.get(key)
+        reference_sketch = reference.get(key)
+        assert sharded_sketch.relative_accuracy == reference_sketch.relative_accuracy
+        assert sharded_sketch.collapse_count == reference_sketch.collapse_count
+        assert registry.quantiles("lat", QUANTILES, tags=dict(key.tags)) == (
+            reference.quantiles("lat", QUANTILES, tags=dict(key.tags))
+        )
+
+
+def test_concurrent_grouped_writers_on_shared_series():
+    """Several threads feeding the SAME series via grouped columns conserve
+    counts and buckets (bucket sums are order-independent)."""
+    keys = [SeriesKey("m", (("s", f"{index}"),)) for index in range(16)]
+    rng = np.random.default_rng(5)
+    batches = [
+        (rng.integers(0, len(keys), 2_000), rng.lognormal(0.0, 1.0, 2_000))
+        for _ in range(8)
+    ]
+    registry = ShardedRegistry(num_shards=4, max_pending=500)
+
+    def writer(batch):
+        groups, values = batch
+        registry.record_grouped(keys, groups, values)
+
+    threads = [threading.Thread(target=writer, args=(batch,)) for batch in batches]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    registry.flush()
+
+    reference = SketchRegistry()
+    for groups, values in batches:
+        reference.ingest_grouped(keys, groups, values)
+    assert registry.total_count() == reference.total_count()
+    # Bucket contents are order-independent sums, so even though thread
+    # interleaving scrambles the per-series sample order, the final stores
+    # (and therefore every quantile) must match exactly.
+    for key in keys:
+        assert registry.get(key).store.key_counts() == reference.get(key).store.key_counts()
+    assert registry.quantiles("m", QUANTILES) == reference.quantiles("m", QUANTILES)

@@ -1,0 +1,405 @@
+"""Tests for the sharded concurrent registry: partitioning, the bounded
+spill-to-batch ingest queue, snapshot merge-on-read queries, frame
+transport, and bit-exact agreement with an unsharded ``SketchRegistry``."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DDSketch,
+    LogUnboundedDenseDDSketch,
+    SeriesKey,
+    ShardedRegistry,
+    SketchRegistry,
+    UDDSketch,
+)
+from repro.exceptions import (
+    DeserializationError,
+    EmptySketchError,
+    IllegalArgumentError,
+)
+from repro.registry import ShardBuffer, shard_of
+
+FACTORIES = {
+    "dense": lambda: LogUnboundedDenseDDSketch(relative_accuracy=0.01),
+    "collapsing": lambda: DDSketch(relative_accuracy=0.01, bin_limit=128),
+    "uniform": lambda: UDDSketch(relative_accuracy=0.01, bin_limit=128),
+}
+
+QUANTILES = (0.0, 0.01, 0.5, 0.9, 0.99, 1.0)
+
+
+def grouped_workload(seed=0, n=20_000, groups=23):
+    rng = np.random.default_rng(seed)
+    group_indices = rng.integers(0, groups, n)
+    values = np.concatenate(
+        [
+            rng.lognormal(0.0, 2.0, n // 2),
+            -rng.lognormal(0.0, 1.0, n - n // 2 - 50),
+            np.zeros(50),
+        ]
+    )
+    rng.shuffle(values)
+    keys = [SeriesKey("m", (("s", f"{index:03d}"),)) for index in range(groups)]
+    return keys, group_indices, values
+
+
+class TestPartitioning:
+    def test_shard_of_is_stable_and_in_range(self):
+        key = SeriesKey("latency", {"host": "web-1"})
+        assert shard_of(key, 8) == shard_of(key, 8)
+        assert 0 <= shard_of(key, 8) < 8
+        assert shard_of(key, 1) == 0
+
+    def test_each_series_lives_in_exactly_one_shard(self):
+        keys, group_indices, values = grouped_workload()
+        registry = ShardedRegistry(num_shards=4)
+        registry.record_grouped(keys, group_indices, values)
+        registry.flush()
+        for key in keys:
+            home = registry.shard_index(key)
+            owners = [
+                index
+                for index, shard in enumerate(registry._shards)
+                if key in shard
+            ]
+            assert owners == [home]
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(IllegalArgumentError):
+            ShardedRegistry(num_shards=0)
+        with pytest.raises(IllegalArgumentError):
+            ShardedRegistry(max_pending=0)
+        with pytest.raises(IllegalArgumentError):
+            ShardedRegistry(flush_workers=0)
+        with pytest.raises(IllegalArgumentError):
+            ShardBuffer(0)
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("family", sorted(FACTORIES))
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_grouped_stream_matches_unsharded(self, family, num_shards):
+        factory = FACTORIES[family]
+        keys, group_indices, values = grouped_workload()
+        unsharded = SketchRegistry(sketch_factory=factory)
+        unsharded.ingest_grouped(keys, group_indices, values)
+
+        sharded = ShardedRegistry(num_shards=num_shards, sketch_factory=factory)
+        sharded.record_grouped(keys, group_indices, values)
+
+        assert sharded.total_count() == unsharded.total_count()
+        assert sharded.series_keys() == unsharded.series_keys()
+        for key in (keys[0], keys[len(keys) // 2], keys[-1]):
+            assert sharded.quantiles("m", QUANTILES, tags=dict(key.tags)) == (
+                unsharded.quantiles("m", QUANTILES, tags=dict(key.tags))
+            )
+        assert sharded.quantiles("m", QUANTILES) == unsharded.quantiles("m", QUANTILES)
+        # The snapshot and the wire frame are exact too.
+        assert sharded.snapshot().quantiles("m", QUANTILES) == (
+            unsharded.quantiles("m", QUANTILES)
+        )
+        assert sharded.to_frame() == unsharded.to_frame()
+
+    def test_mixed_record_shapes_match_unsharded(self):
+        rng = np.random.default_rng(3)
+        sharded = ShardedRegistry(num_shards=4, max_pending=64)
+        unsharded = SketchRegistry()
+        for index in range(200):
+            value = float(rng.lognormal())
+            sharded.record("m", value, weight=2.0, tags={"h": str(index % 5)})
+            unsharded.add("m", value, 2.0, tags={"h": str(index % 5)})
+        batch = rng.lognormal(0.0, 1.0, 1_000)
+        sharded.record_batch("m", batch, tags={"h": "1"})
+        unsharded.add_batch("m", batch, tags={"h": "1"})
+        weights = rng.uniform(0.5, 2.0, 500)
+        weighted = rng.lognormal(0.0, 1.0, 500)
+        sharded.record_batch("m", weighted, weights, tags={"h": "2"})
+        unsharded.add_batch("m", weighted, weights, tags={"h": "2"})
+
+        assert sharded.total_count() == unsharded.total_count()
+        assert sharded.quantiles("m", QUANTILES) == unsharded.quantiles("m", QUANTILES)
+        for tag in ("1", "2"):
+            assert sharded.quantiles("m", QUANTILES, tag_filter={"h": tag}) == (
+                unsharded.quantiles("m", QUANTILES, tag_filter={"h": tag})
+            )
+
+    def test_registry_compatible_aliases(self):
+        """add/add_batch/ingest_grouped buffer exactly like the record names."""
+        keys, group_indices, values = grouped_workload(n=2_000)
+        registry = ShardedRegistry(num_shards=2)
+        registry.add("m", 1.0, tags={"s": "000"})
+        registry.add_batch("m", np.array([2.0, 3.0]), tags={"s": "000"})
+        registry.ingest_grouped(keys, group_indices, values)
+        assert registry.total_count() == values.size + 3
+
+
+class TestIngestQueue:
+    def test_records_are_buffered_until_flush(self):
+        registry = ShardedRegistry(num_shards=2, max_pending=1_000)
+        registry.record("m", 1.5)
+        registry.record_batch("m", np.array([2.5, 3.5]))
+        assert registry.pending_samples == 3
+        flushed = registry.flush()
+        assert flushed == 3
+        assert registry.pending_samples == 0
+        assert registry.total_count("m") == 3.0
+
+    def test_spill_drains_at_the_bound(self):
+        registry = ShardedRegistry(num_shards=1, max_pending=10)
+        for index in range(25):
+            registry.record("m", float(index + 1))
+        # Two spills happened (at 10 and 20); at most 5 samples still pending.
+        assert registry.pending_samples == 5
+        assert registry._shards[0].total_count("m") == 20.0
+        registry.flush()
+        assert registry.total_count("m") == 25.0
+
+    def test_queries_see_buffered_samples(self):
+        """Merge-on-read drains the relevant buffers implicitly."""
+        registry = ShardedRegistry(num_shards=4)
+        registry.record("m", 42.0, tags={"h": "a"})
+        assert registry.pending_samples == 1
+        assert registry.total_count("m") == 1.0
+        assert registry.quantile("m", 0.5, tags={"h": "a"}) == pytest.approx(42.0, rel=0.011)
+        assert registry.pending_samples == 0
+        assert "m" in registry.metrics()
+        assert registry.num_series == 1
+
+    def test_rejected_input_buffers_nothing(self):
+        registry = ShardedRegistry(num_shards=2)
+        with pytest.raises(IllegalArgumentError):
+            registry.record("m", float("nan"))
+        with pytest.raises(IllegalArgumentError):
+            registry.record("m", 1.0, weight=0.0)
+        with pytest.raises(IllegalArgumentError):
+            registry.record_batch("m", np.array([1.0, float("inf")]))
+        with pytest.raises(IllegalArgumentError):
+            registry.record_batch("m", np.array([1.0]), weights=np.array([-1.0]))
+        keys = [SeriesKey("m")]
+        with pytest.raises(IllegalArgumentError):
+            registry.record_grouped(keys, np.array([0, 1]), np.array([1.0, 2.0]))
+        with pytest.raises(IllegalArgumentError):
+            registry.record_grouped(keys, np.array([0]), np.array([float("nan")]))
+        assert registry.pending_samples == 0
+        assert registry.num_series == 0
+
+    def test_empty_batches_are_no_ops(self):
+        registry = ShardedRegistry(num_shards=2)
+        assert registry.record_batch("m", np.array([])) == 0
+        assert registry.record_grouped([SeriesKey("m")], np.array([]), np.array([])) == 0
+        assert registry.flush() == 0
+        assert registry.pending_samples == 0
+
+
+class TestQueries:
+    def test_error_contract_matches_unsharded(self):
+        registry = ShardedRegistry(num_shards=2)
+        registry.record("m", 1.0, tags={"h": "a"})
+        with pytest.raises(EmptySketchError):
+            registry.quantile("unknown", 0.5)
+        with pytest.raises(EmptySketchError):
+            registry.quantile("m", 0.5, tags={"h": "zzz"})
+        with pytest.raises(EmptySketchError):
+            registry.quantile("m", 0.5, tag_filter={"h": "zzz"})
+        with pytest.raises(IllegalArgumentError):
+            registry.quantile("m", 1.5)
+        with pytest.raises(IllegalArgumentError):
+            registry.quantile("m", float("nan"))
+        with pytest.raises(IllegalArgumentError):
+            registry.quantile("m", 0.5, tags={"h": "a"}, tag_filter={"h": "a"})
+        with pytest.raises(EmptySketchError):
+            registry.get("nope")
+
+    def test_snapshot_is_independent_of_later_writes(self):
+        registry = ShardedRegistry(num_shards=2)
+        registry.record("m", 1.0)
+        snapshot = registry.snapshot()
+        registry.record("m", 100.0)
+        assert snapshot.total_count("m") == 1.0
+        assert registry.total_count("m") == 2.0
+
+    def test_iteration_clear_and_sizes(self):
+        keys, group_indices, values = grouped_workload(n=2_000)
+        registry = ShardedRegistry(num_shards=4)
+        registry.record_grouped(keys, group_indices, values)
+        pairs = list(registry)
+        assert [key for key, _ in pairs] == sorted(key for key, _ in pairs)
+        assert len(registry) == len(pairs)
+        assert registry.size_in_bytes() > 0
+        assert keys[0] in registry
+        registry.clear()
+        assert registry.num_series == 0
+        assert registry.pending_samples == 0
+        assert registry.total_count() == 0.0
+
+
+class TestFrameTransport:
+    def test_shard_frames_reassemble_everywhere(self):
+        keys, group_indices, values = grouped_workload()
+        unsharded = SketchRegistry()
+        unsharded.ingest_grouped(keys, group_indices, values)
+        registry = ShardedRegistry(num_shards=4)
+        registry.record_grouped(keys, group_indices, values)
+
+        frames = registry.shard_frames()
+        assert sum(num_series for num_series, _ in frames) == len(keys)
+        # Any frame-v3 consumer reassembles the population by merge.
+        merged = SketchRegistry()
+        for _, payload in frames:
+            merged.merge_frame(payload)
+        assert merged.quantiles("m", QUANTILES) == unsharded.quantiles("m", QUANTILES)
+        # ... including another sharded registry with a different shard count.
+        rebuilt = ShardedRegistry.from_frames(
+            [payload for _, payload in frames], num_shards=3
+        )
+        assert rebuilt.quantiles("m", QUANTILES) == unsharded.quantiles("m", QUANTILES)
+
+    def test_shard_frames_clear_flushes_per_shard(self):
+        keys, group_indices, values = grouped_workload(n=2_000)
+        registry = ShardedRegistry(num_shards=4)
+        registry.record_grouped(keys, group_indices, values)
+        frames = registry.shard_frames(clear=True)
+        assert frames
+        assert registry.num_series == 0
+        assert registry.total_count() == 0.0
+
+    def test_flush_frame_round_trip(self):
+        keys, group_indices, values = grouped_workload(n=2_000)
+        registry = ShardedRegistry(num_shards=4)
+        registry.record_grouped(keys, group_indices, values)
+        expected = registry.quantiles("m", QUANTILES)
+        frame = registry.flush_frame()
+        assert registry.num_series == 0
+        restored = SketchRegistry.from_frame(frame)
+        assert restored.quantiles("m", QUANTILES) == expected
+
+    def test_merge_frame_rejects_garbage_without_mutation(self):
+        registry = ShardedRegistry(num_shards=2)
+        registry.record("m", 1.0)
+        with pytest.raises(DeserializationError):
+            registry.merge_frame(b"not a frame")
+        assert registry.total_count("m") == 1.0
+
+
+class TestUniformCollapseSharding:
+    def test_shards_collapse_independently_and_still_merge(self):
+        """UDD shards degrade alpha independently; rollups still fuse exactly."""
+        factory = lambda: UDDSketch(relative_accuracy=0.01, bin_limit=32)  # noqa: E731
+        rng = np.random.default_rng(11)
+        keys = [SeriesKey("m", (("s", f"{index}"),)) for index in range(6)]
+        # Wildly different log-spans per series force different collapse
+        # counts (the bucket span, not the scale, triggers uniform folds).
+        spans = [1.001, 2.0, 10.0, 1e3, 1e8, 30.0]
+        unsharded = SketchRegistry(sketch_factory=factory)
+        sharded = ShardedRegistry(num_shards=3, sketch_factory=factory)
+        for key, span in zip(keys, spans):
+            values = rng.uniform(1.0, span, 4_000)
+            unsharded.add_batch(key, values)
+            sharded.record_batch(key, values)
+        alphas = {
+            sharded.get(key).relative_accuracy for key in keys
+        }
+        assert len(alphas) > 1, "expected shards to collapse to different alphas"
+        assert sharded.quantiles("m", QUANTILES) == unsharded.quantiles("m", QUANTILES)
+        assert sharded.to_frame() == unsharded.to_frame()
+
+
+class TestConcurrencyFixes:
+    """Regression tests for races/aliasing found in review."""
+
+    def test_flush_frame_never_loses_concurrent_records(self):
+        """Snapshot-and-clear is atomic per shard: every sample recorded by a
+        racing writer lands in some frame or stays buffered — never lost."""
+        import threading
+
+        registry = ShardedRegistry(num_shards=8, max_pending=50)
+        recorded = 0
+        stop = threading.Event()
+        frames = []
+
+        def writer():
+            nonlocal recorded
+            while not stop.is_set():
+                registry.record("m", 1.0, tags={"k": str(recorded % 31)})
+                recorded += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        for _ in range(30):
+            frames.append(registry.flush_frame())
+        stop.set()
+        thread.join()
+        frames.append(registry.flush_frame())
+
+        from repro.serialization.frame import decode_frame
+
+        delivered = sum(
+            sketch.count for frame in frames for _, sketch in decode_frame(frame)
+        )
+        assert delivered == float(recorded)
+
+    def test_buffered_arrays_do_not_alias_caller_buffers(self):
+        """A caller reusing its instrumentation buffer must not corrupt the
+        deferred ingestion (record_batch and the one-shard grouped path)."""
+        registry = ShardedRegistry(num_shards=1)
+        scratch = np.array([1.0, 2.0, 3.0])
+        registry.record_batch("m", scratch, tags={"p": "batch"})
+        scratch[:] = 1e9
+        weights = np.array([2.0])
+        grouped_scratch = np.array([5.0])
+        registry.record_grouped(
+            [SeriesKey("m", {"p": "grouped"})], np.array([0]), grouped_scratch, weights
+        )
+        grouped_scratch[:] = 1e9
+        weights[:] = 1e9
+        registry.flush()
+        assert registry.quantile("m", 1.0, tags={"p": "batch"}) == pytest.approx(3.0, rel=0.011)
+        assert registry.quantile("m", 1.0, tags={"p": "grouped"}) == pytest.approx(5.0, rel=0.011)
+        assert registry.total_count("m", tag_filter={"p": "grouped"}) == 2.0
+
+    def test_clear_empties_the_shard_routing_cache(self):
+        registry = ShardedRegistry(num_shards=4)
+        for index in range(100):
+            registry.record("m", 1.0, tags={"id": str(index)})
+        assert len(registry._shard_cache) == 100
+        registry.clear()
+        assert registry._shard_cache == {}
+
+    def test_flush_pool_is_reused_and_closable(self):
+        registry = ShardedRegistry(num_shards=4, flush_workers=2)
+        registry.record("m", 1.0)
+        registry.flush(parallel=True)
+        pool = registry._pool
+        assert pool is not None
+        registry.record("m", 2.0)
+        registry.flush(parallel=True)
+        assert registry._pool is pool  # reused, not respawned
+        registry.close()
+        assert registry._pool is None
+        registry.close()  # idempotent
+        registry.record("m", 3.0)
+        registry.flush(parallel=True)  # recreated on demand
+        assert registry.total_count("m") == 3.0
+        registry.close()
+
+
+def test_agent_record_counter_is_race_free():
+    """records_since_flush must not lose updates under concurrent recording."""
+    import threading
+
+    from repro.monitoring import MetricAgent
+
+    agent = MetricAgent("h", shards=4)
+
+    def writer(tag):
+        for _ in range(2_000):
+            agent.record("m", 1.0, tags={"t": tag})
+
+    threads = [threading.Thread(target=writer, args=(str(i),)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert agent.records_since_flush == 8_000
+    assert agent.registry.total_count("m") == 8_000.0
