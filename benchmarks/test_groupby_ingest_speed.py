@@ -14,11 +14,11 @@ indices, and a per-series fan-out.  This module gates that design:
   is not bought with different sketches.
 
 The measured timings are additionally written to ``BENCH_groupby.json`` at
-the repository root so the CI perf job can archive the benchmark trajectory
-across commits.
+the repository root — in the shared benchmark-artifact schema
+(:mod:`repro.evaluation.artifacts`) — so the CI perf job can archive the
+benchmark trajectory across commits.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -26,6 +26,7 @@ import numpy as np
 import pytest
 
 from repro.core.presets import LogUnboundedDenseDDSketch
+from repro.evaluation.artifacts import write_bench_artifact
 from repro.evaluation.config import bench_scale
 from repro.monitoring import SketchTimeSeries
 from repro.registry import SeriesKey, SketchRegistry
@@ -39,14 +40,7 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_groupby.json"
 
 def _record_bench(section: str, payload: dict) -> None:
     """Merge one section into the BENCH_groupby.json trajectory file."""
-    data = {}
-    if BENCH_OUTPUT.is_file():
-        try:
-            data = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            data = {}
-    data[section] = payload
-    BENCH_OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    write_bench_artifact(BENCH_OUTPUT, "groupby", section, payload)
 
 
 def _time(function):

@@ -1,0 +1,68 @@
+"""End-to-end throughput of the cross-process aggregation service.
+
+The load generator (:mod:`repro.service.loadgen`) drives a simulated agent
+fleet — real push envelopes, real TCP sockets, a real
+:class:`~repro.service.AggregationServer` — and the run is self-verifying:
+the server's total count and quantiles must match a local reference
+registry fed the same frames exactly (full mergeability across the process
+boundary, paper Section 2.1), or the run raises instead of reporting.
+
+Two configurations are measured: durable (segment-log write-ahead on every
+accepted frame — the production shape) and in-memory (the pure ingest
+path, isolating the log's cost).  Both land in ``BENCH_service.json`` at
+the repository root in the shared benchmark-artifact schema
+(:mod:`repro.evaluation.artifacts`), which CI archives.
+"""
+
+from pathlib import Path
+
+from _bench_utils import run_once
+from repro.evaluation.artifacts import write_bench_artifact
+from repro.evaluation.config import bench_scale
+from repro.service.loadgen import run_load_generator
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+N_AGENTS = 50
+SERIES_PER_AGENT = 10
+N_INTERVALS = 3
+VALUES_PER_INTERVAL = 2_000
+
+
+def _fleet_kwargs():
+    scale = max(bench_scale(), 0.02)
+    return {
+        "num_agents": max(int(N_AGENTS * min(scale, 4)), 4),
+        "series_per_agent": SERIES_PER_AGENT,
+        "num_intervals": N_INTERVALS,
+        "values_per_interval": max(int(VALUES_PER_INTERVAL * min(scale, 4)), 200),
+        "push_threads": 4,
+    }
+
+
+def _report(label: str, metrics: dict) -> None:
+    print()
+    print(
+        f"service throughput ({label}): {metrics['frames']} frames, "
+        f"{metrics['values']} values, {metrics['push_threads']} client threads"
+    )
+    print(f"  frames/sec {metrics['frames_per_sec']:12.0f}")
+    print(f"  values/sec {metrics['values_per_sec']:12.0f}")
+    print(f"  MB/sec     {metrics['mb_per_sec']:12.2f}")
+
+
+def test_durable_push_throughput(benchmark):
+    """Agent fleet vs the durable server (write-ahead log on every frame)."""
+    metrics = run_once(benchmark, run_load_generator, durable=True, **_fleet_kwargs())
+    _report("durable", metrics)
+    assert metrics["reference_match"] is True
+    assert metrics["values_per_sec"] > 0
+    write_bench_artifact(BENCH_OUTPUT, "service", "durable_push", metrics)
+
+
+def test_in_memory_push_throughput(benchmark):
+    """The same fleet without the segment log: isolates the log's cost."""
+    metrics = run_once(benchmark, run_load_generator, durable=False, **_fleet_kwargs())
+    _report("in-memory", metrics)
+    assert metrics["reference_match"] is True
+    write_bench_artifact(BENCH_OUTPUT, "service", "in_memory_push", metrics)

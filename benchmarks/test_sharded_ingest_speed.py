@@ -22,11 +22,11 @@ module gates that design:
   Section 2.1/2.3).
 
 The measured timings are written to ``BENCH_sharded.json`` at the
-repository root (next to ``BENCH_groupby.json``) so the CI perf job can
-archive the benchmark trajectory across commits.
+repository root (next to ``BENCH_groupby.json``) — in the shared
+benchmark-artifact schema (:mod:`repro.evaluation.artifacts`) — so the CI
+perf job can archive the benchmark trajectory across commits.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -35,6 +35,7 @@ import numpy as np
 import pytest
 
 from repro.core.presets import LogUnboundedDenseDDSketch
+from repro.evaluation.artifacts import write_bench_artifact
 from repro.evaluation.config import bench_scale
 from repro.registry import SeriesKey, ShardedRegistry, SketchRegistry
 
@@ -53,14 +54,7 @@ BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sharded.json"
 
 def _record_bench(section: str, payload: dict) -> None:
     """Merge one section into the BENCH_sharded.json trajectory file."""
-    data = {}
-    if BENCH_OUTPUT.is_file():
-        try:
-            data = json.loads(BENCH_OUTPUT.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, OSError):
-            data = {}
-    data[section] = payload
-    BENCH_OUTPUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    write_bench_artifact(BENCH_OUTPUT, "sharded", section, payload)
 
 
 def _time(function):

@@ -22,6 +22,21 @@ Four subcommands cover the common workflows:
 ``bounds``
     Evaluate the Section 3 sketch-size bounds for a given stream size.
 
+``serve``
+    Run the cross-process aggregation server: accepts frame-v3 pushes over a
+    length-prefixed socket protocol, persists every accepted frame to a
+    crash-recoverable segment log under ``--data-dir``, and replays to a
+    bit-exact state on restart.
+
+``push``
+    Read one number per line, sketch the values, and push the resulting
+    frame to a running ``serve`` instance — the smallest possible agent.
+
+``load-gen``
+    Run the agent-fleet load generator against a freshly started in-process
+    server and write the measured end-to-end frames/sec and values/sec to
+    ``BENCH_service.json`` (shared benchmark-artifact schema).
+
 ``simulate``
     Run the Section 1 monitoring fleet end to end — agents sketching skewed
     latencies, multi-sketch wire frames, a tag-aware aggregator — and print
@@ -186,6 +201,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated quantiles (default: 0.5,0.75,0.9,0.95,0.99)",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the aggregation server (frame v3 over sockets, segment-log durability)",
+    )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        help=(
+            "segment-log directory; accepted frames are persisted here and "
+            "replayed to a bit-exact state on restart (default: in-memory only)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0, help="listen port; 0 picks a free one")
+    serve.add_argument(
+        "--segment-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="segment rotation threshold in bytes (default: 4 MiB)",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=256,
+        help="write a compacted snapshot every N accepted frames; 0 disables (default: 256)",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=64,
+        help="flush-interval buckets retained for windowed queries (default: 64)",
+    )
+    serve.add_argument(
+        "--interval-length",
+        type=float,
+        default=1.0,
+        help="length of one retention bucket in seconds (default: 1.0)",
+    )
+    serve.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every accepted frame (survive OS crashes, not just process crashes)",
+    )
+    serve.add_argument(
+        "--max-frames",
+        type=int,
+        default=0,
+        help="exit after accepting N frames (0 = serve until interrupted; used by tests)",
+    )
+
+    push = subparsers.add_parser(
+        "push", help="sketch numbers from a file or stdin and push one frame to a server"
+    )
+    push.add_argument("input", nargs="?", default="-", help="input file (default: stdin)")
+    push.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    push.add_argument("--port", type=int, required=True, help="server port")
+    push.add_argument("--metric", default="cli.values", help="metric name (default: cli.values)")
+    push.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="tag the pushed series (repeatable)",
+    )
+    push.add_argument(
+        "--agent-host",
+        default="repro-push",
+        help="producer identity used for deduplication (default: repro-push)",
+    )
+    push.add_argument(
+        "--interval-start",
+        type=float,
+        default=0.0,
+        help="interval timestamp carried by the pushed frame (default: 0.0)",
+    )
+    push.add_argument(
+        "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
+    )
+
+    load_gen = subparsers.add_parser(
+        "load-gen",
+        help="simulated agent fleet vs a real in-process server; writes BENCH_service.json",
+    )
+    load_gen.add_argument("--agents", type=int, default=100, help="fleet size (default: 100)")
+    load_gen.add_argument(
+        "--series", type=int, default=20, help="tagged series per agent (default: 20)"
+    )
+    load_gen.add_argument(
+        "--intervals", type=int, default=4, help="flush intervals per agent (default: 4)"
+    )
+    load_gen.add_argument(
+        "--values",
+        type=int,
+        default=2000,
+        help="values per agent per interval (default: 2000)",
+    )
+    load_gen.add_argument(
+        "--push-threads", type=int, default=4, help="concurrent client connections (default: 4)"
+    )
+    load_gen.add_argument(
+        "--no-durability",
+        action="store_true",
+        help="skip the segment log (measures the pure in-memory ingest path)",
+    )
+    load_gen.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
+    load_gen.add_argument(
+        "--output",
+        default="BENCH_service.json",
+        help="benchmark artifact path (default: BENCH_service.json)",
+    )
+
     return parser
 
 
@@ -327,6 +453,127 @@ def _run_simulate(args: argparse.Namespace, stdout) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace, stdout) -> int:
+    import asyncio
+
+    from repro.service import AggregationServer
+
+    async def _serve() -> None:
+        server = AggregationServer(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            interval_length=args.interval_length,
+            retention_intervals=args.retention,
+            max_segment_bytes=args.segment_bytes,
+            snapshot_every=args.snapshot_every,
+            fsync=args.fsync,
+        )
+        await server.start()
+        recovery = server.last_recovery
+        host, port = server.address
+        print(f"listening on {host}:{port}", file=stdout, flush=True)
+        if args.data_dir is not None:
+            print(
+                f"recovered {recovery.records_replayed} record(s) "
+                f"after snapshot seq {recovery.snapshot_applied} "
+                f"({len(recovery.quarantined)} quarantined region(s))",
+                file=stdout,
+                flush=True,
+            )
+        if args.max_frames > 0:
+            # Test/diagnostic mode: poll until N frames arrived, then exit.
+            while server.state.frames_applied < args.max_frames:
+                await asyncio.sleep(0.01)
+            await server.stop()
+        else:
+            await server.serve_until_stopped()
+        print(
+            f"served {server.state.frames_applied} frame(s), "
+            f"{server.state.values_applied:.0f} values",
+            file=stdout,
+        )
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_tags(raw_tags: List[str]) -> dict:
+    tags = {}
+    for raw in raw_tags:
+        key, separator, value = raw.partition("=")
+        if not separator or not key:
+            raise argparse.ArgumentTypeError(f"tags must look like KEY=VALUE, got {raw!r}")
+        tags[key] = value
+    return tags
+
+
+def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
+    from repro.registry import SketchRegistry
+    from repro.service import ServiceClient
+
+    tags = _parse_tags(args.tag)
+    registry = SketchRegistry(
+        sketch_factory=lambda: DDSketch(relative_accuracy=args.relative_accuracy)
+    )
+    values = [value for value in _read_values(args.input, stdin)]
+    if not values:
+        print("no values read", file=stdout)
+        return 1
+    registry.add_batch(args.metric, np.asarray(values, dtype=np.float64), tags=tags or None)
+    with ServiceClient(args.host, args.port) as client:
+        ack = client.push_frame(
+            registry.flush_frame(),
+            host=args.agent_host,
+            interval_start=args.interval_start,
+        )
+        stats = client.stats()
+    print(
+        f"pushed {len(values)} value(s) as ({ack['host']}, seq {ack['sequence']})"
+        + (" [duplicate]" if ack["duplicate"] else ""),
+        file=stdout,
+    )
+    print(
+        f"server now holds {stats['num_series']:.0f} series, "
+        f"{stats['total_count']:.0f} values",
+        file=stdout,
+    )
+    return 0
+
+
+def _run_load_gen(args: argparse.Namespace, stdout) -> int:
+    from repro.evaluation.artifacts import write_bench_artifact
+    from repro.service.loadgen import run_load_generator
+
+    metrics = run_load_generator(
+        num_agents=args.agents,
+        series_per_agent=args.series,
+        num_intervals=args.intervals,
+        values_per_interval=args.values,
+        push_threads=args.push_threads,
+        durable=not args.no_durability,
+        seed=args.seed,
+    )
+    rows = [
+        ["agents x series", f"{metrics['agents']} x {metrics['series_per_agent']}"],
+        ["frames pushed", f"{metrics['frames']}"],
+        ["values pushed", f"{metrics['values']}"],
+        ["bytes on wire", f"{metrics['bytes_on_wire']}"],
+        ["durability", "segment log" if metrics["durable"] else "in-memory"],
+        ["elapsed", f"{metrics['seconds']:.3f} s"],
+        ["frames/sec", f"{metrics['frames_per_sec']:.0f}"],
+        ["values/sec", f"{metrics['values_per_sec']:.0f}"],
+        ["MB/sec", f"{metrics['mb_per_sec']:.2f}"],
+    ]
+    print(format_table(["statistic", "value"], rows), file=stdout)
+    path = write_bench_artifact(args.output, "service", "service_loadgen", metrics)
+    print(f"wrote {path}", file=stdout)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
     """CLI entry point; returns the process exit code."""
     stdin = stdin if stdin is not None else sys.stdin
@@ -344,6 +591,12 @@ def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
             return _run_bounds(args, stdout)
         if args.command == "simulate":
             return _run_simulate(args, stdout)
+        if args.command == "serve":
+            return _run_serve(args, stdout)
+        if args.command == "push":
+            return _run_push(args, stdin, stdout)
+        if args.command == "load-gen":
+            return _run_load_gen(args, stdout)
     except ReproError as error:
         print(f"error: {error}", file=stdout)
         return 2

@@ -1,0 +1,129 @@
+"""The shared schema of the repository's ``BENCH_*.json`` artifacts.
+
+Every benchmark trajectory file committed at the repository root (and
+archived by CI) carries the same envelope, so the perf history stays
+machine-readable across PRs::
+
+    {
+      "name":      "<artifact name, e.g. 'service'>",
+      "timestamp": "<ISO-8601 UTC, e.g. '2026-08-08T12:00:00+00:00'>",
+      "machine":   {"platform": ..., "python": ..., "cpu_count": ...},
+      "metrics":   {"<section>": {"<measurement>": <number|bool|string>}}
+    }
+
+:func:`write_bench_artifact` merges one ``metrics`` section at a time (the
+emitters run as separate tests), refreshing the envelope on every write.
+``tests/test_bench_artifacts.py`` validates every ``BENCH_*.json`` against
+this schema, including files produced by older emitters — so changing the
+envelope here requires regenerating the committed artifacts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+from repro.exceptions import IllegalArgumentError
+
+#: Keys every artifact envelope must carry.
+REQUIRED_KEYS = ("name", "timestamp", "machine", "metrics")
+
+#: Keys every ``machine`` section must carry.
+REQUIRED_MACHINE_KEYS = ("platform", "python", "cpu_count")
+
+
+def machine_info() -> Dict[str, Any]:
+    """The machine fingerprint recorded in every benchmark artifact."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def bench_artifact(name: str, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Build one artifact document in the shared schema."""
+    if not name:
+        raise IllegalArgumentError("artifact name must be non-empty")
+    if not isinstance(metrics, dict) or not metrics:
+        raise IllegalArgumentError("artifact metrics must be a non-empty dict")
+    return {
+        "name": str(name),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": machine_info(),
+        "metrics": metrics,
+    }
+
+
+def write_bench_artifact(path, name: str, section: str, metrics: Dict[str, Any]) -> Path:
+    """Merge one metrics section into the artifact at ``path``.
+
+    Existing sections written by other emitters are preserved; the envelope
+    (name, timestamp, machine) is refreshed.  A file that predates the
+    shared schema (or is unreadable) is replaced wholesale.  Returns the
+    written path.
+    """
+    path = Path(path)
+    existing: Dict[str, Any] = {}
+    if path.is_file():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("metrics"), dict):
+                existing = loaded["metrics"]
+        except (json.JSONDecodeError, OSError):
+            existing = {}
+    existing[section] = metrics
+    document = bench_artifact(name, existing)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def validate_bench_artifact(document: Any) -> None:
+    """Assert one loaded artifact document matches the shared schema.
+
+    Raises :class:`IllegalArgumentError` describing the first violation —
+    used by ``tests/test_bench_artifacts.py`` and usable by external
+    tooling that consumes the trajectory files.
+    """
+    if not isinstance(document, dict):
+        raise IllegalArgumentError(f"artifact must be a JSON object, got {type(document).__name__}")
+    for key in REQUIRED_KEYS:
+        if key not in document:
+            raise IllegalArgumentError(f"artifact is missing the required key {key!r}")
+    if not isinstance(document["name"], str) or not document["name"]:
+        raise IllegalArgumentError("artifact 'name' must be a non-empty string")
+    try:
+        datetime.datetime.fromisoformat(document["timestamp"])
+    except (TypeError, ValueError):
+        raise IllegalArgumentError(
+            f"artifact 'timestamp' {document.get('timestamp')!r} is not ISO-8601"
+        ) from None
+    machine = document["machine"]
+    if not isinstance(machine, dict):
+        raise IllegalArgumentError("artifact 'machine' must be an object")
+    for key in REQUIRED_MACHINE_KEYS:
+        if key not in machine:
+            raise IllegalArgumentError(f"artifact 'machine' is missing {key!r}")
+    metrics = document["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        raise IllegalArgumentError("artifact 'metrics' must be a non-empty object")
+    for section, payload in metrics.items():
+        if not isinstance(payload, dict) or not payload:
+            raise IllegalArgumentError(
+                f"artifact metrics section {section!r} must be a non-empty object"
+            )
+        for measurement, value in payload.items():
+            if not isinstance(value, (int, float, bool, str)):
+                raise IllegalArgumentError(
+                    f"metric {section}.{measurement} must be a scalar, "
+                    f"got {type(value).__name__}"
+                )

@@ -44,3 +44,16 @@ class UnsupportedOperationError(ReproError, RuntimeError):
 
 class DeserializationError(ReproError, ValueError):
     """A serialized sketch payload could not be decoded."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A request to the aggregation service failed at the transport layer.
+
+    Raised by :class:`~repro.service.ServiceClient` when a request cannot be
+    completed after its retries (connection refused, timeout, garbled reply
+    stream) or when the server rejects it for a reason that does not map to
+    a more precise library exception.  Application-level rejections keep
+    their own types: a query for an unknown metric still raises
+    :class:`EmptySketchError`, a corrupt payload still raises
+    :class:`DeserializationError`.
+    """

@@ -301,5 +301,34 @@ class MetricAgent:
         self._records = 0
         return payloads
 
+    def push_frames(self, client, interval_start: float) -> List[dict]:
+        """Flush and push every pending frame to an aggregation service.
+
+        The cross-process flush: the agent's series population leaves as
+        frame-v3 payloads (one per shard on the sharded tier, one total
+        otherwise) and travels through ``client`` — a
+        :class:`~repro.service.ServiceClient` connected to a running
+        :class:`~repro.service.AggregationServer` — which wraps each frame
+        in a push envelope carrying this agent's host identity and a
+        deduplicating sequence number.  Returns the server
+        acknowledgements; an agent with no data returns an empty list.
+        The client retransmits timed-out pushes with the same sequence
+        number and the server deduplicates, so retries never double count;
+        a push that still fails after its retries raises
+        :class:`~repro.exceptions.ServiceError` (local state was already
+        reset by the flush — treat an unrecoverable transport failure as
+        dropped samples, exactly like a lost UDP flush in the paper's
+        deployment).
+        """
+        payloads = self.flush_shard_frames(interval_start)
+        return [
+            client.push_frame(
+                payload.payload,
+                host=payload.host,
+                interval_start=payload.interval_start,
+            )
+            for payload in payloads
+        ]
+
     def __repr__(self) -> str:
         return f"MetricAgent(host={self._host!r}, pending_metrics={self.pending_metrics})"

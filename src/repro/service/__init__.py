@@ -1,0 +1,75 @@
+"""Cross-process aggregation service built on frame-v3 mergeability.
+
+This package promotes the repository from a library to a deployable system:
+a long-running :class:`AggregationServer` accepts multi-sketch wire frames
+from any number of :class:`~repro.monitoring.MetricAgent` processes over a
+length-prefixed socket protocol, persists every accepted frame to a
+crash-recoverable :class:`SegmentLog` (CRC-checked records, size-based
+segment rotation, compacted snapshots), and replays to a **bit-exact**
+registry state after a crash or restart — the paper's full-mergeability
+claim (Section 2.1) carried across process boundaries and crash/replay
+cycles.
+
+Layers, bottom up:
+
+* :mod:`repro.service.protocol` — wire messages and the push/record
+  envelope around frame v3;
+* :mod:`repro.service.segment_log` — the append-only durable log with
+  quarantine-on-corruption replay;
+* :mod:`repro.service.state` — merged registry + windowed retention +
+  ``(host, sequence)`` deduplication;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the asyncio
+  server and the blocking, retrying client;
+* :mod:`repro.service.loadgen` — the agent-fleet load generator emitting
+  ``BENCH_service.json``.
+
+Start one in-process and push to it::
+
+    >>> import numpy as np, tempfile
+    >>> from repro import SketchRegistry
+    >>> from repro.service import ServiceClient, serve_in_thread
+    >>> registry = SketchRegistry()
+    >>> registry.add_batch("latency", np.array([1.0, 2.0, 3.0]))
+    >>> with serve_in_thread(data_dir=tempfile.mkdtemp()) as server:
+    ...     with ServiceClient(*server.address) as client:
+    ...         ack = client.push_frame(registry.flush_frame(), host="docs")
+    ...         p50 = client.query_quantiles("latency", [0.5])["values"][0]
+    >>> ack["status"], ack["series"]
+    ('ok', 1)
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    PushEnvelope,
+    decode_push_envelope,
+    encode_push_envelope,
+)
+from repro.service.segment_log import (
+    LogRecord,
+    QuarantineEvent,
+    ReplayStats,
+    SegmentLog,
+)
+from repro.service.server import (
+    AggregationServer,
+    RecoveryReport,
+    ServerThread,
+    serve_in_thread,
+)
+from repro.service.state import ServiceState
+
+__all__ = [
+    "AggregationServer",
+    "LogRecord",
+    "PushEnvelope",
+    "QuarantineEvent",
+    "RecoveryReport",
+    "ReplayStats",
+    "SegmentLog",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceState",
+    "decode_push_envelope",
+    "encode_push_envelope",
+    "serve_in_thread",
+]

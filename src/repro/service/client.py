@@ -1,0 +1,253 @@
+"""Blocking client of the aggregation service.
+
+:class:`ServiceClient` is the agent-side half of the cross-process
+transport: it connects to one :class:`~repro.service.server.AggregationServer`
+over TCP, wraps frame-v3 payloads in push envelopes
+(:mod:`repro.service.protocol`), and assigns per-host sequence numbers so
+the server can deduplicate retransmissions.  The delivery contract:
+
+* **at-least-once on the wire** — :meth:`ServiceClient.push_frame` retries
+  a timed-out push with the *same* sequence number;
+* **exactly-once in state** — the server applies each ``(host, sequence)``
+  identity at most once, so retries (and crash/replay cycles) never double
+  count.
+
+Error replies re-raise as the library's own exception types: a query against
+an unknown metric raises :class:`~repro.exceptions.EmptySketchError` exactly
+as the in-process registry would — the service boundary does not change the
+error contract.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import (
+    DeserializationError,
+    EmptySketchError,
+    IllegalArgumentError,
+    ReproError,
+    ServiceError,
+    UnequalSketchParametersError,
+)
+from repro.registry.series import TagsLike
+from repro.service import protocol
+
+_ERROR_KINDS = {
+    "EmptySketchError": EmptySketchError,
+    "IllegalArgumentError": IllegalArgumentError,
+    "DeserializationError": DeserializationError,
+    "UnequalSketchParametersError": UnequalSketchParametersError,
+}
+
+
+class ServiceClient:
+    """A blocking, thread-safe connection to the aggregation server.
+
+    Parameters
+    ----------
+    host / port:
+        The server's listen address (``server.address`` of a started
+        :class:`~repro.service.server.AggregationServer`).
+    timeout:
+        Socket timeout in seconds for each request/response round trip.
+    retries:
+        How many times a timed-out push is retransmitted (with the same
+        sequence number, so the server's dedup keeps it exactly-once).
+
+    One socket serves all calls; a lock serializes request/response pairs so
+    the client may be shared across producer threads.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0, retries: int = 2) -> None:
+        if retries < 0:
+            raise IllegalArgumentError(f"retries must be non-negative, got {retries!r}")
+        self._address = (host, int(port))
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._lock = threading.Lock()
+        self._sequences: Dict[str, int] = {}
+        self._socket: Optional[socket.socket] = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(self._address, timeout=self._timeout)
+        self._socket.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            finally:
+                self._socket = None
+
+    def __enter__(self) -> "ServiceClient":
+        """Context-manager entry: the client itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+
+    def _request(self, message_type: int, payload: bytes, retry: bool) -> Dict[str, Any]:
+        """One request/response round trip with reconnect-and-retry."""
+        attempts = self._retries + 1 if retry else 1
+        last_error: Optional[Exception] = None
+        with self._lock:
+            for attempt in range(attempts):
+                try:
+                    if self._socket is None:
+                        self._connect()
+                    reply_type, reply = protocol.request(
+                        self._socket, message_type, payload, timeout=self._timeout
+                    )
+                except (socket.timeout, ConnectionError, OSError, DeserializationError) as error:
+                    # Request payloads are encoded (and validated) before
+                    # `_request` is entered, so a DeserializationError here
+                    # means a garbled reply stream — a transport failure,
+                    # retried like a dropped connection.  Application errors
+                    # surface from `_unwrap` below, outside this handler, so
+                    # a server-reported DeserializationError is never eaten
+                    # by the retry loop.
+                    last_error = error
+                    self.close()
+                    continue
+                return self._unwrap(reply_type, reply)
+        raise ServiceError(
+            f"request to {self._address[0]}:{self._address[1]} failed "
+            f"after {attempts} attempt(s): {last_error}"
+        ) from last_error
+
+    @staticmethod
+    def _unwrap(reply_type: int, reply: bytes) -> Dict[str, Any]:
+        try:
+            body = protocol.decode_json_body(reply)
+        except DeserializationError as error:
+            raise ServiceError(f"the server sent a garbled reply: {error}") from error
+        if reply_type == protocol.MSG_OK:
+            return body
+        if reply_type == protocol.MSG_ERROR:
+            kind = body.get("kind", "ServiceError")
+            message = body.get("message", "the server rejected the request")
+            raise _ERROR_KINDS.get(kind, ServiceError)(message)
+        raise ServiceError(f"unexpected reply type 0x{reply_type:02x}")
+
+    # ------------------------------------------------------------------ #
+    # Pushes
+    # ------------------------------------------------------------------ #
+
+    def next_sequence(self, host: str) -> int:
+        """The sequence number the next pushed frame for ``host`` will get."""
+        return self._sequences.get(host, 0) + 1
+
+    def push_frame(
+        self,
+        frame: bytes,
+        host: str,
+        interval_start: float = 0.0,
+        sequence: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Push one frame-v3 payload; returns the server's acknowledgement.
+
+        ``sequence`` defaults to a per-host counter maintained by this
+        client; pass it explicitly to retransmit a specific identity or to
+        coordinate sequences across client instances.  The acknowledgement
+        carries ``duplicate: True`` when the server had already applied
+        this ``(host, sequence)``.
+        """
+        host = str(host)
+        if sequence is None:
+            sequence = self._sequences.get(host, 0) + 1
+        envelope = protocol.encode_push_envelope(
+            frame, host=host, sequence=sequence, interval_start=interval_start
+        )
+        ack = self._request(protocol.MSG_PUSH, envelope, retry=True)
+        self._sequences[host] = max(self._sequences.get(host, 0), int(sequence))
+        return ack
+
+    def push_frames(
+        self,
+        frames: Iterable[Union[bytes, "FramePayloadLike"]],
+        host: Optional[str] = None,
+        interval_start: float = 0.0,
+    ) -> List[Dict[str, Any]]:
+        """Push several frames; returns one acknowledgement per frame.
+
+        Accepts raw frame bytes (``host`` required) or
+        :class:`~repro.monitoring.FramePayload`-shaped objects carrying
+        their own ``host``/``interval_start``/``payload`` attributes — the
+        output of :meth:`~repro.monitoring.MetricAgent.flush_shard_frames`.
+        """
+        acks = []
+        for frame in frames:
+            if isinstance(frame, (bytes, bytearray, memoryview)):
+                if host is None:
+                    raise IllegalArgumentError("host is required when pushing raw frame bytes")
+                acks.append(self.push_frame(bytes(frame), host=host, interval_start=interval_start))
+            else:
+                acks.append(
+                    self.push_frame(
+                        frame.payload,
+                        host=frame.host,
+                        interval_start=frame.interval_start,
+                    )
+                )
+        return acks
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def query_quantiles(
+        self,
+        metric: str,
+        quantiles: Sequence[float],
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Quantiles of a metric on the server (merged or windowed).
+
+        Mirrors :meth:`repro.registry.SketchRegistry.quantiles`: ``tags``
+        addresses one exact series, ``tag_filter`` the merge of matching
+        series, neither the whole metric.  Raises
+        :class:`~repro.exceptions.EmptySketchError` when nothing matches.
+        """
+        body: Dict[str, Any] = {
+            "metric": metric,
+            "quantiles": [float(quantile) for quantile in quantiles],
+        }
+        if tags is not None:
+            body["tags"] = dict(tags) if not isinstance(tags, str) else tags
+        if tag_filter is not None:
+            body["tag_filter"] = dict(tag_filter) if not isinstance(tag_filter, str) else tag_filter
+        if window_start is not None:
+            body["window_start"] = float(window_start)
+        if window_end is not None:
+            body["window_end"] = float(window_end)
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        return self._request(protocol.MSG_QUERY, payload, retry=False)
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's counters (series, counts, dedup, bytes, log position)."""
+        return self._request(protocol.MSG_STATS, b"", retry=False)
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self._request(protocol.MSG_PING, b"", retry=False).get("status") == "ok"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Ask the server to write a compacted snapshot now."""
+        return self._request(protocol.MSG_SNAPSHOT, b"", retry=False)
+
+    def __repr__(self) -> str:
+        return f"ServiceClient(address={self._address[0]}:{self._address[1]})"

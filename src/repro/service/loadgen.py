@@ -1,0 +1,207 @@
+"""Load generator: a simulated agent fleet hammering the real service.
+
+This is the "millions of users" scenario from the ROADMAP run end to end:
+``num_agents`` simulated :class:`~repro.monitoring.MetricAgent` hosts, each
+fanning one metric out over ``series_per_agent`` tagged endpoint series,
+flush one frame-v3 payload per interval and push it — through real push
+envelopes, over a real TCP socket, into a real
+:class:`~repro.service.server.AggregationServer` with (optionally) a real
+segment log behind it.  ``push_threads`` concurrent
+:class:`~repro.service.ServiceClient` connections drive the pushes, so the
+measured frames/sec and values/sec are genuine end-to-end numbers: envelope
+encode + socket + server decode + log append + registry merge + ACK.
+
+The run is self-verifying: afterwards the server's total count must equal
+the values generated, and the server's quantiles must be *identical* to a
+local reference registry fed the same frames (full mergeability across the
+process boundary, paper Section 2.1).  :func:`run_load_generator` returns
+the measurements as a plain dict; the CLI (``repro load-gen``) and
+``benchmarks/test_service_throughput.py`` write them into
+``BENCH_service.json`` using the shared artifact schema
+(:mod:`repro.evaluation.artifacts`).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ddsketch import DDSketch
+from repro.exceptions import IllegalArgumentError
+from repro.registry import SeriesKey, SketchRegistry
+from repro.service.client import ServiceClient
+from repro.service.server import serve_in_thread
+
+#: The metric every simulated agent reports.
+METRIC = "web.request.latency"
+
+
+def build_fleet_frames(
+    num_agents: int,
+    series_per_agent: int,
+    num_intervals: int,
+    values_per_interval: int,
+    relative_accuracy: float = 0.01,
+    seed: int = 0,
+) -> Tuple[List[Tuple[str, float, bytes]], int]:
+    """Pre-build every frame the fleet will push.
+
+    Returns ``(frames, total_values)`` where each frame is a
+    ``(host, interval_start, payload)`` triple.  Frame building is kept out
+    of the push-timing window so the benchmark measures the service, not
+    the generator.  Deterministic in ``seed`` — two calls build
+    byte-identical frames, which is how the multi-process e2e test's parent
+    reconstructs what its children pushed.
+    """
+    if min(num_agents, series_per_agent, num_intervals, values_per_interval) < 1:
+        raise IllegalArgumentError("fleet dimensions must all be positive")
+    frames: List[Tuple[str, float, bytes]] = []
+    total_values = 0
+    keys = [
+        SeriesKey(METRIC, (("endpoint", f"/e{index:04d}"),))
+        for index in range(series_per_agent)
+    ]
+    for agent_index in range(num_agents):
+        host = f"host-{agent_index:04d}"
+        rng = np.random.default_rng(seed * 1_000_003 + agent_index)
+        registry = SketchRegistry(
+            sketch_factory=lambda: DDSketch(relative_accuracy=relative_accuracy)
+        )
+        for interval in range(num_intervals):
+            group_indices = rng.integers(0, series_per_agent, values_per_interval)
+            values = rng.lognormal(0.0, 1.5, values_per_interval)
+            registry.ingest_grouped(keys, group_indices, values)
+            frames.append((host, float(interval), registry.flush_frame()))
+            total_values += values_per_interval
+    return frames, total_values
+
+
+def reference_registry(frames: List[Tuple[str, float, bytes]]) -> SketchRegistry:
+    """The uncrashed, in-process reference: every frame merged locally."""
+    reference = SketchRegistry()
+    for _, _, payload in frames:
+        reference.merge_frame(payload)
+    return reference
+
+
+def run_load_generator(
+    num_agents: int = 100,
+    series_per_agent: int = 20,
+    num_intervals: int = 4,
+    values_per_interval: int = 2_000,
+    push_threads: int = 4,
+    relative_accuracy: float = 0.01,
+    seed: int = 0,
+    data_dir: Optional[str] = None,
+    durable: bool = True,
+    snapshot_every: int = 0,
+    retention_intervals: int = 64,
+) -> Dict[str, Any]:
+    """Run the fleet against a freshly started server; returns the metrics.
+
+    With ``durable=True`` (the default) the server persists every accepted
+    frame to a segment log (in ``data_dir`` or a temporary directory), so
+    the measured throughput includes the write-ahead cost.  The returned
+    dict is one ``metrics`` section in the shared BENCH schema; it also
+    records that the server's answers matched the local reference exactly
+    (``reference_match``) — a failed match raises instead of reporting.
+    """
+    frames, total_values = build_fleet_frames(
+        num_agents,
+        series_per_agent,
+        num_intervals,
+        values_per_interval,
+        relative_accuracy=relative_accuracy,
+        seed=seed,
+    )
+    bytes_on_wire = sum(len(payload) for _, _, payload in frames)
+    temp_dir: Optional[tempfile.TemporaryDirectory] = None
+    if durable and data_dir is None:
+        temp_dir = tempfile.TemporaryDirectory(prefix="repro-loadgen-")
+        data_dir = temp_dir.name
+    try:
+        with serve_in_thread(
+            data_dir=data_dir if durable else None,
+            snapshot_every=snapshot_every,
+            retention_intervals=retention_intervals,
+        ) as handle:
+            host, port = handle.address
+            elapsed = _push_all(frames, host, port, push_threads)
+            with ServiceClient(host, port) as client:
+                stats = client.stats()
+                quantiles = (0.5, 0.95, 0.99)
+                served = client.query_quantiles(METRIC, quantiles)["values"]
+        reference = reference_registry(frames)
+        expected = reference.quantiles(METRIC, quantiles)
+        if stats["total_count"] != float(total_values):
+            raise IllegalArgumentError(
+                f"service lost data: {stats['total_count']} != {total_values}"
+            )
+        if served != expected:
+            raise IllegalArgumentError(
+                f"service quantiles diverged from the reference: {served} != {expected}"
+            )
+    finally:
+        if temp_dir is not None:
+            temp_dir.cleanup()
+    return {
+        "agents": num_agents,
+        "series_per_agent": series_per_agent,
+        "intervals": num_intervals,
+        "frames": len(frames),
+        "values": total_values,
+        "bytes_on_wire": bytes_on_wire,
+        "push_threads": push_threads,
+        "durable": durable,
+        "seconds": elapsed,
+        "frames_per_sec": len(frames) / elapsed,
+        "values_per_sec": total_values / elapsed,
+        "mb_per_sec": bytes_on_wire / elapsed / 1e6,
+        "reference_match": True,
+        "p99": served[2],
+    }
+
+
+def _push_all(
+    frames: List[Tuple[str, float, bytes]], host: str, port: int, push_threads: int
+) -> float:
+    """Push every frame through N concurrent clients; returns the wall time."""
+    if push_threads < 1:
+        raise IllegalArgumentError(f"push_threads must be positive, got {push_threads!r}")
+    push_threads = min(push_threads, len(frames))
+    # Partition whole hosts, not individual frames: each client assigns
+    # per-host sequence numbers, so one host's frames must flow through one
+    # client or the server would deduplicate colliding (host, sequence)
+    # identities from different clients.
+    hosts = sorted({host for host, _, _ in frames})
+    host_to_shard = {host: index % push_threads for index, host in enumerate(hosts)}
+    shards: List[List[Tuple[str, float, bytes]]] = [[] for _ in range(push_threads)]
+    for frame in frames:
+        shards[host_to_shard[frame[0]]].append(frame)
+    shards = [shard for shard in shards if shard]
+    errors: List[BaseException] = []
+
+    def _worker(shard: List[Tuple[str, float, bytes]]) -> None:
+        try:
+            with ServiceClient(host, port) as client:
+                for agent_host, interval_start, payload in shard:
+                    client.push_frame(payload, host=agent_host, interval_start=interval_start)
+        except BaseException as error:
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=_worker, args=(shard,), daemon=True) for shard in shards
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return max(elapsed, 1e-9)

@@ -1,0 +1,469 @@
+"""Crash-recoverable append-only segment log with compacted snapshots.
+
+The aggregation server persists every accepted push envelope before applying
+it, so a crashed or restarted process replays to a bit-exact copy of its
+pre-crash state (full mergeability makes replay order = append order
+sufficient, paper Section 2.1).  The log is the classic write-ahead shape:
+
+* **records** — each appended payload is framed as::
+
+      magic    2 bytes   b"SG"
+      length   4 bytes   unsigned little-endian, bytes of ``body``
+      crc32    4 bytes   unsigned little-endian, CRC-32 of ``body``
+      body     varint sequence + varint record type + payload bytes
+
+  The CRC covers the body, so a torn write (process killed mid-``write``)
+  or a flipped bit is detected on replay instead of corrupting state.
+
+* **segments** — records append to ``segment-<first-seq>.seg`` files;
+  once a segment exceeds ``max_segment_bytes`` the next append rotates to
+  a fresh file.  Segment files are immutable after rotation, which makes
+  compaction a plain unlink.
+
+* **snapshots** — ``write_snapshot`` persists an opaque state payload as
+  ``snapshot-<applied-seq>.snap`` (CRC-checked, written via a temp file +
+  rename so a crash never leaves a half-snapshot under the final name).
+  Recovery loads the newest *valid* snapshot and replays only the records
+  after it; ``compact`` then unlinks segments fully covered by a snapshot.
+
+* **quarantine** — replay never throws away bytes silently and never lets
+  corruption escape as ``IndexError``/``MemoryError``: a corrupt or torn
+  region is copied to ``<segment>.quarantine-<offset>`` next to the log,
+  recorded as a :class:`QuarantineEvent`, and replay resumes with the next
+  segment (a later segment is strictly newer, so skipping the poisoned
+  tail of one segment cannot reorder surviving records).
+
+The log is storage only: it does not interpret payloads.  The service layers
+the push-envelope record format (:mod:`repro.service.protocol`) on top.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import DeserializationError, IllegalArgumentError
+from repro.serialization.encoding import decode_varint, encode_varint
+
+RECORD_MAGIC = b"SG"
+SNAPSHOT_MAGIC = b"DDSN"
+SNAPSHOT_VERSION = 1
+
+#: Record type carried by every service push record (the only type today;
+#: the field exists so future record kinds can share the log).
+RECORD_FRAME = 1
+
+#: Ceiling on one record body.  Matches the wire-message ceiling: anything
+#: larger is a corrupt length field, not data.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_RECORD_HEADER = struct.Struct("<2sII")
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".seg"
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".snap"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One replayed record: its global sequence number, type, and payload."""
+
+    sequence: int
+    record_type: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class QuarantineEvent:
+    """One corrupt region detected during replay, preserved on disk."""
+
+    segment: Path
+    offset: int
+    length: int
+    reason: str
+    quarantine_path: Optional[Path]
+
+
+@dataclass
+class ReplayStats:
+    """Bookkeeping of one replay pass."""
+
+    records: int = 0
+    segments: int = 0
+    quarantined: List[QuarantineEvent] = field(default_factory=list)
+
+
+class SegmentLog:
+    """Append-only CRC-checked segment log under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Log directory, created if missing.  Segment, snapshot, and
+        quarantine files all live here.
+    max_segment_bytes:
+        Size threshold after which the next append starts a new segment.
+    fsync:
+        When true, every append (and snapshot) is ``os.fsync``-ed so an
+        acknowledged record survives an OS crash, not just a process
+        crash.  Defaults to false: flush-to-OS on every append.
+    file_factory:
+        Callable with the signature of :func:`open` used to open segment
+        files for writing — the fault-injection seam.  Tests substitute a
+        factory returning torn-write file objects; production code leaves
+        the default.
+    """
+
+    def __init__(
+        self,
+        directory,
+        max_segment_bytes: int = 4 * 1024 * 1024,
+        fsync: bool = False,
+        file_factory: Optional[Callable] = None,
+    ) -> None:
+        if max_segment_bytes < 1:
+            raise IllegalArgumentError(
+                f"max_segment_bytes must be positive, got {max_segment_bytes!r}"
+            )
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._max_segment_bytes = int(max_segment_bytes)
+        self._fsync = bool(fsync)
+        self._file_factory = file_factory or open
+        self._writer = None
+        self._writer_path: Optional[Path] = None
+        self._writer_size = 0
+        self.last_replay = ReplayStats()
+        self._next_sequence = self._scan_next_sequence()
+
+    # ------------------------------------------------------------------ #
+    # Directory layout
+    # ------------------------------------------------------------------ #
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding segments, snapshots, and quarantine files."""
+        return self._directory
+
+    @property
+    def next_sequence(self) -> int:
+        """Sequence number the next appended record will receive."""
+        return self._next_sequence
+
+    def segment_paths(self) -> List[Path]:
+        """Segment files in first-sequence order."""
+        segments = []
+        for path in self._directory.iterdir():
+            first = _parse_numbered(path.name, _SEGMENT_PREFIX, _SEGMENT_SUFFIX)
+            if first is not None:
+                segments.append((first, path))
+        return [path for _, path in sorted(segments)]
+
+    def snapshot_paths(self) -> List[Path]:
+        """Snapshot files in applied-sequence order (oldest first)."""
+        snapshots = []
+        for path in self._directory.iterdir():
+            applied = _parse_numbered(path.name, _SNAPSHOT_PREFIX, _SNAPSHOT_SUFFIX)
+            if applied is not None:
+                snapshots.append((applied, path))
+        return [path for _, path in sorted(snapshots)]
+
+    def _scan_next_sequence(self) -> int:
+        """Highest sequence on disk + 1 (replaying tail segments as needed)."""
+        highest = 0
+        for _, path in self._latest_valid_snapshot_candidates():
+            applied = _parse_numbered(path.name, _SNAPSHOT_PREFIX, _SNAPSHOT_SUFFIX)
+            if applied is not None:
+                highest = max(highest, applied)
+        stats = ReplayStats()
+        for record in self._replay_segments(after=highest, stats=stats, preserve=False):
+            highest = max(highest, record.sequence)
+        return highest + 1
+
+    # ------------------------------------------------------------------ #
+    # Appends
+    # ------------------------------------------------------------------ #
+
+    def append(self, payload: bytes, record_type: int = RECORD_FRAME) -> int:
+        """Durably append one record; returns its global sequence number.
+
+        The record is flushed to the OS before returning (and fsynced when
+        the log was opened with ``fsync=True``), so a caller that
+        acknowledges after ``append`` never acknowledges a record a process
+        crash can lose.
+        """
+        payload = bytes(payload)
+        if len(payload) > MAX_RECORD_BYTES:
+            raise IllegalArgumentError(
+                f"record of {len(payload)} bytes exceeds the {MAX_RECORD_BYTES} limit"
+            )
+        sequence = self._next_sequence
+        body = encode_varint(sequence) + encode_varint(int(record_type)) + payload
+        record = _RECORD_HEADER.pack(RECORD_MAGIC, len(body), zlib.crc32(body)) + body
+        writer = self._ensure_writer(sequence)
+        writer.write(record)
+        writer.flush()
+        if self._fsync:
+            os.fsync(writer.fileno())
+        self._writer_size += len(record)
+        self._next_sequence = sequence + 1
+        if self._writer_size >= self._max_segment_bytes:
+            self.rotate()
+        return sequence
+
+    def _ensure_writer(self, first_sequence: int):
+        if self._writer is None:
+            path = self._directory / f"{_SEGMENT_PREFIX}{first_sequence:016d}{_SEGMENT_SUFFIX}"
+            self._writer = self._file_factory(path, "ab")
+            self._writer_path = path
+            self._writer_size = path.stat().st_size if path.exists() else 0
+        return self._writer
+
+    def rotate(self) -> Optional[Path]:
+        """Close the current segment so the next append starts a fresh one.
+
+        Returns the closed segment's path (``None`` when nothing was open).
+        """
+        closed = self._writer_path
+        if self._writer is not None:
+            self._writer.close()
+        self._writer = None
+        self._writer_path = None
+        self._writer_size = 0
+        return closed
+
+    def close(self) -> None:
+        """Close the log (flushes and closes the open segment)."""
+        self.rotate()
+
+    def __enter__(self) -> "SegmentLog":
+        """Context-manager entry: the log itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the open segment."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+
+    def replay(self, after: int = 0) -> Iterator[LogRecord]:
+        """Yield every intact record with ``sequence > after``, in order.
+
+        Corrupt or torn regions are quarantined (preserved on disk as
+        ``<segment>.quarantine-<offset>`` and recorded in
+        :attr:`last_replay`), never raised as decoding errors: replay
+        always terminates and yields exactly the trustworthy prefix of
+        every segment.
+        """
+        self.rotate()  # flush + close so the reader sees every byte
+        stats = ReplayStats()
+        self.last_replay = stats
+        yield from self._replay_segments(after=after, stats=stats, preserve=True)
+
+    def _replay_segments(
+        self, after: int, stats: ReplayStats, preserve: bool
+    ) -> Iterator[LogRecord]:
+        previous_sequence = after
+        for path in self.segment_paths():
+            stats.segments += 1
+            data = path.read_bytes()
+            offset = 0
+            while offset < len(data):
+                record, next_offset, reason = _read_record(data, offset)
+                if record is None:
+                    self._quarantine(path, offset, data[offset:], reason, stats, preserve)
+                    break
+                if record.sequence <= previous_sequence and record.sequence <= after:
+                    # An old record already covered by the snapshot: skip.
+                    offset = next_offset
+                    continue
+                if record.sequence <= previous_sequence:
+                    # Sequence went backwards past the replay frontier: the
+                    # region cannot be trusted (duplicated tail after a
+                    # copy-restore, or corruption the CRC cannot see).
+                    self._quarantine(
+                        path,
+                        offset,
+                        data[offset:],
+                        f"sequence {record.sequence} not after {previous_sequence}",
+                        stats,
+                        preserve,
+                    )
+                    break
+                previous_sequence = record.sequence
+                stats.records += 1
+                yield record
+                offset = next_offset
+
+    def _quarantine(
+        self,
+        segment: Path,
+        offset: int,
+        chunk: bytes,
+        reason: str,
+        stats: ReplayStats,
+        preserve: bool,
+    ) -> None:
+        quarantine_path: Optional[Path] = None
+        if preserve and chunk:
+            quarantine_path = segment.with_name(f"{segment.name}.quarantine-{offset}")
+            if not quarantine_path.exists():
+                quarantine_path.write_bytes(chunk)
+        stats.quarantined.append(
+            QuarantineEvent(
+                segment=segment,
+                offset=offset,
+                length=len(chunk),
+                reason=reason,
+                quarantine_path=quarantine_path,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshots + compaction
+    # ------------------------------------------------------------------ #
+
+    def write_snapshot(self, payload: bytes, applied: int) -> Path:
+        """Persist a compacted state snapshot covering records ``<= applied``.
+
+        The snapshot is CRC-framed and written via a temporary file +
+        atomic rename, so recovery either sees a fully valid snapshot or
+        none under the final name.  Returns the snapshot path.
+        """
+        if applied < 0:
+            raise IllegalArgumentError(f"applied must be non-negative, got {applied!r}")
+        body = (
+            SNAPSHOT_MAGIC
+            + encode_varint(SNAPSHOT_VERSION)
+            + encode_varint(int(applied))
+            + encode_varint(len(payload))
+            + bytes(payload)
+        )
+        framed = body + struct.pack("<I", zlib.crc32(body))
+        path = self._directory / f"{_SNAPSHOT_PREFIX}{applied:016d}{_SNAPSHOT_SUFFIX}"
+        temp = path.with_suffix(".tmp")
+        temp.write_bytes(framed)
+        if self._fsync:
+            fd = os.open(temp, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        os.replace(temp, path)
+        return path
+
+    def latest_snapshot(self) -> Optional[Tuple[int, bytes]]:
+        """Newest valid snapshot as ``(applied_sequence, payload)``.
+
+        Corrupt snapshot files are quarantined (renamed to ``*.corrupt``)
+        and the next-newest candidate is tried; returns ``None`` when no
+        valid snapshot exists.
+        """
+        for applied, path in self._latest_valid_snapshot_candidates():
+            payload = _read_snapshot(path, applied)
+            if payload is not None:
+                return applied, payload
+            path.rename(path.with_name(path.name + ".corrupt"))
+        return None
+
+    def _latest_valid_snapshot_candidates(self) -> List[Tuple[int, Path]]:
+        candidates = []
+        for path in self._directory.iterdir():
+            applied = _parse_numbered(path.name, _SNAPSHOT_PREFIX, _SNAPSHOT_SUFFIX)
+            if applied is not None:
+                candidates.append((applied, path))
+        return sorted(candidates, reverse=True)
+
+    def compact(self, applied: int) -> List[Path]:
+        """Unlink segments fully covered by a snapshot at ``applied``.
+
+        A segment is removable when every record it holds has
+        ``sequence <= applied`` — i.e. the *next* segment starts at or
+        before ``applied + 1``.  The open tail segment is never removed.
+        Returns the deleted paths.
+        """
+        segments = self.segment_paths()
+        removed: List[Path] = []
+        for index, path in enumerate(segments[:-1]):
+            next_first = _parse_numbered(
+                segments[index + 1].name, _SEGMENT_PREFIX, _SEGMENT_SUFFIX
+            )
+            if next_first is not None and next_first <= applied + 1:
+                if path == self._writer_path:
+                    continue
+                path.unlink()
+                removed.append(path)
+        return removed
+
+
+def _parse_numbered(name: str, prefix: str, suffix: str) -> Optional[int]:
+    if not (name.startswith(prefix) and name.endswith(suffix)):
+        return None
+    digits = name[len(prefix) : len(name) - len(suffix)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def _read_record(data: bytes, offset: int):
+    """Parse one record at ``offset``; returns ``(record, next_offset, reason)``.
+
+    On success ``record`` is a :class:`LogRecord` and ``reason`` is ``None``;
+    on a torn or corrupt region ``record`` is ``None`` and ``reason`` says
+    why (the caller quarantines from ``offset`` to the segment end).
+    """
+    header_size = _RECORD_HEADER.size
+    if offset + header_size > len(data):
+        return None, offset, f"torn record header ({len(data) - offset} trailing bytes)"
+    magic, length, crc = _RECORD_HEADER.unpack_from(data, offset)
+    if magic != RECORD_MAGIC:
+        return None, offset, "record magic mismatch"
+    if length > MAX_RECORD_BYTES:
+        return None, offset, f"record length {length} exceeds the sanity limit"
+    body_start = offset + header_size
+    if body_start + length > len(data):
+        return None, offset, f"torn record body ({len(data) - body_start} of {length} bytes)"
+    body = data[body_start : body_start + length]
+    if zlib.crc32(body) != crc:
+        return None, offset, "record CRC mismatch"
+    try:
+        sequence, position = decode_varint(body, 0)
+        record_type, position = decode_varint(body, position)
+    except DeserializationError as error:
+        return None, offset, f"record body is malformed: {error}"
+    return (
+        LogRecord(sequence=sequence, record_type=record_type, payload=body[position:]),
+        body_start + length,
+        None,
+    )
+
+
+def _read_snapshot(path: Path, expected_applied: int) -> Optional[bytes]:
+    """Validate one snapshot file; returns its payload or ``None`` if corrupt."""
+    try:
+        framed = path.read_bytes()
+    except OSError:
+        return None
+    if len(framed) < len(SNAPSHOT_MAGIC) + 4 or framed[: len(SNAPSHOT_MAGIC)] != SNAPSHOT_MAGIC:
+        return None
+    body, crc_bytes = framed[:-4], framed[-4:]
+    if zlib.crc32(body) != struct.unpack("<I", crc_bytes)[0]:
+        return None
+    try:
+        version, position = decode_varint(body, len(SNAPSHOT_MAGIC))
+        applied, position = decode_varint(body, position)
+        length, position = decode_varint(body, position)
+    except DeserializationError:
+        return None
+    if version != SNAPSHOT_VERSION or applied != expected_applied:
+        return None
+    if position + length != len(body):
+        return None
+    return body[position : position + length]

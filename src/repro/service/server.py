@@ -1,0 +1,416 @@
+"""The long-running aggregation server: asyncio sockets + write-ahead log.
+
+:class:`AggregationServer` is the cross-process version of the paper's
+"monitoring system" box (Section 1, Figure 1): any number of
+:class:`~repro.monitoring.MetricAgent` processes push frame-v3 payloads over
+the length-prefixed socket protocol (:mod:`repro.service.protocol`), the
+server folds them into one :class:`~repro.service.state.ServiceState`
+(merged registry + windowed retention + deduplication), and — when a data
+directory is configured — persists every accepted envelope to a
+crash-recoverable :class:`~repro.service.segment_log.SegmentLog` *before*
+applying and acknowledging it.  The accept path is therefore::
+
+    decode envelope -> validate frame -> dedup -> log.append -> state.apply -> ACK
+
+A frame is acknowledged only after it is durable, so a crash between append
+and ACK leaves the client unacknowledged: it retransmits, the server dedups,
+and state converges to exactly-once application (at-least-once on the wire,
+exactly-once in the registry).  On startup, :meth:`AggregationServer.recover`
+loads the newest valid snapshot and replays the log tail, landing on a
+registry whose ``to_frame()`` bytes are identical to the pre-crash server's
+(full mergeability, Section 2.1 — pinned by ``tests/test_service_faults.py``
+and ``tests/test_service_recovery.py``).
+
+The event loop is single-threaded, so handlers mutate state without locks;
+:func:`serve_in_thread` runs the whole server on a background thread for
+tests, the CLI, and the load generator.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import (
+    DeserializationError,
+    EmptySketchError,
+    IllegalArgumentError,
+    ReproError,
+)
+from repro.service import protocol
+from repro.service.protocol import PushEnvelope, decode_push_envelope
+from repro.service.segment_log import QuarantineEvent, SegmentLog
+from repro.service.state import ServiceState
+
+
+@dataclass
+class RecoveryReport:
+    """What one startup recovery pass found and rebuilt."""
+
+    snapshot_applied: int = 0
+    records_replayed: int = 0
+    corrupt_records: int = 0
+    quarantined: List[QuarantineEvent] = field(default_factory=list)
+
+
+class AggregationServer:
+    """Asyncio aggregation server with a crash-recoverable segment log.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory for the segment log and snapshots.  ``None`` runs the
+        server in-memory only (no durability, no recovery).
+    host / port:
+        Listen address; port ``0`` picks a free port (see :attr:`address`).
+    sketch_factory / interval_length / retention_intervals:
+        Forwarded to :class:`~repro.service.state.ServiceState`.
+    max_segment_bytes / fsync:
+        Forwarded to :class:`~repro.service.segment_log.SegmentLog`.
+    snapshot_every:
+        Write a compacted snapshot (and compact covered segments) after
+        every N accepted frames; ``0`` disables automatic snapshots (the
+        ``SNAPSHOT`` wire op still triggers one on demand).
+    """
+
+    def __init__(
+        self,
+        data_dir=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        sketch_factory=None,
+        interval_length: float = 1.0,
+        retention_intervals: int = 64,
+        max_segment_bytes: int = 4 * 1024 * 1024,
+        snapshot_every: int = 0,
+        fsync: bool = False,
+    ) -> None:
+        if snapshot_every < 0:
+            raise IllegalArgumentError(
+                f"snapshot_every must be non-negative, got {snapshot_every!r}"
+            )
+        self._host = host
+        self._port = int(port)
+        self._sketch_factory = sketch_factory
+        self._interval_length = float(interval_length)
+        self._retention_intervals = int(retention_intervals)
+        self._snapshot_every = int(snapshot_every)
+        self.state = ServiceState(
+            sketch_factory=sketch_factory,
+            interval_length=interval_length,
+            retention_intervals=retention_intervals,
+        )
+        self.log: Optional[SegmentLog] = (
+            SegmentLog(data_dir, max_segment_bytes=max_segment_bytes, fsync=fsync)
+            if data_dir is not None
+            else None
+        )
+        self.last_recovery: Optional[RecoveryReport] = None
+        self._last_applied_sequence = 0
+        self._frames_since_snapshot = 0
+        self._bytes_received = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def recover(self) -> RecoveryReport:
+        """Rebuild state from the newest snapshot plus the log tail.
+
+        Intact records are applied in log order; records whose *payload*
+        fails to decode despite a valid CRC (which disk corruption cannot
+        produce, but a hostile log could) are counted as corrupt and
+        skipped — recovery never raises on bad data and never loses intact
+        records that follow it.
+        """
+        report = RecoveryReport()
+        self.state = ServiceState(
+            sketch_factory=self._sketch_factory,
+            interval_length=self._interval_length,
+            retention_intervals=self._retention_intervals,
+        )
+        self._last_applied_sequence = 0
+        if self.log is None:
+            self.last_recovery = report
+            return report
+        snapshot = self.log.latest_snapshot()
+        if snapshot is not None:
+            applied, payload = snapshot
+            self.state = ServiceState.from_snapshot(
+                payload,
+                sketch_factory=self._sketch_factory,
+                interval_length=self._interval_length,
+                retention_intervals=self._retention_intervals,
+            )
+            report.snapshot_applied = applied
+            self._last_applied_sequence = applied
+        for record in self.log.replay(after=self._last_applied_sequence):
+            try:
+                self.state.apply_envelope_bytes(record.payload)
+            except DeserializationError:
+                report.corrupt_records += 1
+                continue
+            self._last_applied_sequence = record.sequence
+            report.records_replayed += 1
+        report.quarantined = list(self.log.last_replay.quarantined)
+        self.last_recovery = report
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid once started)."""
+        if self._server is None or not self._server.sockets:
+            return (self._host, self._port)
+        bound = self._server.sockets[0].getsockname()
+        return (bound[0], bound[1])
+
+    async def start(self) -> None:
+        """Recover from the log (if any) and start accepting connections."""
+        self.recover()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._host, port=self._port
+        )
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`request_stop` (or :meth:`stop`) is called."""
+        if self._stop_event is None:
+            raise IllegalArgumentError("server is not started")
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    def request_stop(self) -> None:
+        """Signal the serving loop to shut down (safe from the event loop)."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def stop(self) -> None:
+        """Stop accepting connections and close the log."""
+        self.request_stop()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+            self._connections.clear()
+        if self.log is not None:
+            self.log.close()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(self, reader, writer) -> None:
+        """Serve one client connection until EOF or a framing violation."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    message_type, payload = await protocol.read_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                except asyncio.CancelledError:
+                    break  # server shutdown: close the connection quietly
+                except DeserializationError:
+                    # The stream itself is unframed garbage: reply once and
+                    # drop the connection (resynchronization is impossible).
+                    with contextlib.suppress(Exception):
+                        writer.write(
+                            protocol.encode_json_message(
+                                protocol.MSG_ERROR,
+                                {"status": "error", "kind": "DeserializationError",
+                                 "message": "malformed message framing"},
+                            )
+                        )
+                        await writer.drain()
+                    break
+                reply = self._dispatch(message_type, payload)
+                writer.write(reply)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            # CancelledError is a BaseException: a task cancelled by shutdown
+            # re-raises it from wait_closed(), so suppress it explicitly.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                writer.close()
+                await writer.wait_closed()
+
+    def _dispatch(self, message_type: int, payload: bytes) -> bytes:
+        """Route one request message to its handler; never raises."""
+        try:
+            if message_type == protocol.MSG_PUSH:
+                return protocol.encode_json_message(protocol.MSG_OK, self._handle_push(payload))
+            if message_type == protocol.MSG_QUERY:
+                body = protocol.decode_json_body(payload)
+                return protocol.encode_json_message(protocol.MSG_OK, self._handle_query(body))
+            if message_type == protocol.MSG_STATS:
+                return protocol.encode_json_message(protocol.MSG_OK, self._handle_stats())
+            if message_type == protocol.MSG_SNAPSHOT:
+                return protocol.encode_json_message(protocol.MSG_OK, self._handle_snapshot())
+            if message_type == protocol.MSG_PING:
+                return protocol.encode_json_message(protocol.MSG_OK, {"status": "ok"})
+            raise IllegalArgumentError(f"unsupported request type 0x{message_type:02x}")
+        except ReproError as error:
+            return protocol.encode_json_message(
+                protocol.MSG_ERROR,
+                {"status": "error", "kind": type(error).__name__, "message": str(error)},
+            )
+
+    def _handle_push(self, payload: bytes) -> Dict[str, Any]:
+        """Validate, dedup, persist, and apply one pushed envelope."""
+        envelope = decode_push_envelope(payload, validate_frame=True)
+        self._bytes_received += len(payload)
+        if self.state.is_duplicate(envelope.host, envelope.sequence):
+            self.state.duplicates_rejected += 1
+            return {
+                "status": "ok",
+                "duplicate": True,
+                "host": envelope.host,
+                "sequence": envelope.sequence,
+                "series": 0,
+            }
+        if self.log is not None:
+            self._last_applied_sequence = self.log.append(payload)
+        series = self.state.apply(envelope)
+        self._frames_since_snapshot += 1
+        if self._snapshot_every and self._frames_since_snapshot >= self._snapshot_every:
+            self._write_snapshot()
+        return {
+            "status": "ok",
+            "duplicate": False,
+            "host": envelope.host,
+            "sequence": envelope.sequence,
+            "series": series,
+        }
+
+    def _handle_query(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer a quantile query over the merged state or a time window."""
+        try:
+            metric = body["metric"]
+            quantiles = body.get("quantiles", [0.5, 0.95, 0.99])
+        except (KeyError, TypeError) as error:
+            raise IllegalArgumentError(f"malformed query: {error}") from None
+        if not isinstance(quantiles, list) or not quantiles:
+            raise IllegalArgumentError("query quantiles must be a non-empty array")
+        values = self.state.quantiles(
+            str(metric),
+            [float(quantile) for quantile in quantiles],
+            tags=body.get("tags"),
+            tag_filter=body.get("tag_filter"),
+            window_start=body.get("window_start"),
+            window_end=body.get("window_end"),
+        )
+        return {"status": "ok", "metric": metric, "quantiles": quantiles, "values": values}
+
+    def _handle_stats(self) -> Dict[str, Any]:
+        """The server's counters (state stats + wire/log bookkeeping)."""
+        stats: Dict[str, Any] = {"status": "ok"}
+        stats.update(self.state.stats())
+        stats["bytes_received"] = self._bytes_received
+        stats["durable"] = self.log is not None
+        stats["last_applied_sequence"] = self._last_applied_sequence
+        return stats
+
+    def _handle_snapshot(self) -> Dict[str, Any]:
+        """Write a compacted snapshot on demand (no-op without a log)."""
+        if self.log is None:
+            return {"status": "ok", "snapshot": None}
+        path = self._write_snapshot()
+        return {"status": "ok", "snapshot": path.name}
+
+    def _write_snapshot(self):
+        path = self.log.write_snapshot(
+            self.state.to_snapshot(), applied=self._last_applied_sequence
+        )
+        self.log.compact(self._last_applied_sequence)
+        self._frames_since_snapshot = 0
+        return path
+
+
+class ServerThread:
+    """A running :class:`AggregationServer` on a background event loop."""
+
+    def __init__(self, server: AggregationServer, thread: threading.Thread, loop) -> None:
+        self.server = server
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` of the running server."""
+        return self.server.address
+
+    def stop(self) -> None:
+        """Stop the server and join the background thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        """Context-manager entry: the handle itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: stop the server."""
+        self.stop()
+
+
+def serve_in_thread(**kwargs) -> ServerThread:
+    """Start an :class:`AggregationServer` on a daemon thread; returns a handle.
+
+    Accepts the :class:`AggregationServer` constructor arguments.  The
+    returned :class:`ServerThread` is a context manager whose ``address``
+    is ready immediately (startup — including log recovery — completes
+    before this function returns; a startup failure is re-raised here).
+    """
+    server = AggregationServer(**kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    failure: List[BaseException] = []
+
+    async def _main() -> None:
+        try:
+            await server.start()
+        except BaseException as error:  # startup failures surface to the caller
+            failure.append(error)
+            started.set()
+            return
+        started.set()
+        await server.serve_until_stopped()
+
+    def _runner() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_runner, name="aggregation-server", daemon=True)
+    thread.start()
+    started.wait(timeout=30)
+    if failure:
+        thread.join(timeout=5)
+        raise failure[0]
+    return ServerThread(server, thread, loop)

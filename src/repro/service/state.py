@@ -1,0 +1,340 @@
+"""In-memory state of the aggregation service, deterministically rebuildable.
+
+:class:`ServiceState` is everything the server knows, expressed so that
+*applying the same accepted envelopes in the same order always produces the
+same bytes*: recovery replays the segment log and must land on a registry
+whose :meth:`~repro.registry.SketchRegistry.to_frame` output is bit-identical
+to the pre-crash server's (the mergeability claim of paper Section 2.1,
+extended across process restarts).  It holds:
+
+* the **merged registry** — every accepted frame folded into one
+  :class:`~repro.registry.SketchRegistry` (the all-time quantile surface);
+* **windowed retention** — one registry per flush-interval bucket, bounded
+  to the newest ``retention_intervals`` buckets, for "p99 over the last N
+  intervals" queries without keeping unbounded history;
+* the **deduplication table** — per-host sets of applied envelope sequence
+  numbers, so a retransmitted ``(host, sequence)`` identity is applied at
+  most once (clients get at-least-once delivery, state gets exactly-once
+  application).
+
+The whole state round-trips through an opaque snapshot payload
+(:meth:`ServiceState.to_snapshot` / :meth:`ServiceState.from_snapshot`)
+that the segment log persists and CRC-checks; snapshot-then-replay is part
+of the bit-exactness contract and is pinned by
+``tests/test_service_recovery.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.ddsketch import BaseDDSketch
+from repro.exceptions import DeserializationError, IllegalArgumentError
+from repro.registry import SketchRegistry
+from repro.registry.series import TagsLike
+from repro.serialization.encoding import (
+    VarintReader,
+    encode_varint,
+    encode_zigzag,
+)
+from repro.service.protocol import PushEnvelope, decode_push_envelope
+
+_SNAPSHOT_STATE_VERSION = 1
+
+
+class ServiceState:
+    """Deduplicating, windowed aggregation state fed by push envelopes.
+
+    Parameters
+    ----------
+    sketch_factory:
+        Factory for sketches created on the *raw-value* path; decoded frame
+        entries keep their own families (a UDDSketch series stays UDD).
+    interval_length:
+        Length of one retention bucket in seconds; an envelope lands in the
+        bucket containing its ``interval_start``.
+    retention_intervals:
+        Number of newest interval buckets retained for windowed queries;
+        ``0`` disables window tracking entirely (the merged registry still
+        accumulates everything).
+    """
+
+    def __init__(
+        self,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        interval_length: float = 1.0,
+        retention_intervals: int = 64,
+    ) -> None:
+        if interval_length <= 0:
+            raise IllegalArgumentError(
+                f"interval_length must be positive, got {interval_length!r}"
+            )
+        if retention_intervals < 0:
+            raise IllegalArgumentError(
+                f"retention_intervals must be non-negative, got {retention_intervals!r}"
+            )
+        self._sketch_factory = sketch_factory
+        self._interval_length = float(interval_length)
+        self._retention_intervals = int(retention_intervals)
+        self.registry = SketchRegistry(sketch_factory=sketch_factory)
+        self._windows: Dict[int, SketchRegistry] = {}
+        self._max_bucket: Optional[int] = None
+        self._seen: Dict[str, Set[int]] = {}
+        self.frames_applied = 0
+        self.duplicates_rejected = 0
+        self.values_applied = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+
+    @property
+    def interval_length(self) -> float:
+        """Length of one retention bucket in seconds."""
+        return self._interval_length
+
+    @property
+    def retention_intervals(self) -> int:
+        """Number of newest interval buckets kept for windowed queries."""
+        return self._retention_intervals
+
+    def is_duplicate(self, host: str, sequence: int) -> bool:
+        """Whether the ``(host, sequence)`` identity was already applied."""
+        return sequence in self._seen.get(host, ())
+
+    def apply(self, envelope: PushEnvelope) -> int:
+        """Fold one decoded envelope into the state; returns series merged.
+
+        A duplicate ``(host, sequence)`` identity is counted and ignored
+        (returns 0) — the exactly-once half of the delivery contract.
+        Raises :class:`~repro.exceptions.DeserializationError` when the
+        carried frame is corrupt; nothing is mutated in that case.
+        """
+        from repro.serialization.frame import decode_frame
+
+        if self.is_duplicate(envelope.host, envelope.sequence):
+            self.duplicates_rejected += 1
+            return 0
+        entries = decode_frame(envelope.frame)
+        self._seen.setdefault(envelope.host, set()).add(envelope.sequence)
+        bucket = self._bucket_of(envelope.interval_start)
+        window = self._window_for(bucket)
+        for key, sketch in entries:
+            self.values_applied += sketch.count
+            self.registry.merge_series(key, sketch)
+            if window is not None:
+                # The decoded sketch is exclusively owned; the window bucket
+                # adopts it while the merged registry kept a copy above.
+                window.merge_series(key, sketch, copy=False)
+        self.frames_applied += 1
+        return len(entries)
+
+    def apply_envelope_bytes(self, payload: bytes) -> int:
+        """Decode a serialized envelope and apply it (the replay path)."""
+        return self.apply(decode_push_envelope(payload))
+
+    def _bucket_of(self, interval_start: float) -> int:
+        return int(math.floor(interval_start / self._interval_length))
+
+    def _window_for(self, bucket: int) -> Optional[SketchRegistry]:
+        """The registry bucket an envelope lands in (``None`` when evicted)."""
+        if self._retention_intervals == 0:
+            return None
+        if self._max_bucket is None or bucket > self._max_bucket:
+            self._max_bucket = bucket
+            self._evict()
+        if bucket <= self._max_bucket - self._retention_intervals:
+            return None  # older than the retention horizon: merged-only
+        window = self._windows.get(bucket)
+        if window is None:
+            window = SketchRegistry(sketch_factory=self._sketch_factory)
+            self._windows[bucket] = window
+        return window
+
+    def _evict(self) -> None:
+        horizon = self._max_bucket - self._retention_intervals
+        for bucket in [b for b in self._windows if b <= horizon]:
+            del self._windows[bucket]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def total_count(self) -> float:
+        """Total inserted weight across every series of the merged registry."""
+        return self.registry.total_count()
+
+    def to_frame(self) -> bytes:
+        """The merged registry as one frame-v3 payload (sorted series order)."""
+        return self.registry.to_frame()
+
+    def window_buckets(self) -> List[int]:
+        """Retained interval buckets, oldest first."""
+        return sorted(self._windows)
+
+    def quantiles(
+        self,
+        metric: str,
+        quantiles: Sequence[float],
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> List[float]:
+        """Quantiles over the merged state or a retained time window.
+
+        Without window bounds the all-time merged registry answers; with
+        bounds, the retained interval buckets intersecting
+        ``[window_start, window_end)`` are merged on read.  Raises
+        :class:`~repro.exceptions.EmptySketchError` when nothing matches —
+        never ``KeyError`` (the repository-wide unknown-series contract).
+        """
+        source = self._windowed_registry(window_start, window_end)
+        return source.quantiles(metric, quantiles, tags=tags, tag_filter=tag_filter)
+
+    def _windowed_registry(
+        self, window_start: Optional[float], window_end: Optional[float]
+    ) -> SketchRegistry:
+        if window_start is None and window_end is None:
+            return self.registry
+        merged = SketchRegistry(sketch_factory=self._sketch_factory)
+        low = self._bucket_of(window_start) if window_start is not None else None
+        for bucket in self.window_buckets():
+            if low is not None and bucket < low:
+                continue
+            # Bucket b covers [b*L, (b+1)*L); it intersects a half-open
+            # [window_start, window_end) iff its own start is before the end.
+            if window_end is not None and bucket * self._interval_length >= window_end:
+                continue
+            merged.merge(self._windows[bucket])
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Snapshots
+    # ------------------------------------------------------------------ #
+
+    def to_snapshot(self) -> bytes:
+        """Serialize the full state into one opaque snapshot payload."""
+        parts = [encode_varint(_SNAPSHOT_STATE_VERSION)]
+        merged = self.registry.to_frame()
+        parts.append(encode_varint(len(merged)))
+        parts.append(merged)
+        parts.append(encode_zigzag(self._max_bucket if self._max_bucket is not None else 0))
+        parts.append(encode_varint(1 if self._max_bucket is not None else 0))
+        parts.append(encode_varint(len(self._windows)))
+        for bucket in self.window_buckets():
+            frame = self._windows[bucket].to_frame()
+            parts.append(encode_zigzag(bucket))
+            parts.append(encode_varint(len(frame)))
+            parts.append(frame)
+        parts.append(encode_varint(len(self._seen)))
+        for host in sorted(self._seen):
+            host_bytes = host.encode("utf-8")
+            parts.append(encode_varint(len(host_bytes)))
+            parts.append(host_bytes)
+            sequences = sorted(self._seen[host])
+            parts.append(encode_varint(len(sequences)))
+            previous = 0
+            for sequence in sequences:
+                parts.append(encode_varint(sequence - previous))
+                previous = sequence
+        parts.append(encode_varint(self.frames_applied))
+        parts.append(encode_varint(self.duplicates_rejected))
+        parts.append(struct.pack("<d", self.values_applied))
+        return b"".join(parts)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        payload: bytes,
+        sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
+        interval_length: float = 1.0,
+        retention_intervals: int = 64,
+    ) -> "ServiceState":
+        """Rebuild a state from :meth:`to_snapshot` output.
+
+        Raises :class:`~repro.exceptions.DeserializationError` for any
+        malformed payload (the snapshot file's CRC catches disk corruption
+        first; this guards the structure itself).
+        """
+        state = cls(
+            sketch_factory=sketch_factory,
+            interval_length=interval_length,
+            retention_intervals=retention_intervals,
+        )
+        reader = VarintReader(bytes(payload))
+        try:
+            version = reader.read_varint()
+            if version != _SNAPSHOT_STATE_VERSION:
+                raise DeserializationError(f"unsupported state snapshot version {version}")
+            merged_length = reader.read_varint()
+            if merged_length > reader.remaining:
+                raise DeserializationError("snapshot merged frame exceeds the payload")
+            state.registry.merge_frame(reader.read_bytes(merged_length))
+            max_bucket = reader.read_zigzag()
+            has_bucket = reader.read_varint()
+            state._max_bucket = max_bucket if has_bucket else None
+            num_windows = reader.read_varint()
+            if num_windows > reader.remaining:
+                raise DeserializationError("snapshot window count exceeds the payload")
+            for _ in range(num_windows):
+                bucket = reader.read_zigzag()
+                frame_length = reader.read_varint()
+                if frame_length > reader.remaining:
+                    raise DeserializationError("snapshot window frame exceeds the payload")
+                window = SketchRegistry(sketch_factory=sketch_factory)
+                window.merge_frame(reader.read_bytes(frame_length))
+                state._windows[bucket] = window
+            num_hosts = reader.read_varint()
+            if num_hosts > reader.remaining:
+                raise DeserializationError("snapshot host count exceeds the payload")
+            for _ in range(num_hosts):
+                host_length = reader.read_varint()
+                if host_length > reader.remaining:
+                    raise DeserializationError("snapshot host name exceeds the payload")
+                try:
+                    host = reader.read_bytes(host_length).decode("utf-8")
+                except UnicodeDecodeError as error:
+                    raise DeserializationError("snapshot host is not valid UTF-8") from error
+                num_sequences = reader.read_varint()
+                if num_sequences > reader.remaining + 1:
+                    raise DeserializationError("snapshot sequence count exceeds the payload")
+                sequences: Set[int] = set()
+                current = 0
+                for _ in range(num_sequences):
+                    current += reader.read_varint()
+                    sequences.add(current)
+                state._seen[host] = sequences
+            state.frames_applied = reader.read_varint()
+            state.duplicates_rejected = reader.read_varint()
+            tail = reader.read_bytes(8)
+            state.values_applied = struct.unpack("<d", tail)[0]
+            if not reader.exhausted:
+                raise DeserializationError(
+                    f"{reader.remaining} trailing bytes after the state snapshot"
+                )
+        except DeserializationError:
+            raise
+        except (ValueError, TypeError, KeyError) as error:
+            raise DeserializationError(f"malformed state snapshot: {error}") from error
+        return state
+
+    def stats(self) -> Dict[str, float]:
+        """Counters describing the state (mirrored by the STATS wire op)."""
+        return {
+            "num_series": float(self.registry.num_series),
+            "total_count": self.total_count(),
+            "frames_applied": float(self.frames_applied),
+            "duplicates_rejected": float(self.duplicates_rejected),
+            "values_applied": self.values_applied,
+            "window_buckets": float(len(self._windows)),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceState(num_series={self.registry.num_series}, "
+            f"frames_applied={self.frames_applied}, "
+            f"windows={len(self._windows)})"
+        )

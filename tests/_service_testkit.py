@@ -1,0 +1,97 @@
+"""Shared helpers for the aggregation-service test harness.
+
+Importable from any test module (pytest puts ``tests/`` on ``sys.path``):
+fault-injection file objects for the segment log's ``file_factory`` seam,
+frame/envelope builders, and a reference-state helper that mirrors what an
+uncrashed server would hold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ddsketch import DDSketch
+from repro.registry import SketchRegistry
+from repro.service.protocol import encode_push_envelope
+from repro.service.state import ServiceState
+
+
+class SimulatedCrash(Exception):
+    """Raised by a :class:`TornWriteFile` at its configured kill point."""
+
+
+class TornWriteFile:
+    """A file wrapper that dies mid-``write`` after a byte budget.
+
+    Once cumulative written bytes would exceed ``budget``, the write that
+    crosses the line lands only partially (the prefix up to the budget is
+    written and flushed — the bytes the OS had already accepted when the
+    process was killed) and :class:`SimulatedCrash` is raised.  This is the
+    torn-write fault the segment log's CRC must catch on replay.
+    """
+
+    def __init__(self, raw, budget: int, counter: dict) -> None:
+        self._raw = raw
+        self._budget = int(budget)
+        self._counter = counter
+
+    def write(self, data: bytes) -> int:
+        remaining = self._budget - self._counter["written"]
+        if len(data) > remaining:
+            self._raw.write(data[:remaining])
+            self._raw.flush()
+            self._counter["written"] = self._budget
+            raise SimulatedCrash(
+                f"killed after {self._budget} bytes ({len(data) - remaining} bytes torn off)"
+            )
+        self._raw.write(data)
+        self._counter["written"] += len(data)
+        return len(data)
+
+    def __getattr__(self, name):
+        return getattr(self._raw, name)
+
+
+def torn_write_factory(budget: int):
+    """A ``file_factory`` for :class:`~repro.service.SegmentLog` that tears
+    the write crossing ``budget`` cumulative bytes (across all segments)."""
+    counter = {"written": 0}
+
+    def _open(path, mode):
+        return TornWriteFile(open(path, mode), budget, counter)
+
+    return _open
+
+
+def make_frame(values, metric: str = "latency", tags=None, relative_accuracy: float = 0.01):
+    """One frame-v3 payload holding a single sketched series."""
+    registry = SketchRegistry(
+        sketch_factory=lambda: DDSketch(relative_accuracy=relative_accuracy)
+    )
+    registry.add_batch(metric, np.asarray(values, dtype=np.float64), tags=tags)
+    return registry.flush_frame()
+
+
+def make_envelope(
+    values,
+    host: str = "host-a",
+    sequence: int = 1,
+    interval_start: float = 0.0,
+    metric: str = "latency",
+    tags=None,
+):
+    """One serialized push envelope around a single-series frame."""
+    return encode_push_envelope(
+        make_frame(values, metric=metric, tags=tags),
+        host=host,
+        sequence=sequence,
+        interval_start=interval_start,
+    )
+
+
+def reference_state(envelopes, **state_kwargs) -> ServiceState:
+    """The uncrashed reference: every envelope applied in order, in memory."""
+    state = ServiceState(**state_kwargs)
+    for payload in envelopes:
+        state.apply_envelope_bytes(payload)
+    return state

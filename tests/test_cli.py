@@ -153,3 +153,112 @@ class TestSimulateCommand:
                 break
         else:  # pragma: no cover
             pytest.fail("--series-cardinality option not found")
+
+
+class TestServiceCommands:
+    def test_parser_help_lists_service_commands(self):
+        help_text = build_parser().format_help()
+        for command in ("serve", "push", "load-gen"):
+            assert command in help_text
+
+    def test_push_against_a_running_server(self, tmp_path):
+        from repro.service import ServiceClient, serve_in_thread
+
+        with serve_in_thread(data_dir=tmp_path) as handle:
+            _, port = handle.address
+            exit_code, output = run_cli(
+                ["push", "--port", str(port), "--metric", "cli.latency",
+                 "--tag", "env=prod", "--agent-host", "cli-test"],
+                "1.0\n2.0\n3.0\n",
+            )
+            assert exit_code == 0
+            assert "pushed 3 value(s)" in output
+            assert "seq 1" in output
+            with ServiceClient(*handle.address) as client:
+                stats = client.stats()
+                assert stats["total_count"] == 3.0
+                values = client.query_quantiles(
+                    "cli.latency", [0.5], tags={"env": "prod"}
+                )["values"]
+                assert values[0] > 0
+
+    def test_push_empty_input_fails(self, tmp_path):
+        from repro.service import serve_in_thread
+
+        with serve_in_thread() as handle:
+            exit_code, output = run_cli(["push", "--port", str(handle.address[1])], "")
+            assert exit_code == 1
+            assert "no values" in output
+
+    def test_push_rejects_malformed_tag(self, tmp_path):
+        from repro.service import serve_in_thread
+
+        with serve_in_thread() as handle:
+            with pytest.raises((SystemExit, Exception)):
+                run_cli(
+                    ["push", "--port", str(handle.address[1]), "--tag", "not-a-pair"],
+                    "1.0\n",
+                )
+
+    def test_serve_max_frames_accepts_then_exits(self, tmp_path):
+        import re
+        import threading
+
+        from repro.service import ServiceClient
+        from _service_testkit import make_frame
+
+        stdout = io.StringIO()
+        listening = threading.Event()
+
+        class _Stream:
+            """Forwards writes to the StringIO and flags the listen line."""
+
+            def write(self, text):
+                stdout.write(text)
+                if "listening on" in text:
+                    listening.set()
+                return len(text)
+
+            def flush(self):
+                pass
+
+        result = {}
+
+        def _serve():
+            result["code"] = main(
+                ["serve", "--data-dir", str(tmp_path), "--max-frames", "2"],
+                stdin=io.StringIO(),
+                stdout=_Stream(),
+            )
+
+        thread = threading.Thread(target=_serve, daemon=True)
+        thread.start()
+        assert listening.wait(timeout=30)
+        match = re.search(r"listening on ([\d.]+):(\d+)", stdout.getvalue())
+        assert match is not None
+        with ServiceClient(match.group(1), int(match.group(2))) as client:
+            client.push_frame(make_frame([1.0]), host="h")
+            client.push_frame(make_frame([2.0]), host="h")
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        output = stdout.getvalue()
+        assert "recovered 0 record(s)" in output
+        assert "served 2 frame(s)" in output
+
+    def test_load_gen_writes_the_artifact(self, tmp_path):
+        import json
+
+        from repro.evaluation.artifacts import validate_bench_artifact
+
+        output_path = tmp_path / "BENCH_service.json"
+        exit_code, output = run_cli(
+            ["load-gen", "--agents", "4", "--series", "2", "--intervals", "2",
+             "--values", "100", "--push-threads", "2", "--output", str(output_path)],
+        )
+        assert exit_code == 0
+        assert "values/sec" in output
+        assert f"wrote {output_path}" in output
+        document = json.loads(output_path.read_text(encoding="utf-8"))
+        validate_bench_artifact(document)
+        assert document["metrics"]["service_loadgen"]["reference_match"] is True

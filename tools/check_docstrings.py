@@ -30,6 +30,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "registry",
     REPO_ROOT / "src" / "repro" / "core" / "grouped.py",
+    REPO_ROOT / "src" / "repro" / "service",
+    REPO_ROOT / "src" / "repro" / "evaluation" / "artifacts.py",
 ]
 
 
