@@ -146,7 +146,8 @@ class ServiceClient:
 
     def next_sequence(self, host: str) -> int:
         """The sequence number the next pushed frame for ``host`` will get."""
-        return self._sequences.get(host, 0) + 1
+        with self._lock:
+            return self._sequences.get(host, 0) + 1
 
     def push_frame(
         self,
@@ -159,19 +160,24 @@ class ServiceClient:
 
         ``sequence`` defaults to a per-host counter maintained by this
         client; pass it explicitly to retransmit a specific identity or to
-        coordinate sequences across client instances.  The acknowledgement
-        carries ``duplicate: True`` when the server had already applied
-        this ``(host, sequence)``.
+        coordinate sequences across client instances.  The counter is
+        reserved under the client lock *before* the send, so concurrent
+        same-host pushes never share an identity, and a push that exhausts
+        its retries burns its sequence — the server may have applied the
+        frame without the ACK arriving, so reusing that identity for a
+        *different* frame would be silently deduplicated away.  The
+        acknowledgement carries ``duplicate: True`` when the server had
+        already applied this ``(host, sequence)``.
         """
         host = str(host)
-        if sequence is None:
-            sequence = self._sequences.get(host, 0) + 1
+        with self._lock:
+            if sequence is None:
+                sequence = self._sequences.get(host, 0) + 1
+            self._sequences[host] = max(self._sequences.get(host, 0), int(sequence))
         envelope = protocol.encode_push_envelope(
             frame, host=host, sequence=sequence, interval_start=interval_start
         )
-        ack = self._request(protocol.MSG_PUSH, envelope, retry=True)
-        self._sequences[host] = max(self._sequences.get(host, 0), int(sequence))
-        return ack
+        return self._request(protocol.MSG_PUSH, envelope, retry=True)
 
     def push_frames(
         self,

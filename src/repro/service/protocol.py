@@ -21,7 +21,7 @@ the record envelope around a frame-v3 payload::
     magic           2 bytes   b"DP"
     version         varint    1
     host            varint length + UTF-8 bytes (producer identity)
-    sequence        varint    per-host frame sequence number
+    sequence        varint    per-host frame sequence number (1-based)
     interval_start  8 bytes   IEEE-754 little-endian float
     frame           varint length + frame-v3 bytes (:mod:`repro.serialization.frame`)
 
@@ -186,8 +186,8 @@ def encode_push_envelope(
         raise IllegalArgumentError(
             f"envelope host of {len(host_bytes)} bytes exceeds the {MAX_HOST_BYTES} limit"
         )
-    if sequence < 0:
-        raise IllegalArgumentError(f"envelope sequence must be non-negative, got {sequence!r}")
+    if sequence < 1:
+        raise IllegalArgumentError(f"envelope sequence must be >= 1, got {sequence!r}")
     frame = bytes(frame)
     return (
         ENVELOPE_MAGIC

@@ -31,7 +31,12 @@ sufficient, paper Section 2.1).  The log is the classic write-ahead shape:
   region is copied to ``<segment>.quarantine-<offset>`` next to the log,
   recorded as a :class:`QuarantineEvent`, and replay resumes with the next
   segment (a later segment is strictly newer, so skipping the poisoned
-  tail of one segment cannot reorder surviving records).
+  tail of one segment cannot reorder surviving records).  A restarted
+  writer never appends into an existing segment file: a file whose head
+  was torn (so the scan found nothing replayable in it) is retired to
+  ``<segment>.quarantine-torn`` before its name is reused, so new
+  acknowledged records are never written behind garbage that replay
+  would quarantine wholesale.
 
 The log is storage only: it does not interpret payloads.  The service layers
 the push-envelope record format (:mod:`repro.service.protocol`) on top.
@@ -219,10 +224,47 @@ class SegmentLog:
     def _ensure_writer(self, first_sequence: int):
         if self._writer is None:
             path = self._directory / f"{_SEGMENT_PREFIX}{first_sequence:016d}{_SEGMENT_SUFFIX}"
+            self._retire_existing_segment(path)
             self._writer = self._file_factory(path, "ab")
             self._writer_path = path
-            self._writer_size = path.stat().st_size if path.exists() else 0
+            self._writer_size = 0
         return self._writer
+
+    def _retire_existing_segment(self, path: Path) -> None:
+        """Move aside any file already at ``path`` so appends start clean.
+
+        The target name can only be occupied when the startup scan found no
+        replayable record in it: a segment whose first record was torn by a
+        crash (or whose every record is already covered by a snapshot).
+        Appending to such a file would put freshly acknowledged records
+        *behind* the corrupt region, and the next replay would quarantine
+        them wholesale — silently losing acked data.  Instead the stale
+        bytes are quarantined under ``<segment>.quarantine-torn`` (empty
+        files are simply unlinked) and the segment is recreated from
+        scratch.
+        """
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return  # nothing at the target name: the common case
+        if size == 0:
+            path.unlink()
+            return
+        quarantine = path.with_name(f"{path.name}.quarantine-torn")
+        suffix = 0
+        while quarantine.exists():
+            suffix += 1
+            quarantine = path.with_name(f"{path.name}.quarantine-torn-{suffix}")
+        path.rename(quarantine)
+        self.last_replay.quarantined.append(
+            QuarantineEvent(
+                segment=path,
+                offset=0,
+                length=size,
+                reason="stale segment at the append target (torn first record)",
+                quarantine_path=quarantine,
+            )
+        )
 
     def rotate(self) -> Optional[Path]:
         """Close the current segment so the next append starts a fresh one.

@@ -277,10 +277,27 @@ class AggregationServer:
                 protocol.MSG_ERROR,
                 {"status": "error", "kind": type(error).__name__, "message": str(error)},
             )
+        except Exception as error:
+            # A handler bug (or request shape the handlers did not
+            # anticipate) must cost one ERROR reply, not the connection.
+            return protocol.encode_json_message(
+                protocol.MSG_ERROR,
+                {
+                    "status": "error",
+                    "kind": "ServiceError",
+                    "message": f"internal error: {type(error).__name__}: {error}",
+                },
+            )
 
     def _handle_push(self, payload: bytes) -> Dict[str, Any]:
         """Validate, dedup, persist, and apply one pushed envelope."""
         envelope = decode_push_envelope(payload, validate_frame=True)
+        if envelope.sequence < 1:
+            # Sequences are 1-based (the dedup watermark's zero state means
+            # "nothing applied"); reject loudly rather than dedup silently.
+            raise IllegalArgumentError(
+                f"envelope sequence must be >= 1, got {envelope.sequence!r}"
+            )
         self._bytes_received += len(payload)
         if self.state.is_duplicate(envelope.host, envelope.sequence):
             self.state.duplicates_rejected += 1
@@ -314,13 +331,29 @@ class AggregationServer:
             raise IllegalArgumentError(f"malformed query: {error}") from None
         if not isinstance(quantiles, list) or not quantiles:
             raise IllegalArgumentError("query quantiles must be a non-empty array")
+        try:
+            quantile_values = [float(quantile) for quantile in quantiles]
+        except (TypeError, ValueError):
+            raise IllegalArgumentError(
+                f"query quantiles must be numbers, got {quantiles!r}"
+            ) from None
+        window_start = body.get("window_start")
+        window_end = body.get("window_end")
+        try:
+            window_start = None if window_start is None else float(window_start)
+            window_end = None if window_end is None else float(window_end)
+        except (TypeError, ValueError):
+            raise IllegalArgumentError(
+                "query window_start/window_end must be numbers, got "
+                f"{body.get('window_start')!r}/{body.get('window_end')!r}"
+            ) from None
         values = self.state.quantiles(
             str(metric),
-            [float(quantile) for quantile in quantiles],
+            quantile_values,
             tags=body.get("tags"),
             tag_filter=body.get("tag_filter"),
-            window_start=body.get("window_start"),
-            window_end=body.get("window_end"),
+            window_start=window_start,
+            window_end=window_end,
         )
         return {"status": "ok", "metric": metric, "quantiles": quantiles, "values": values}
 

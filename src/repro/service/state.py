@@ -12,10 +12,14 @@ extended across process restarts).  It holds:
 * **windowed retention** — one registry per flush-interval bucket, bounded
   to the newest ``retention_intervals`` buckets, for "p99 over the last N
   intervals" queries without keeping unbounded history;
-* the **deduplication table** — per-host sets of applied envelope sequence
-  numbers, so a retransmitted ``(host, sequence)`` identity is applied at
-  most once (clients get at-least-once delivery, state gets exactly-once
-  application).
+* the **deduplication table** — a per-host high-watermark (every 1-based
+  sequence ``<= watermark`` was applied) plus a bounded set of
+  out-of-order sequences above it, so a retransmitted ``(host,
+  sequence)`` identity is applied at most once (clients get
+  at-least-once delivery, state gets exactly-once application) while the
+  table stays O(hosts), not O(frames ever applied): client sequences are
+  monotonic per host, so the watermark absorbs the contiguous prefix and
+  only in-flight reordering occupies memory.
 
 The whole state round-trips through an opaque snapshot payload
 (:meth:`ServiceState.to_snapshot` / :meth:`ServiceState.from_snapshot`)
@@ -41,7 +45,14 @@ from repro.serialization.encoding import (
 )
 from repro.service.protocol import PushEnvelope, decode_push_envelope
 
-_SNAPSHOT_STATE_VERSION = 1
+_SNAPSHOT_STATE_VERSION = 2
+
+#: How many out-of-order sequences above a host's watermark the dedup table
+#: tracks individually.  When a gap (a sequence a client burned without the
+#: server ever seeing it) would let the set grow past this, the watermark
+#: jumps over the oldest gap: a frame arriving more than this many identities
+#: late is treated as a duplicate — the documented reordering bound.
+DEDUP_WINDOW = 1024
 
 
 class ServiceState:
@@ -59,6 +70,9 @@ class ServiceState:
         Number of newest interval buckets retained for windowed queries;
         ``0`` disables window tracking entirely (the merged registry still
         accumulates everything).
+    dedup_window:
+        Out-of-order bound of the dedup table: at most this many applied
+        sequences above a host's watermark are tracked individually.
     """
 
     def __init__(
@@ -66,6 +80,7 @@ class ServiceState:
         sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
         interval_length: float = 1.0,
         retention_intervals: int = 64,
+        dedup_window: int = DEDUP_WINDOW,
     ) -> None:
         if interval_length <= 0:
             raise IllegalArgumentError(
@@ -75,13 +90,21 @@ class ServiceState:
             raise IllegalArgumentError(
                 f"retention_intervals must be non-negative, got {retention_intervals!r}"
             )
+        if dedup_window < 1:
+            raise IllegalArgumentError(
+                f"dedup_window must be positive, got {dedup_window!r}"
+            )
         self._sketch_factory = sketch_factory
         self._interval_length = float(interval_length)
         self._retention_intervals = int(retention_intervals)
+        self._dedup_window = int(dedup_window)
         self.registry = SketchRegistry(sketch_factory=sketch_factory)
         self._windows: Dict[int, SketchRegistry] = {}
         self._max_bucket: Optional[int] = None
-        self._seen: Dict[str, Set[int]] = {}
+        # Dedup table: per-host contiguous-prefix watermark + the applied
+        # sequences above it (out-of-order arrivals awaiting their gap).
+        self._seen_watermark: Dict[str, int] = {}
+        self._seen_ahead: Dict[str, Set[int]] = {}
         self.frames_applied = 0
         self.duplicates_rejected = 0
         self.values_applied = 0.0
@@ -101,8 +124,42 @@ class ServiceState:
         return self._retention_intervals
 
     def is_duplicate(self, host: str, sequence: int) -> bool:
-        """Whether the ``(host, sequence)`` identity was already applied."""
-        return sequence in self._seen.get(host, ())
+        """Whether the ``(host, sequence)`` identity was already applied.
+
+        Sequences are 1-based; everything at or below the host's watermark
+        counts as applied (including sequences the watermark jumped over
+        once the out-of-order window overflowed).
+        """
+        if sequence <= self._seen_watermark.get(host, 0):
+            return True
+        return sequence in self._seen_ahead.get(host, ())
+
+    def _mark_applied(self, host: str, sequence: int) -> None:
+        """Record one applied identity, compacting the contiguous prefix."""
+        watermark = self._seen_watermark.get(host, 0)
+        ahead = self._seen_ahead.get(host)
+        if sequence == watermark + 1:
+            watermark += 1
+        else:
+            if ahead is None:
+                ahead = self._seen_ahead[host] = set()
+            ahead.add(sequence)
+        if ahead:
+            while watermark + 1 in ahead:
+                ahead.remove(watermark + 1)
+                watermark += 1
+            while len(ahead) > self._dedup_window:
+                # A gap kept the set from draining (the sender burned a
+                # sequence): jump the watermark over the oldest gap so the
+                # table stays bounded.
+                watermark = min(ahead)
+                ahead.remove(watermark)
+                while watermark + 1 in ahead:
+                    ahead.remove(watermark + 1)
+                    watermark += 1
+            if not ahead:
+                del self._seen_ahead[host]
+        self._seen_watermark[host] = watermark
 
     def apply(self, envelope: PushEnvelope) -> int:
         """Fold one decoded envelope into the state; returns series merged.
@@ -118,7 +175,7 @@ class ServiceState:
             self.duplicates_rejected += 1
             return 0
         entries = decode_frame(envelope.frame)
-        self._seen.setdefault(envelope.host, set()).add(envelope.sequence)
+        self._mark_applied(envelope.host, envelope.sequence)
         bucket = self._bucket_of(envelope.interval_start)
         window = self._window_for(bucket)
         for key, sketch in entries:
@@ -229,15 +286,17 @@ class ServiceState:
             parts.append(encode_zigzag(bucket))
             parts.append(encode_varint(len(frame)))
             parts.append(frame)
-        parts.append(encode_varint(len(self._seen)))
-        for host in sorted(self._seen):
+        parts.append(encode_varint(len(self._seen_watermark)))
+        for host in sorted(self._seen_watermark):
             host_bytes = host.encode("utf-8")
             parts.append(encode_varint(len(host_bytes)))
             parts.append(host_bytes)
-            sequences = sorted(self._seen[host])
-            parts.append(encode_varint(len(sequences)))
-            previous = 0
-            for sequence in sequences:
+            watermark = self._seen_watermark[host]
+            parts.append(encode_varint(watermark))
+            ahead = sorted(self._seen_ahead.get(host, ()))
+            parts.append(encode_varint(len(ahead)))
+            previous = watermark
+            for sequence in ahead:
                 parts.append(encode_varint(sequence - previous))
                 previous = sequence
         parts.append(encode_varint(self.frames_applied))
@@ -252,6 +311,7 @@ class ServiceState:
         sketch_factory: Optional[Callable[[], BaseDDSketch]] = None,
         interval_length: float = 1.0,
         retention_intervals: int = 64,
+        dedup_window: int = DEDUP_WINDOW,
     ) -> "ServiceState":
         """Rebuild a state from :meth:`to_snapshot` output.
 
@@ -263,6 +323,7 @@ class ServiceState:
             sketch_factory=sketch_factory,
             interval_length=interval_length,
             retention_intervals=retention_intervals,
+            dedup_window=dedup_window,
         )
         reader = VarintReader(bytes(payload))
         try:
@@ -298,15 +359,23 @@ class ServiceState:
                     host = reader.read_bytes(host_length).decode("utf-8")
                 except UnicodeDecodeError as error:
                     raise DeserializationError("snapshot host is not valid UTF-8") from error
-                num_sequences = reader.read_varint()
-                if num_sequences > reader.remaining + 1:
+                watermark = reader.read_varint()
+                num_ahead = reader.read_varint()
+                if num_ahead > reader.remaining + 1:
                     raise DeserializationError("snapshot sequence count exceeds the payload")
-                sequences: Set[int] = set()
-                current = 0
-                for _ in range(num_sequences):
-                    current += reader.read_varint()
-                    sequences.add(current)
-                state._seen[host] = sequences
+                ahead: Set[int] = set()
+                current = watermark
+                for _ in range(num_ahead):
+                    delta = reader.read_varint()
+                    if delta < 1:
+                        raise DeserializationError(
+                            "snapshot dedup sequences are not strictly increasing"
+                        )
+                    current += delta
+                    ahead.add(current)
+                state._seen_watermark[host] = watermark
+                if ahead:
+                    state._seen_ahead[host] = ahead
             state.frames_applied = reader.read_varint()
             state.duplicates_rejected = reader.read_varint()
             tail = reader.read_bytes(8)

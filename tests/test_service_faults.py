@@ -108,6 +108,30 @@ class TestTornWrites:
         assert "CRC" in event.reason or "magic" in event.reason
         assert event.quarantine_path.read_bytes() == bytes(data[record_size:])
 
+    def test_restart_never_appends_into_a_torn_headed_segment(self, tmp_path):
+        # A crash tears the FIRST record of a segment: the restart scan
+        # finds nothing replayable in it, so the next append targets the
+        # same segment filename.  Appending there would put freshly acked
+        # records behind the garbage — and the next replay would
+        # quarantine them wholesale.  The log must retire the stale file
+        # instead.
+        _fill_log(tmp_path, _envelopes(1)).close()
+        segment = SegmentLog(tmp_path).segment_paths()[0]
+        segment.write_bytes(segment.read_bytes()[:7])  # tear mid-header
+
+        restarted = SegmentLog(tmp_path)
+        acked = make_envelope([42.0], host="h", sequence=1)
+        restarted.append(acked)
+        restarted.close()
+
+        recovered = SegmentLog(tmp_path)
+        replayed = [record.payload for record in recovered.replay()]
+        assert replayed == [acked]  # the acknowledged record replays
+        # The stale torn bytes were preserved next to the log, not buried.
+        quarantined = list(tmp_path.glob("*.quarantine-torn"))
+        assert len(quarantined) == 1
+        assert quarantined[0].stat().st_size == 7
+
     def test_corruption_in_old_segment_spares_newer_segments(self, tmp_path):
         envelopes = _envelopes(6)
         log = _fill_log(tmp_path, envelopes[:3], max_segment_bytes=1)  # rotate every append
@@ -237,6 +261,105 @@ class TestDeliveryFaults:
         replayed = list(SegmentLog(tmp_path).replay())
         assert len(replayed) == 1
         assert replayed[0].payload == good
+
+    def test_failed_push_burns_its_sequence(self):
+        with serve_in_thread() as handle:
+            with ServiceClient(*handle.address, retries=0) as client:
+                assert client.push_frame(make_frame([1.0]), host="h")["sequence"] == 1
+
+                def _failing_request(message_type, payload, retry):
+                    raise ServiceError("injected transport failure")
+
+                original = client._request
+                client._request = _failing_request
+                with pytest.raises(ServiceError):
+                    client.push_frame(make_frame([2.0]), host="h")
+                client._request = original
+                # The server may have applied the failed push without the
+                # ACK arriving, so its sequence is burned: the next
+                # *different* frame gets a fresh identity instead of being
+                # silently deduplicated against a possibly-applied one.
+                assert client.next_sequence("h") == 3
+                ack = client.push_frame(make_frame([3.0]), host="h")
+                assert ack["sequence"] == 3
+                assert ack["duplicate"] is False
+
+    def test_concurrent_same_host_pushes_never_collide(self):
+        import threading
+
+        with serve_in_thread() as handle:
+            with ServiceClient(*handle.address) as client:
+                errors = []
+
+                def _worker(value):
+                    try:
+                        ack = client.push_frame(make_frame([value]), host="h")
+                        assert ack["duplicate"] is False
+                    except Exception as error:  # surfaced after the join
+                        errors.append(error)
+
+                threads = [
+                    threading.Thread(target=_worker, args=(float(index + 1),))
+                    for index in range(16)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                stats = client.stats()
+            assert not errors
+            assert stats["frames_applied"] == 16.0
+            assert stats["duplicates_rejected"] == 0.0
+
+    def test_malformed_query_values_get_an_error_reply_not_a_hangup(self):
+        import json
+        import socket
+
+        from repro.service import protocol
+
+        with serve_in_thread() as handle:
+            with socket.create_connection(handle.address, timeout=10) as sock:
+                for body in (
+                    {"metric": "latency", "quantiles": ["abc"]},
+                    {"metric": "latency", "quantiles": [0.5], "window_start": "abc"},
+                    {"metric": "latency", "quantiles": [0.5], "window_end": {}},
+                ):
+                    payload = json.dumps(body).encode("utf-8")
+                    reply_type, reply = protocol.request(sock, protocol.MSG_QUERY, payload)
+                    assert reply_type == protocol.MSG_ERROR
+                    kind = protocol.decode_json_body(reply)["kind"]
+                    assert kind == "IllegalArgumentError"
+                # The same connection still serves well-formed requests.
+                reply_type, _ = protocol.request(sock, protocol.MSG_PING, b"")
+                assert reply_type == protocol.MSG_OK
+
+    def test_sub_one_sequence_is_rejected_not_silently_deduped(self):
+        import socket
+        import struct
+
+        from repro.service import protocol
+        from repro.service.protocol import ENVELOPE_MAGIC, ENVELOPE_VERSION
+        from repro.serialization.encoding import encode_varint
+
+        # Hand-build a sequence-0 envelope (the client-side encoder now
+        # rejects them): the server must answer with an explicit error,
+        # never treat an unseen frame as a duplicate.
+        frame = make_frame([1.0])
+        envelope = (
+            ENVELOPE_MAGIC
+            + encode_varint(ENVELOPE_VERSION)
+            + encode_varint(1)
+            + b"h"
+            + encode_varint(0)  # sequence 0
+            + struct.pack("<d", 0.0)
+            + encode_varint(len(frame))
+            + frame
+        )
+        with serve_in_thread() as handle:
+            with socket.create_connection(handle.address, timeout=10) as sock:
+                reply_type, reply = protocol.request(sock, protocol.MSG_PUSH, envelope)
+                assert reply_type == protocol.MSG_ERROR
+                assert protocol.decode_json_body(reply)["kind"] == "IllegalArgumentError"
 
     def test_unframed_garbage_gets_one_error_reply_then_disconnect(self, tmp_path):
         import socket

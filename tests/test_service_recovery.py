@@ -159,3 +159,50 @@ def test_snapshot_round_trip_is_bit_exact(operations):
     for host, last in sequences.items():
         for sequence in range(1, last + 1):
             assert restored.is_duplicate(host, sequence)
+
+
+class TestDedupTableBounds:
+    """The dedup table is O(hosts), not O(frames ever applied)."""
+
+    def test_watermark_absorbs_contiguous_sequences(self):
+        state = ServiceState(retention_intervals=0)
+        for sequence in range(1, 201):
+            state.apply_envelope_bytes(_build_envelope("h", [1.0], 0, False, sequence))
+        assert state._seen_watermark == {"h": 200}
+        assert state._seen_ahead == {}  # no out-of-order residue retained
+        for sequence in range(1, 201):
+            assert state.is_duplicate("h", sequence)
+        assert not state.is_duplicate("h", 201)
+
+    def test_out_of_order_arrivals_drain_into_the_watermark(self):
+        state = ServiceState(retention_intervals=0)
+        for sequence in (3, 1, 4, 2):
+            state.apply_envelope_bytes(_build_envelope("h", [1.0], 0, False, sequence))
+        assert state._seen_watermark == {"h": 4}
+        assert state._seen_ahead == {}
+
+    def test_gap_overflow_jumps_the_watermark(self):
+        state = ServiceState(retention_intervals=0, dedup_window=4)
+        # Sequence 1 was burned by the client (never delivered); later
+        # pushes arrive in order above the permanent gap.
+        for sequence in range(2, 12):
+            state.apply_envelope_bytes(_build_envelope("h", [1.0], 0, False, sequence))
+        assert state.frames_applied == 10
+        assert len(state._seen_ahead.get("h", ())) <= 4
+        # Every applied identity still dedups, and the jumped-over gap is
+        # treated as a duplicate — the documented reordering bound.
+        for sequence in range(1, 12):
+            assert state.is_duplicate("h", sequence)
+
+    def test_snapshot_size_does_not_grow_with_applied_frames(self):
+        def _snapshot_after(frames):
+            state = ServiceState(retention_intervals=0)
+            for sequence in range(1, frames + 1):
+                state.apply_envelope_bytes(_build_envelope("h", [1.0], 0, False, sequence))
+            return state.to_snapshot()
+
+        small, large = _snapshot_after(50), _snapshot_after(1500)
+        # Identical values, so the registry side is constant: the only
+        # growth allowed is a few varint counter bytes, never a
+        # per-sequence dedup list.
+        assert len(large) - len(small) < 16
