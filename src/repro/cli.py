@@ -26,16 +26,26 @@ Four subcommands cover the common workflows:
     Run the cross-process aggregation server: accepts frame-v3 pushes over a
     length-prefixed socket protocol, persists every accepted frame to a
     crash-recoverable segment log under ``--data-dir``, and replays to a
-    bit-exact state on restart.
+    bit-exact state on restart.  Overload posture is tunable:
+    ``--max-inflight`` / ``--max-connections`` bound the admission gate,
+    ``--idle-timeout`` reaps stalled connections, ``--drain-timeout`` bounds
+    the graceful shutdown, and ``--max-message-bytes`` rejects hostile
+    length prefixes before any allocation.
 
 ``push``
     Read one number per line, sketch the values, and push the resulting
     frame to a running ``serve`` instance — the smallest possible agent.
+    ``--retries`` / ``--deadline`` bound the attempt budget, and with
+    ``--spool-dir`` a push that still fails is parked in a durable
+    :class:`~repro.service.FrameSpool` (and replayed on the next run).
 
 ``load-gen``
     Run the agent-fleet load generator against a freshly started in-process
     server and write the measured end-to-end frames/sec and values/sec to
-    ``BENCH_service.json`` (shared benchmark-artifact schema).
+    ``BENCH_service.json`` (shared benchmark-artifact schema).  With
+    ``--overload``, run the graceful-degradation benchmark instead — fleet
+    at 1x and 2x admission capacity plus an outage-spool replay — and write
+    ``BENCH_overload.json``.
 
 ``simulate``
     Run the Section 1 monitoring fleet end to end — agents sketching skewed
@@ -250,6 +260,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="exit after accepting N frames (0 = serve until interrupted; used by tests)",
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission gate: concurrent pushes beyond this are shed with OVERLOADED (default: 64)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=256,
+        help="connections beyond this get one OVERLOADED reply and are closed (default: 256)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="seconds a connection may sit without a complete message before it is reaped (default: 300)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        help="seconds a graceful shutdown waits for in-flight requests (default: 5)",
+    )
+    serve.add_argument(
+        "--max-message-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="reject inbound messages whose length prefix exceeds this (default: 64 MiB)",
+    )
 
     push = subparsers.add_parser(
         "push", help="sketch numbers from a file or stdin and push one frame to a server"
@@ -279,6 +319,26 @@ def build_parser() -> argparse.ArgumentParser:
     push.add_argument(
         "--relative-accuracy", type=float, default=0.01, help="alpha (default: 0.01)"
     )
+    push.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retransmissions after a transport failure or OVERLOADED reply (default: 2)",
+    )
+    push.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="overall per-call budget in seconds across all retries (default: none)",
+    )
+    push.add_argument(
+        "--spool-dir",
+        default=None,
+        help=(
+            "durable spool directory: a push that fails after its retries is "
+            "parked here (and previously spooled frames are replayed first)"
+        ),
+    )
 
     load_gen = subparsers.add_parser(
         "load-gen",
@@ -307,9 +367,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     load_gen.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
     load_gen.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "run the graceful-degradation benchmark instead: fleet at 1x and 2x "
+            "admission capacity plus an outage-spool replay phase "
+            "(writes BENCH_overload.json)"
+        ),
+    )
+    load_gen.add_argument(
         "--output",
-        default="BENCH_service.json",
-        help="benchmark artifact path (default: BENCH_service.json)",
+        default=None,
+        help="benchmark artifact path (default: BENCH_service.json, or BENCH_overload.json with --overload)",
     )
 
     return parser
@@ -468,6 +537,11 @@ def _run_serve(args: argparse.Namespace, stdout) -> int:
             max_segment_bytes=args.segment_bytes,
             snapshot_every=args.snapshot_every,
             fsync=args.fsync,
+            max_inflight_pushes=args.max_inflight,
+            max_connections=args.max_connections,
+            idle_timeout=args.idle_timeout,
+            drain_timeout=args.drain_timeout,
+            max_message_bytes=args.max_message_bytes,
         )
         await server.start()
         recovery = server.last_recovery
@@ -512,8 +586,9 @@ def _parse_tags(raw_tags: List[str]) -> dict:
 
 
 def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
+    from repro.exceptions import ServiceError
     from repro.registry import SketchRegistry
-    from repro.service import ServiceClient
+    from repro.service import FrameSpool, ServiceClient
 
     tags = _parse_tags(args.tag)
     registry = SketchRegistry(
@@ -524,29 +599,94 @@ def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
         print("no values read", file=stdout)
         return 1
     registry.add_batch(args.metric, np.asarray(values, dtype=np.float64), tags=tags or None)
-    with ServiceClient(args.host, args.port) as client:
-        ack = client.push_frame(
-            registry.flush_frame(),
-            host=args.agent_host,
-            interval_start=args.interval_start,
-        )
-        stats = client.stats()
+    spool = FrameSpool(args.spool_dir) if args.spool_dir is not None else None
+    try:
+        with ServiceClient(
+            args.host, args.port, retries=args.retries, deadline=args.deadline
+        ) as client:
+            if spool is not None and spool.pending:
+                try:
+                    replayed = spool.drain(client.push_envelope)
+                    print(f"replayed {replayed} spooled frame(s)", file=stdout)
+                except ServiceError:
+                    print(f"server unreachable; {spool.pending} frame(s) still spooled", file=stdout)
+            # Each CLI run is a fresh producer incarnation with no durable
+            # sequence state: seed the sequence from the wall clock so it
+            # lands above anything an earlier run (or a spooled envelope
+            # about to be replayed) already burned for this identity, while
+            # in-run retransmits still reuse the same envelope and dedup
+            # exactly-once.
+            import time as _time
+
+            envelope = client.build_envelope(
+                registry.flush_frame(),
+                host=args.agent_host,
+                interval_start=args.interval_start,
+                sequence=max(
+                    client.next_sequence(args.agent_host), int(_time.time() * 1000)
+                ),
+            )
+            try:
+                ack = client.push_envelope(envelope)
+            except ServiceError as error:
+                if spool is None:
+                    raise
+                spooled = spool.offer(envelope)
+                print(
+                    f"push failed ({error}); frame "
+                    + ("spooled for replay" if spooled else "dropped (spool budget exceeded)"),
+                    file=stdout,
+                )
+                return 0 if spooled else 2
+            # The push is the operation; the stats line is informational.
+            # A server that goes away between the ACK and this call must
+            # not turn a successful push into a failure.
+            try:
+                stats = client.stats()
+            except ServiceError:
+                stats = None
+    finally:
+        if spool is not None:
+            spool.close()
     print(
         f"pushed {len(values)} value(s) as ({ack['host']}, seq {ack['sequence']})"
         + (" [duplicate]" if ack["duplicate"] else ""),
         file=stdout,
     )
-    print(
-        f"server now holds {stats['num_series']:.0f} series, "
-        f"{stats['total_count']:.0f} values",
-        file=stdout,
-    )
+    if stats is not None:
+        print(
+            f"server now holds {stats['num_series']:.0f} series, "
+            f"{stats['total_count']:.0f} values",
+            file=stdout,
+        )
     return 0
 
 
 def _run_load_gen(args: argparse.Namespace, stdout) -> int:
     from repro.evaluation.artifacts import write_bench_artifact
-    from repro.service.loadgen import run_load_generator
+    from repro.service.loadgen import run_load_generator, run_overload_benchmark
+
+    if args.overload:
+        sections = run_overload_benchmark(seed=args.seed)
+        at_1x, at_2x = sections["capacity_1x"], sections["capacity_2x"]
+        spool = sections["outage_spool"]
+        rows = [
+            ["1x frames/sec", f"{at_1x['frames_per_sec']:.0f}"],
+            ["1x shed rate", f"{at_1x['shed_rate']:.3f}"],
+            ["2x frames/sec", f"{at_2x['frames_per_sec']:.0f}"],
+            ["2x shed rate", f"{at_2x['shed_rate']:.3f}"],
+            ["2x push p99", f"{at_2x['push_p99_ms']:.1f} ms"],
+            ["2x ping p99", f"{at_2x.get('ping_p99_ms', 0.0):.1f} ms"],
+            ["frames spooled", f"{spool['frames_spooled']}"],
+            ["frames recovered", f"{spool['frames_recovered']}"],
+            ["frames dropped", f"{spool['frames_dropped']}"],
+        ]
+        print(format_table(["statistic", "value"], rows), file=stdout)
+        output = args.output if args.output is not None else "BENCH_overload.json"
+        for name, metrics in sections.items():
+            path = write_bench_artifact(output, "overload", name, metrics)
+        print(f"wrote {path}", file=stdout)
+        return 0
 
     metrics = run_load_generator(
         num_agents=args.agents,
@@ -569,7 +709,8 @@ def _run_load_gen(args: argparse.Namespace, stdout) -> int:
         ["MB/sec", f"{metrics['mb_per_sec']:.2f}"],
     ]
     print(format_table(["statistic", "value"], rows), file=stdout)
-    path = write_bench_artifact(args.output, "service", "service_loadgen", metrics)
+    output = args.output if args.output is not None else "BENCH_service.json"
+    path = write_bench_artifact(output, "service", "service_loadgen", metrics)
     print(f"wrote {path}", file=stdout)
     return 0
 

@@ -57,3 +57,36 @@ class ServiceError(ReproError, RuntimeError):
     :class:`EmptySketchError`, a corrupt payload still raises
     :class:`DeserializationError`.
     """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The server shed the request at its admission gate.
+
+    The server was healthy but at capacity (too many in-flight durable
+    pushes or too many open connections) and refused the request instead of
+    queueing it unboundedly.  :attr:`retry_after` carries the server's hint,
+    in seconds, for when a retry is worth attempting; the retrying
+    :class:`~repro.service.ServiceClient` honors it automatically.  Load
+    shedding is not a transport failure: it never trips the client's
+    circuit breaker.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        #: Server-suggested delay in seconds before retrying.
+        self.retry_after = max(0.0, float(retry_after))
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open: the request failed fast.
+
+    After ``breaker_threshold`` consecutive transport failures the
+    :class:`~repro.service.ServiceClient` stops dialing the server for a
+    cooldown period so a fleet of agents does not hammer a struggling
+    server with connection storms.  Calls made while the breaker is open
+    raise this error immediately (no socket I/O); after the cooldown a
+    half-open probe (one ``ping``) decides whether to close the breaker.
+    Callers holding data should treat this exactly like
+    :class:`ServiceError` — e.g. divert frames to a
+    :class:`~repro.service.FrameSpool`.
+    """

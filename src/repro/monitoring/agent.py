@@ -34,7 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.ddsketch import BaseDDSketch, DDSketch
-from repro.exceptions import IllegalArgumentError
+from repro.exceptions import IllegalArgumentError, ServiceError
 from repro.registry import SeriesKey, ShardedRegistry, SketchRegistry
 from repro.registry.series import SeriesLike, TagsLike
 
@@ -301,7 +301,7 @@ class MetricAgent:
         self._records = 0
         return payloads
 
-    def push_frames(self, client, interval_start: float) -> List[dict]:
+    def push_frames(self, client, interval_start: float, spool=None) -> List[dict]:
         """Flush and push every pending frame to an aggregation service.
 
         The cross-process flush: the agent's series population leaves as
@@ -313,22 +313,50 @@ class MetricAgent:
         deduplicating sequence number.  Returns the server
         acknowledgements; an agent with no data returns an empty list.
         The client retransmits timed-out pushes with the same sequence
-        number and the server deduplicates, so retries never double count;
-        a push that still fails after its retries raises
-        :class:`~repro.exceptions.ServiceError` (local state was already
-        reset by the flush — treat an unrecoverable transport failure as
-        dropped samples, exactly like a lost UDP flush in the paper's
-        deployment).
+        number and the server deduplicates, so retries never double count.
+
+        Without a ``spool``, a push that still fails after its retries
+        raises :class:`~repro.exceptions.ServiceError` (local state was
+        already reset by the flush — treat an unrecoverable transport
+        failure as dropped samples, exactly like a lost UDP flush in the
+        paper's deployment).  With a
+        :class:`~repro.service.FrameSpool`, the failed envelope is spooled
+        to disk instead — its acknowledgement entry reads ``{"status":
+        "spooled", ...}`` — and any envelopes already spooled are drained
+        first, so frames from a past outage arrive before this interval's.
+        An envelope the spool's byte budget forces out is *counted* in the
+        spool's ``frames_dropped``, never lost silently.
         """
-        payloads = self.flush_shard_frames(interval_start)
-        return [
-            client.push_frame(
+        acks: List[dict] = []
+        if spool is not None and spool.pending:
+            # Recovery path first: older spooled envelopes should land
+            # before this interval's frames.  A still-down server just
+            # leaves them spooled for the next flush.
+            try:
+                spool.drain(client.push_envelope)
+            except ServiceError:
+                pass
+        for payload in self.flush_shard_frames(interval_start):
+            envelope = client.build_envelope(
                 payload.payload,
                 host=payload.host,
                 interval_start=payload.interval_start,
             )
-            for payload in payloads
-        ]
+            if spool is None:
+                acks.append(client.push_envelope(envelope))
+                continue
+            try:
+                acks.append(client.push_envelope(envelope))
+            except ServiceError:
+                spooled = spool.offer(envelope)
+                acks.append(
+                    {
+                        "status": "spooled" if spooled else "dropped",
+                        "host": payload.host,
+                        "spooled": spooled,
+                    }
+                )
+        return acks
 
     def __repr__(self) -> str:
         return f"MetricAgent(host={self._host!r}, pending_metrics={self.pending_metrics})"

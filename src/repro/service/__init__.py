@@ -19,9 +19,13 @@ Layers, bottom up:
 * :mod:`repro.service.state` — merged registry + windowed retention +
   ``(host, sequence)`` deduplication;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the asyncio
-  server and the blocking, retrying client;
+  server (admission gate, connection deadlines, single-writer durable
+  appends, graceful drain) and the blocking client (jittered backoff,
+  deadline budget, circuit breaker);
+* :mod:`repro.service.spool` — the agent-side store-and-forward disk spool
+  that buffers envelopes across server outages under a byte budget;
 * :mod:`repro.service.loadgen` — the agent-fleet load generator emitting
-  ``BENCH_service.json``.
+  ``BENCH_service.json`` and ``BENCH_overload.json``.
 
 Start one in-process and push to it::
 
@@ -56,10 +60,12 @@ from repro.service.server import (
     ServerThread,
     serve_in_thread,
 )
+from repro.service.spool import FrameSpool
 from repro.service.state import ServiceState
 
 __all__ = [
     "AggregationServer",
+    "FrameSpool",
     "LogRecord",
     "PushEnvelope",
     "QuarantineEvent",

@@ -11,8 +11,9 @@ followed by an opaque payload::
 
 Requests (client -> server): ``PUSH`` (payload is a *push envelope*, below),
 ``QUERY``/``STATS``/``SNAPSHOT`` (payload is a UTF-8 JSON object, possibly
-empty), and ``PING`` (empty payload).  Responses (server -> client): ``OK``
-and ``ERROR``, both carrying a UTF-8 JSON object.
+empty), and ``PING`` (empty payload).  Responses (server -> client): ``OK``,
+``ERROR``, and ``OVERLOADED`` (the admission gate shed the request; the body
+carries a ``retry_after`` hint in seconds), all carrying a UTF-8 JSON object.
 
 A **push envelope** is the unit the service both receives on the wire and
 persists verbatim in its segment log (:mod:`repro.service.segment_log`) —
@@ -59,9 +60,14 @@ MSG_STATS = 0x05
 #: Message types (server -> client).
 MSG_OK = 0x10
 MSG_ERROR = 0x11
+#: The server shed the request at its admission gate.  The JSON body carries
+#: ``kind``/``message`` like an ERROR reply plus a ``retry_after`` hint in
+#: seconds — an explicit "healthy but at capacity, come back later" signal,
+#: distinct from ERROR so clients can back off instead of failing.
+MSG_OVERLOADED = 0x12
 
 _KNOWN_TYPES = frozenset(
-    (MSG_PUSH, MSG_QUERY, MSG_PING, MSG_SNAPSHOT, MSG_STATS, MSG_OK, MSG_ERROR)
+    (MSG_PUSH, MSG_QUERY, MSG_PING, MSG_SNAPSHOT, MSG_STATS, MSG_OK, MSG_ERROR, MSG_OVERLOADED)
 )
 
 #: Ceiling on one message payload.  A frame of 10k series at 1% alpha is a
@@ -86,8 +92,16 @@ def encode_message(message_type: int, payload: bytes = b"") -> bytes:
     return _HEADER.pack(MESSAGE_MAGIC, message_type, len(payload)) + payload
 
 
-def decode_header(header: bytes) -> Tuple[int, int]:
-    """Validate a 7-byte message header; returns ``(type, payload_length)``."""
+def decode_header(header: bytes, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+    """Validate a 7-byte message header; returns ``(type, payload_length)``.
+
+    The declared payload length is checked *before* any payload bytes are
+    read or buffered: a hostile or corrupt length prefix is rejected with
+    :class:`DeserializationError` instead of attempting a multi-GB
+    allocation.  ``max_bytes`` tightens the ceiling below the protocol-wide
+    :data:`MAX_MESSAGE_BYTES` (servers cap inbound messages well under the
+    absolute limit; replies are never larger than requests).
+    """
     if len(header) != _HEADER.size:
         raise DeserializationError(
             f"message header must be {_HEADER.size} bytes, got {len(header)}"
@@ -97,33 +111,37 @@ def decode_header(header: bytes) -> Tuple[int, int]:
         raise DeserializationError("message does not start with the service magic bytes")
     if message_type not in _KNOWN_TYPES:
         raise DeserializationError(f"unknown message type 0x{message_type:02x}")
-    if length > MAX_MESSAGE_BYTES:
+    limit = MAX_MESSAGE_BYTES if max_bytes is None else min(int(max_bytes), MAX_MESSAGE_BYTES)
+    if length > limit:
         raise DeserializationError(
-            f"message length {length} exceeds the {MAX_MESSAGE_BYTES} limit"
+            f"message length {length} exceeds the {limit} limit"
         )
     return message_type, length
 
 
-async def read_message(reader) -> Tuple[int, bytes]:
+async def read_message(reader, max_bytes: Optional[int] = None) -> Tuple[int, bytes]:
     """Read one framed message from an :mod:`asyncio` stream reader.
 
     Returns ``(type, payload)``; raises :class:`DeserializationError` for a
-    malformed header and ``asyncio.IncompleteReadError`` at a clean EOF.
+    malformed header (including a length prefix above ``max_bytes``, checked
+    before reading the payload) and ``asyncio.IncompleteReadError`` at a
+    clean EOF.
     """
     header = await reader.readexactly(_HEADER.size)
-    message_type, length = decode_header(header)
+    message_type, length = decode_header(header, max_bytes=max_bytes)
     payload = await reader.readexactly(length) if length else b""
     return message_type, payload
 
 
-def read_message_blocking(sock: socket.socket) -> Tuple[int, bytes]:
+def read_message_blocking(sock: socket.socket, max_bytes: Optional[int] = None) -> Tuple[int, bytes]:
     """Read one framed message from a blocking socket.
 
     Returns ``(type, payload)``.  Raises :class:`DeserializationError` for a
-    malformed header or a connection that closes mid-message.
+    malformed header (including a length prefix above ``max_bytes``) or a
+    connection that closes mid-message.
     """
     header = _recv_exactly(sock, _HEADER.size)
-    message_type, length = decode_header(header)
+    message_type, length = decode_header(header, max_bytes=max_bytes)
     payload = _recv_exactly(sock, length) if length else b""
     return message_type, payload
 

@@ -21,7 +21,25 @@ registry whose ``to_frame()`` bytes are identical to the pre-crash server's
 (full mergeability, Section 2.1 — pinned by ``tests/test_service_faults.py``
 and ``tests/test_service_recovery.py``).
 
-The event loop is single-threaded, so handlers mutate state without locks;
+The event loop is single-threaded, so handlers mutate state without locks.
+Durable appends (the only blocking I/O on the accept path) run on a
+dedicated **single-writer executor thread**: the event loop stays responsive
+— a concurrent ``PING`` answers immediately while a large fsync-ed push is
+in flight — while appends stay strictly serialized, so apply order equals
+log order and recovery stays bit-exact.  The server degrades gracefully
+instead of queueing unboundedly under overload:
+
+* an **admission gate** sheds pushes beyond ``max_inflight_pushes`` and
+  connections beyond ``max_connections`` with an explicit ``OVERLOADED``
+  reply carrying a ``retry_after`` hint (never a hang, never an unbounded
+  queue);
+* **per-connection deadlines** reap idle or slow-loris clients
+  (``idle_timeout`` covers the whole read, header and payload) and
+  slow-consumer clients that stop reading replies (``write_timeout``);
+* **graceful drain shutdown** stops accepting, lets in-flight requests
+  finish (bounded by ``drain_timeout``), then flushes the log — and writes
+  a final compacted snapshot when automatic snapshots are enabled.
+
 :func:`serve_in_thread` runs the whole server on a background thread for
 tests, the CLI, and the load generator.
 """
@@ -31,6 +49,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -39,6 +58,7 @@ from repro.exceptions import (
     EmptySketchError,
     IllegalArgumentError,
     ReproError,
+    ServiceOverloadedError,
 )
 from repro.service import protocol
 from repro.service.protocol import PushEnvelope, decode_push_envelope
@@ -74,6 +94,36 @@ class AggregationServer:
         Write a compacted snapshot (and compact covered segments) after
         every N accepted frames; ``0`` disables automatic snapshots (the
         ``SNAPSHOT`` wire op still triggers one on demand).
+    max_inflight_pushes:
+        Admission gate: pushes arriving while this many are already being
+        appended/applied are shed with an ``OVERLOADED`` reply instead of
+        queueing unboundedly behind the log writer.
+    max_connections:
+        Concurrent-connection cap; a connection beyond it receives one
+        ``OVERLOADED`` reply and is closed.
+    idle_timeout:
+        Per-connection read deadline in seconds: a client that sends no
+        complete message within it (idle, or slow-loris dribbling header
+        bytes) is disconnected.  ``None`` disables the deadline.
+    write_timeout:
+        Per-reply drain deadline in seconds: a client that stops reading
+        replies (slow consumer) is disconnected instead of pinning buffer
+        memory.  ``None`` disables the deadline.
+    drain_timeout:
+        Graceful-shutdown bound in seconds: stop accepting, wait this long
+        for in-flight requests to finish, then cancel whatever remains.
+        ``None`` waits indefinitely.
+    overload_retry_after:
+        The ``retry_after`` hint, in seconds, carried by ``OVERLOADED``
+        replies.
+    max_message_bytes:
+        Inbound wire-message ceiling; a length prefix above it is rejected
+        with a ``DeserializationError`` reply *before* any payload is read.
+        Clamped to the protocol-wide limit.
+    log_file_factory:
+        Forwarded to the :class:`SegmentLog` ``file_factory`` seam — the
+        fault-injection/throttling hook used by the chaos tests and the
+        overload benchmark.
     """
 
     def __init__(
@@ -87,10 +137,41 @@ class AggregationServer:
         max_segment_bytes: int = 4 * 1024 * 1024,
         snapshot_every: int = 0,
         fsync: bool = False,
+        max_inflight_pushes: int = 64,
+        max_connections: int = 256,
+        idle_timeout: Optional[float] = 300.0,
+        write_timeout: Optional[float] = 30.0,
+        drain_timeout: Optional[float] = 5.0,
+        overload_retry_after: float = 0.05,
+        max_message_bytes: int = protocol.MAX_MESSAGE_BYTES,
+        log_file_factory=None,
     ) -> None:
         if snapshot_every < 0:
             raise IllegalArgumentError(
                 f"snapshot_every must be non-negative, got {snapshot_every!r}"
+            )
+        if max_inflight_pushes < 1:
+            raise IllegalArgumentError(
+                f"max_inflight_pushes must be positive, got {max_inflight_pushes!r}"
+            )
+        if max_connections < 1:
+            raise IllegalArgumentError(
+                f"max_connections must be positive, got {max_connections!r}"
+            )
+        for name, value in (
+            ("idle_timeout", idle_timeout),
+            ("write_timeout", write_timeout),
+            ("drain_timeout", drain_timeout),
+        ):
+            if value is not None and value <= 0:
+                raise IllegalArgumentError(f"{name} must be positive or None, got {value!r}")
+        if overload_retry_after < 0:
+            raise IllegalArgumentError(
+                f"overload_retry_after must be non-negative, got {overload_retry_after!r}"
+            )
+        if max_message_bytes < 1:
+            raise IllegalArgumentError(
+                f"max_message_bytes must be positive, got {max_message_bytes!r}"
             )
         self._host = host
         self._port = int(port)
@@ -98,13 +179,25 @@ class AggregationServer:
         self._interval_length = float(interval_length)
         self._retention_intervals = int(retention_intervals)
         self._snapshot_every = int(snapshot_every)
+        self._max_inflight_pushes = int(max_inflight_pushes)
+        self._max_connections = int(max_connections)
+        self._idle_timeout = None if idle_timeout is None else float(idle_timeout)
+        self._write_timeout = None if write_timeout is None else float(write_timeout)
+        self._drain_timeout = None if drain_timeout is None else float(drain_timeout)
+        self._overload_retry_after = float(overload_retry_after)
+        self._max_message_bytes = min(int(max_message_bytes), protocol.MAX_MESSAGE_BYTES)
         self.state = ServiceState(
             sketch_factory=sketch_factory,
             interval_length=interval_length,
             retention_intervals=retention_intervals,
         )
         self.log: Optional[SegmentLog] = (
-            SegmentLog(data_dir, max_segment_bytes=max_segment_bytes, fsync=fsync)
+            SegmentLog(
+                data_dir,
+                max_segment_bytes=max_segment_bytes,
+                fsync=fsync,
+                file_factory=log_file_factory,
+            )
             if data_dir is not None
             else None
         )
@@ -115,6 +208,23 @@ class AggregationServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._connections: set = set()
+        self._writers: set = set()
+        self._draining = False
+        # Single-writer executor for durable appends + snapshot persistence:
+        # one thread, so log writes stay strictly ordered while the event
+        # loop keeps serving pings and queries.
+        self._log_writer: Optional[ThreadPoolExecutor] = None
+        self._inflight_pushes = 0
+        self._inflight_requests = 0
+        self._inflight_identities: set = set()
+        self._idle: Optional[asyncio.Event] = None
+        self._snapshot_in_progress = False
+        #: Pushes refused at the admission gate (OVERLOADED replies).
+        self.pushes_shed = 0
+        #: Connections refused at the connection cap (OVERLOADED + close).
+        self.connections_shed = 0
+        #: Connections disconnected by the read or write deadline.
+        self.connections_reaped = 0
 
     # ------------------------------------------------------------------ #
     # Recovery
@@ -178,6 +288,13 @@ class AggregationServer:
         """Recover from the log (if any) and start accepting connections."""
         self.recover()
         self._stop_event = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        if self.log is not None and self._log_writer is None:
+            self._log_writer = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="segment-log"
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, host=self._host, port=self._port
         )
@@ -195,83 +312,194 @@ class AggregationServer:
             self._stop_event.set()
 
     async def stop(self) -> None:
-        """Stop accepting connections and close the log."""
+        """Stop accepting connections, drain in-flight work, close the log."""
         self.request_stop()
         await self._shutdown()
 
     async def _shutdown(self) -> None:
+        # Graceful drain: stop accepting -> finish in-flight (bounded by
+        # drain_timeout) -> cancel idle/stuck connections -> final flush,
+        # plus a final compacted snapshot when auto-snapshots are on.
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
+        drained = await self._drain_inflight()
+        # Cooperative cancellation alone is not enough: on Python 3.11 a
+        # cancel that lands just as a handler's awaited future completes is
+        # swallowed by wait_for (the task keeps running with the cancel
+        # request consumed), after which cancelling it again is a no-op.
+        # The draining flag stops the read loop, aborting the transports
+        # ends any in-progress read with EOF, and the bounded wait below is
+        # the backstop so shutdown can never hang on a stuck handler.
+        self._draining = True
+        for writer in list(self._writers):
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
         for task in list(self._connections):
             task.cancel()
         if self._connections:
-            await asyncio.gather(*self._connections, return_exceptions=True)
+            await asyncio.wait(set(self._connections), timeout=5.0)
             self._connections.clear()
+        if self._server is not None:
+            # On Python >= 3.12 wait_closed() also waits for connection
+            # handlers, so it must run *after* they were cancelled above.
+            await self._server.wait_closed()
+            self._server = None
+        if self._log_writer is not None:
+            self._log_writer.shutdown(wait=True)
+            self._log_writer = None
         if self.log is not None:
+            if drained and self._snapshot_every and self._frames_since_snapshot > 0:
+                self._write_snapshot()
             self.log.close()
+
+    async def _drain_inflight(self) -> bool:
+        """Wait for in-flight requests to finish; False when the wait timed out."""
+        if self._inflight_requests == 0 or self._idle is None:
+            return True
+        if self._drain_timeout is None:
+            await self._idle.wait()
+            return True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self._drain_timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
     # ------------------------------------------------------------------ #
     # Connection handling
     # ------------------------------------------------------------------ #
 
     async def _handle_connection(self, reader, writer) -> None:
-        """Serve one client connection until EOF or a framing violation."""
+        """Serve one client connection until EOF, deadline, or a framing violation."""
         task = asyncio.current_task()
         if task is not None:
             self._connections.add(task)
+        self._writers.add(writer)
         try:
+            if len(self._connections) > self._max_connections:
+                # Over the connection cap: one explicit OVERLOADED reply,
+                # then close — the client backs off and redials later.
+                self.connections_shed += 1
+                await self._send_best_effort(
+                    writer,
+                    self._overloaded_reply(
+                        f"connection limit ({self._max_connections}) reached"
+                    ),
+                )
+                return
             while True:
+                if self._draining:
+                    break  # shutdown: stop reading even if our cancel was lost
                 try:
-                    message_type, payload = await protocol.read_message(reader)
+                    read = protocol.read_message(reader, max_bytes=self._max_message_bytes)
+                    if self._idle_timeout is not None:
+                        message_type, payload = await asyncio.wait_for(
+                            read, timeout=self._idle_timeout
+                        )
+                    else:
+                        message_type, payload = await read
+                except asyncio.TimeoutError:
+                    # Idle or slow-loris: no complete message within the
+                    # read deadline — reap the connection.
+                    self.connections_reaped += 1
+                    break
                 except (asyncio.IncompleteReadError, ConnectionError):
                     break
                 except asyncio.CancelledError:
                     break  # server shutdown: close the connection quietly
                 except DeserializationError:
-                    # The stream itself is unframed garbage: reply once and
-                    # drop the connection (resynchronization is impossible).
-                    with contextlib.suppress(Exception):
-                        writer.write(
-                            protocol.encode_json_message(
-                                protocol.MSG_ERROR,
-                                {"status": "error", "kind": "DeserializationError",
-                                 "message": "malformed message framing"},
-                            )
-                        )
-                        await writer.drain()
+                    # The stream itself is unframed garbage (or claims an
+                    # over-limit payload): reply once and drop the
+                    # connection (resynchronization is impossible).
+                    await self._send_best_effort(
+                        writer,
+                        protocol.encode_json_message(
+                            protocol.MSG_ERROR,
+                            {"status": "error", "kind": "DeserializationError",
+                             "message": "malformed message framing"},
+                        ),
+                    )
                     break
-                reply = self._dispatch(message_type, payload)
-                writer.write(reply)
+                # The in-flight window spans dispatch *and* the reply write,
+                # so the graceful drain only completes once acks are on the
+                # wire — aborting the transports can never eat an ack.
+                self._begin_request()
                 try:
-                    await writer.drain()
-                except ConnectionError:
-                    break
+                    reply = await self._dispatch(message_type, payload)
+                    writer.write(reply)
+                    try:
+                        if self._write_timeout is not None:
+                            await asyncio.wait_for(
+                                writer.drain(), timeout=self._write_timeout
+                            )
+                        else:
+                            await writer.drain()
+                    except asyncio.TimeoutError:
+                        # Slow consumer: the client stopped reading replies.
+                        self.connections_reaped += 1
+                        break
+                    except ConnectionError:
+                        break
+                finally:
+                    self._end_request()
         finally:
             if task is not None:
                 self._connections.discard(task)
+            self._writers.discard(writer)
             # CancelledError is a BaseException: a task cancelled by shutdown
             # re-raises it from wait_closed(), so suppress it explicitly.
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 writer.close()
                 await writer.wait_closed()
 
-    def _dispatch(self, message_type: int, payload: bytes) -> bytes:
+    async def _send_best_effort(self, writer, reply: bytes) -> None:
+        """Write one reply, swallowing transport errors (the peer may be gone)."""
+        with contextlib.suppress(Exception):
+            writer.write(reply)
+            await writer.drain()
+
+    def _overloaded_reply(self, message: str) -> bytes:
+        return protocol.encode_json_message(
+            protocol.MSG_OVERLOADED,
+            {
+                "status": "overloaded",
+                "kind": "ServiceOverloadedError",
+                "message": message,
+                "retry_after": self._overload_retry_after,
+            },
+        )
+
+    def _begin_request(self) -> None:
+        self._inflight_requests += 1
+        if self._idle is not None:
+            self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._inflight_requests -= 1
+        if self._inflight_requests == 0 and self._idle is not None:
+            self._idle.set()
+
+    async def _dispatch(self, message_type: int, payload: bytes) -> bytes:
         """Route one request message to its handler; never raises."""
         try:
             if message_type == protocol.MSG_PUSH:
-                return protocol.encode_json_message(protocol.MSG_OK, self._handle_push(payload))
+                return protocol.encode_json_message(
+                    protocol.MSG_OK, await self._handle_push_async(payload)
+                )
             if message_type == protocol.MSG_QUERY:
                 body = protocol.decode_json_body(payload)
                 return protocol.encode_json_message(protocol.MSG_OK, self._handle_query(body))
             if message_type == protocol.MSG_STATS:
                 return protocol.encode_json_message(protocol.MSG_OK, self._handle_stats())
             if message_type == protocol.MSG_SNAPSHOT:
-                return protocol.encode_json_message(protocol.MSG_OK, self._handle_snapshot())
+                return protocol.encode_json_message(
+                    protocol.MSG_OK, await self._handle_snapshot_async()
+                )
             if message_type == protocol.MSG_PING:
                 return protocol.encode_json_message(protocol.MSG_OK, {"status": "ok"})
             raise IllegalArgumentError(f"unsupported request type 0x{message_type:02x}")
+        except ServiceOverloadedError as error:
+            return self._overloaded_reply(str(error))
         except ReproError as error:
             return protocol.encode_json_message(
                 protocol.MSG_ERROR,
@@ -289,8 +517,12 @@ class AggregationServer:
                 },
             )
 
-    def _handle_push(self, payload: bytes) -> Dict[str, Any]:
-        """Validate, dedup, persist, and apply one pushed envelope."""
+    # ------------------------------------------------------------------ #
+    # Push path
+    # ------------------------------------------------------------------ #
+
+    def _decode_push(self, payload: bytes) -> PushEnvelope:
+        """Decode and validate one push payload, counting its bytes."""
         envelope = decode_push_envelope(payload, validate_frame=True)
         if envelope.sequence < 1:
             # Sequences are 1-based (the dedup watermark's zero state means
@@ -299,21 +531,22 @@ class AggregationServer:
                 f"envelope sequence must be >= 1, got {envelope.sequence!r}"
             )
         self._bytes_received += len(payload)
-        if self.state.is_duplicate(envelope.host, envelope.sequence):
-            self.state.duplicates_rejected += 1
-            return {
-                "status": "ok",
-                "duplicate": True,
-                "host": envelope.host,
-                "sequence": envelope.sequence,
-                "series": 0,
-            }
-        if self.log is not None:
-            self._last_applied_sequence = self.log.append(payload)
+        return envelope
+
+    def _duplicate_ack(self, envelope: PushEnvelope) -> Dict[str, Any]:
+        self.state.duplicates_rejected += 1
+        return {
+            "status": "ok",
+            "duplicate": True,
+            "host": envelope.host,
+            "sequence": envelope.sequence,
+            "series": 0,
+        }
+
+    def _apply_decoded(self, envelope: PushEnvelope) -> Dict[str, Any]:
+        """Fold one decoded (and already persisted) envelope into state."""
         series = self.state.apply(envelope)
         self._frames_since_snapshot += 1
-        if self._snapshot_every and self._frames_since_snapshot >= self._snapshot_every:
-            self._write_snapshot()
         return {
             "status": "ok",
             "duplicate": False,
@@ -321,6 +554,76 @@ class AggregationServer:
             "sequence": envelope.sequence,
             "series": series,
         }
+
+    async def _handle_push_async(self, payload: bytes) -> Dict[str, Any]:
+        """The wire push path: admission gate, dedup, executor append, apply.
+
+        Appends run on the single-writer executor so one durable (possibly
+        fsync-ed) push never stalls the event loop; because that executor
+        has exactly one thread, append order is total, and because the loop
+        resumes waiters in completion order, apply order equals append
+        order — the bit-exact-replay invariant survives concurrency.
+        """
+        if self._inflight_pushes >= self._max_inflight_pushes:
+            self.pushes_shed += 1
+            raise ServiceOverloadedError(
+                f"server at capacity ({self._max_inflight_pushes} in-flight pushes)",
+                retry_after=self._overload_retry_after,
+            )
+        envelope = self._decode_push(payload)
+        if self.state.is_duplicate(envelope.host, envelope.sequence):
+            return self._duplicate_ack(envelope)
+        if envelope.identity in self._inflight_identities:
+            # A retransmission raced its own original (e.g. via a second
+            # connection): answering "duplicate" would claim the original
+            # was applied before it durably was, so ask for a retry instead.
+            raise ServiceOverloadedError(
+                f"push {envelope.identity} is already in flight",
+                retry_after=self._overload_retry_after,
+            )
+        self._inflight_pushes += 1
+        self._inflight_identities.add(envelope.identity)
+        try:
+            if self.log is not None:
+                if self._log_writer is not None:
+                    loop = asyncio.get_running_loop()
+                    self._last_applied_sequence = await loop.run_in_executor(
+                        self._log_writer, self.log.append, payload
+                    )
+                else:
+                    self._last_applied_sequence = self.log.append(payload)
+            ack = self._apply_decoded(envelope)
+        finally:
+            self._inflight_pushes -= 1
+            self._inflight_identities.discard(envelope.identity)
+        if (
+            self._snapshot_every
+            and self._frames_since_snapshot >= self._snapshot_every
+            and not self._snapshot_in_progress
+        ):
+            await self._write_snapshot_async()
+        return ack
+
+    def _handle_push(self, payload: bytes) -> Dict[str, Any]:
+        """Validate, dedup, persist, and apply one pushed envelope (sync path).
+
+        The direct, single-threaded entry point used by tools and tests that
+        drive a non-serving server; the wire path goes through
+        :meth:`_handle_push_async` (admission gate + executor append).
+        """
+        envelope = self._decode_push(payload)
+        if self.state.is_duplicate(envelope.host, envelope.sequence):
+            return self._duplicate_ack(envelope)
+        if self.log is not None:
+            self._last_applied_sequence = self.log.append(payload)
+        ack = self._apply_decoded(envelope)
+        if self._snapshot_every and self._frames_since_snapshot >= self._snapshot_every:
+            self._write_snapshot()
+        return ack
+
+    # ------------------------------------------------------------------ #
+    # Queries / stats / snapshots
+    # ------------------------------------------------------------------ #
 
     def _handle_query(self, body: Dict[str, Any]) -> Dict[str, Any]:
         """Answer a quantile query over the merged state or a time window."""
@@ -358,26 +661,58 @@ class AggregationServer:
         return {"status": "ok", "metric": metric, "quantiles": quantiles, "values": values}
 
     def _handle_stats(self) -> Dict[str, Any]:
-        """The server's counters (state stats + wire/log bookkeeping)."""
+        """The server's counters (state stats + wire/log/overload bookkeeping)."""
         stats: Dict[str, Any] = {"status": "ok"}
         stats.update(self.state.stats())
         stats["bytes_received"] = self._bytes_received
         stats["durable"] = self.log is not None
         stats["last_applied_sequence"] = self._last_applied_sequence
+        stats["pushes_shed"] = self.pushes_shed
+        stats["connections_shed"] = self.connections_shed
+        stats["connections_reaped"] = self.connections_reaped
+        stats["open_connections"] = len(self._connections)
+        stats["inflight_pushes"] = self._inflight_pushes
+        stats["max_inflight_pushes"] = self._max_inflight_pushes
+        stats["max_connections"] = self._max_connections
         return stats
 
-    def _handle_snapshot(self) -> Dict[str, Any]:
+    async def _handle_snapshot_async(self) -> Dict[str, Any]:
         """Write a compacted snapshot on demand (no-op without a log)."""
         if self.log is None:
             return {"status": "ok", "snapshot": None}
-        path = self._write_snapshot()
+        path = await self._write_snapshot_async()
         return {"status": "ok", "snapshot": path.name}
 
+    async def _write_snapshot_async(self):
+        """Snapshot with the file I/O on the log-writer executor.
+
+        The state payload is captured on the event loop (no concurrent
+        mutation), then persisted on the same single-writer thread that
+        runs appends, so the log never sees two writers.
+        """
+        payload = self.state.to_snapshot()
+        applied = self._last_applied_sequence
+        self._snapshot_in_progress = True
+        try:
+            if self._log_writer is not None:
+                loop = asyncio.get_running_loop()
+                path = await loop.run_in_executor(
+                    self._log_writer, self._persist_snapshot, payload, applied
+                )
+            else:
+                path = self._persist_snapshot(payload, applied)
+        finally:
+            self._snapshot_in_progress = False
+        self._frames_since_snapshot = 0
+        return path
+
+    def _persist_snapshot(self, payload: bytes, applied: int):
+        path = self.log.write_snapshot(payload, applied=applied)
+        self.log.compact(applied)
+        return path
+
     def _write_snapshot(self):
-        path = self.log.write_snapshot(
-            self.state.to_snapshot(), applied=self._last_applied_sequence
-        )
-        self.log.compact(self._last_applied_sequence)
+        path = self._persist_snapshot(self.state.to_snapshot(), self._last_applied_sequence)
         self._frames_since_snapshot = 0
         return path
 
@@ -396,7 +731,7 @@ class ServerThread:
         return self.server.address
 
     def stop(self) -> None:
-        """Stop the server and join the background thread."""
+        """Stop the server (graceful drain) and join the background thread."""
         if self._thread.is_alive():
             self._loop.call_soon_threadsafe(self.server.request_stop)
             self._thread.join(timeout=30)

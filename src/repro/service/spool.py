@@ -1,0 +1,263 @@
+"""Durable store-and-forward spool for push envelopes.
+
+:class:`FrameSpool` is the agent-side outage buffer: when a push to the
+aggregation server fails — transport error, exhausted retries, or an open
+circuit breaker — the already-encoded push envelope is appended to a disk
+spool instead of being dropped.  After the server recovers, :meth:`drain`
+replays the spooled envelopes in arrival order and truncates what it pushed,
+so an outage shorter than the spool's capacity loses nothing.
+
+The spool reuses the segment log's CRC record framing
+(:mod:`repro.service.segment_log`): every spooled envelope survives an agent
+crash, torn tails are quarantined rather than poisoning the rest, and
+eviction is a plain unlink of the oldest segment file.  Capacity is a byte
+budget (``max_bytes``): when the spool outgrows it, whole *oldest* segments
+are evicted first and every evicted frame is **counted** in
+:attr:`FrameSpool.frames_dropped` — data loss under a too-long outage is
+deliberate, bounded, and observable, never silent.
+
+Because spooled envelopes carry their fixed ``(host, sequence)`` identities
+(reserved by :meth:`~repro.service.ServiceClient.build_envelope` at encode
+time), a drain that dies halfway simply re-pushes the survivors next time
+and the server's deduplication keeps state exactly-once.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import IllegalArgumentError
+from repro.service.segment_log import SegmentLog, _read_record
+
+_SEGMENT_PREFIX = "segment-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+class FrameSpool:
+    """A byte-budgeted disk spool of push envelopes, oldest-first evicted.
+
+    Parameters
+    ----------
+    directory:
+        Spool directory, created if missing (one spool per directory).
+    max_bytes:
+        Byte budget over all spool segments.  When an :meth:`offer` pushes
+        the spool past it, the oldest closed segment files are evicted and
+        their frames counted in :attr:`frames_dropped`.
+    max_segment_bytes:
+        Segment rotation threshold; smaller segments make eviction
+        finer-grained.  Clamped to ``max_bytes``.
+    fsync:
+        When true every spooled envelope is fsync-ed (survives an OS
+        crash, not just an agent crash).
+
+    All methods are thread-safe; one lock serializes offers, drains, and
+    counter reads, so a multi-threaded agent may share one spool.
+    """
+
+    def __init__(
+        self,
+        directory,
+        max_bytes: int = 16 * 1024 * 1024,
+        max_segment_bytes: int = 256 * 1024,
+        fsync: bool = False,
+    ) -> None:
+        if max_bytes < 1:
+            raise IllegalArgumentError(f"max_bytes must be positive, got {max_bytes!r}")
+        if max_segment_bytes < 1:
+            raise IllegalArgumentError(
+                f"max_segment_bytes must be positive, got {max_segment_bytes!r}"
+            )
+        self._max_bytes = int(max_bytes)
+        self._log = SegmentLog(
+            directory,
+            max_segment_bytes=min(int(max_segment_bytes), self._max_bytes),
+            fsync=fsync,
+        )
+        self._lock = threading.Lock()
+        #: Frames appended to the spool over this instance's lifetime.
+        self.frames_spooled = 0
+        #: Frames successfully pushed out by :meth:`drain`.
+        self.frames_drained = 0
+        #: Frames evicted (oldest-first) to stay inside ``max_bytes``.
+        self.frames_dropped = 0
+        #: Bytes of envelope payload evicted to stay inside ``max_bytes``.
+        self.bytes_dropped = 0
+        self._pending = self._count_pending()
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding the spool's segment files."""
+        return self._log.directory
+
+    @property
+    def pending(self) -> int:
+        """Frames currently on disk awaiting a drain."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes currently on disk across all spool segments."""
+        with self._lock:
+            return self._total_bytes()
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """A snapshot of the spool's counters (spooled/drained/dropped/pending)."""
+        with self._lock:
+            return {
+                "frames_spooled": self.frames_spooled,
+                "frames_drained": self.frames_drained,
+                "frames_dropped": self.frames_dropped,
+                "bytes_dropped": self.bytes_dropped,
+                "pending": self._pending,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def offer(self, envelope: bytes) -> bool:
+        """Spool one encoded push envelope; ``False`` when it was dropped.
+
+        An envelope larger than the whole byte budget is dropped (and
+        counted) immediately; otherwise it is durably appended and old
+        segments are evicted as needed to stay inside ``max_bytes``.
+        """
+        data = bytes(envelope)
+        with self._lock:
+            if len(data) > self._max_bytes:
+                self.frames_dropped += 1
+                self.bytes_dropped += len(data)
+                return False
+            self._log.append(data)
+            self.frames_spooled += 1
+            self._pending += 1
+            self._evict()
+            return True
+
+    def _evict(self) -> None:
+        """Unlink oldest closed segments until the budget holds again."""
+        while self._total_bytes() > self._max_bytes:
+            segments = self._log.segment_paths()
+            if len(segments) <= 1:
+                # Only the active segment remains; evicting it would drop
+                # the newest data.  It is bounded by the rotation threshold,
+                # so the overshoot is at most one segment.
+                break
+            oldest = segments[0]
+            size = oldest.stat().st_size
+            dropped = self._count_records(oldest)
+            oldest.unlink()
+            self.frames_dropped += dropped
+            self.bytes_dropped += size
+            self._pending = max(0, self._pending - dropped)
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+
+    def drain(
+        self, push: Callable[[bytes], object], limit: Optional[int] = None
+    ) -> int:
+        """Replay spooled envelopes through ``push``; returns the count sent.
+
+        ``push`` is called with each envelope's bytes in spool order
+        (typically :meth:`ServiceClient.push_envelope
+        <repro.service.ServiceClient.push_envelope>`).  Envelopes up to and
+        including the last *successful* push are truncated from disk; if
+        ``push`` raises, the exception propagates after truncation, and the
+        next drain resumes — possibly re-pushing a few already-delivered
+        envelopes, which the server deduplicates.  ``limit`` bounds how
+        many envelopes one drain attempts.
+        """
+        with self._lock:
+            pushed = 0
+            drained_through = 0
+            try:
+                for record in self._log.replay():
+                    if limit is not None and pushed >= limit:
+                        break
+                    push(record.payload)
+                    drained_through = record.sequence
+                    pushed += 1
+                    self.frames_drained += 1
+            finally:
+                if drained_through:
+                    self._truncate(drained_through)
+                self._pending = self._count_pending()
+            return pushed
+
+    def _truncate(self, drained_through: int) -> None:
+        """Unlink every segment whose records are all ``<= drained_through``."""
+        self._log.rotate()
+        segments = self._log.segment_paths()
+        for index, path in enumerate(segments):
+            if index + 1 < len(segments):
+                next_first = _parse_first_sequence(segments[index + 1])
+                covered = next_first is not None and next_first - 1 <= drained_through
+            else:
+                covered = self._log.next_sequence - 1 <= drained_through
+            if covered:
+                path.unlink()
+
+    # ------------------------------------------------------------------ #
+    # Accounting
+    # ------------------------------------------------------------------ #
+
+    def _total_bytes(self) -> int:
+        total = 0
+        for path in self._log.segment_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def _count_pending(self) -> int:
+        return sum(self._count_records(path) for path in self._log.segment_paths())
+
+    @staticmethod
+    def _count_records(path: Path) -> int:
+        """Intact records in one segment file (stops at a torn tail)."""
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return 0
+        offset = 0
+        count = 0
+        while offset < len(data):
+            record, offset, _reason = _read_record(data, offset)
+            if record is None:
+                break
+            count += 1
+        return count
+
+    def close(self) -> None:
+        """Close the spool's open segment (idempotent)."""
+        self._log.close()
+
+    def __enter__(self) -> "FrameSpool":
+        """Context-manager entry: the spool itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the spool."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"FrameSpool(directory={str(self._log.directory)!r}, "
+            f"pending={self._pending}, dropped={self.frames_dropped})"
+        )
+
+
+def _parse_first_sequence(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : len(name) - len(_SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None

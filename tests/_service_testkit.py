@@ -2,11 +2,17 @@
 
 Importable from any test module (pytest puts ``tests/`` on ``sys.path``):
 fault-injection file objects for the segment log's ``file_factory`` seam,
-frame/envelope builders, and a reference-state helper that mirrors what an
-uncrashed server would hold.
+an in-process TCP chaos proxy (latency, black-holes, resets, partial
+writes), frame/envelope builders, and a reference-state helper that mirrors
+what an uncrashed server would hold.
 """
 
 from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
 
 import numpy as np
 
@@ -61,6 +67,160 @@ def torn_write_factory(budget: int):
         return TornWriteFile(open(path, mode), budget, counter)
 
     return _open
+
+
+class SlowWriteFile:
+    """A file wrapper that sleeps before every write — a slow disk.
+
+    Used as the server's ``log_file_factory`` to make durable appends take
+    long enough for overload tests to observe admission-gate behavior and
+    event-loop responsiveness deterministically.
+    """
+
+    def __init__(self, raw, delay: float) -> None:
+        self._raw = raw
+        self._delay = float(delay)
+
+    def write(self, data: bytes) -> int:
+        time.sleep(self._delay)
+        return self._raw.write(data)
+
+    def __getattr__(self, name):
+        return getattr(self._raw, name)
+
+
+def slow_write_factory(delay: float):
+    """A ``file_factory`` whose files sleep ``delay`` seconds per write."""
+
+    def _open(path, mode):
+        return SlowWriteFile(open(path, mode), delay)
+
+    return _open
+
+
+def free_port() -> int:
+    """A TCP port that was just free (bind-then-release; fine for tests)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class ChaosProxy:
+    """An in-process TCP proxy that injects network faults on demand.
+
+    Sits between a client and the aggregation server, forwarding bytes in
+    both directions through pump threads.  Faults are plain attributes,
+    adjustable at runtime:
+
+    * ``latency`` — seconds slept before forwarding each chunk;
+    * ``blackhole`` — when true, bytes are read and silently discarded in
+      both directions (the peer sees a connection that never answers);
+    * ``chunk_size`` — forward at most this many bytes per send with a
+      tiny pause between chunks (partial writes / fragmentation).
+
+    :meth:`reset_all` hard-resets every proxied connection (RST via
+    ``SO_LINGER``), and :meth:`close` tears the whole proxy down.
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int) -> None:
+        self._upstream = (upstream_host, int(upstream_port))
+        self.latency = 0.0
+        self.blackhole = False
+        self.chunk_size = None
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(32)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._sockets = []  # every socket belonging to a proxied pair
+        self._accepter = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accepter.start()
+
+    @property
+    def address(self):
+        """The ``(host, port)`` clients should dial instead of the server."""
+        return self._listener.getsockname()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                downstream, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                upstream = socket.create_connection(self._upstream, timeout=5.0)
+            except OSError:
+                downstream.close()
+                continue
+            with self._lock:
+                self._sockets.extend((downstream, upstream))
+            for source, sink in ((downstream, upstream), (upstream, downstream)):
+                threading.Thread(
+                    target=self._pump, args=(source, sink), daemon=True
+                ).start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket) -> None:
+        while True:
+            try:
+                data = source.recv(65536)
+            except OSError:
+                break
+            if not data:
+                break
+            if self.blackhole:
+                continue  # swallow the bytes: the peer waits forever
+            if self.latency:
+                time.sleep(self.latency)
+            try:
+                if self.chunk_size:
+                    for start in range(0, len(data), self.chunk_size):
+                        sink.sendall(data[start : start + self.chunk_size])
+                        time.sleep(0.001)
+                else:
+                    sink.sendall(data)
+            except OSError:
+                break
+        for side in (source, sink):
+            try:
+                side.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+    def reset_all(self) -> None:
+        """Hard-reset (RST) every currently proxied connection."""
+        with self._lock:
+            victims, self._sockets = self._sockets, []
+        for sock in victims:
+            try:
+                sock.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+                )
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Stop accepting and tear down every proxied connection."""
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.reset_all()
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def make_frame(values, metric: str = "latency", tags=None, relative_accuracy: float = 0.01):

@@ -2,7 +2,8 @@
 
 The repository's benchmark emitters (``benchmarks/test_groupby_ingest_speed``,
 ``benchmarks/test_sharded_ingest_speed``, ``benchmarks/test_service_throughput``,
-and ``repro load-gen``) all write through
+``benchmarks/test_overload_throughput``, and ``repro load-gen``) all write
+through
 :func:`repro.evaluation.artifacts.write_bench_artifact`, so the perf
 trajectory stays machine-readable across PRs: one envelope of
 ``name`` / ``timestamp`` / ``machine`` / ``metrics``.  This suite pins the
@@ -27,7 +28,12 @@ from repro.exceptions import IllegalArgumentError
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Artifacts every checkout must carry (CI regenerates and archives them).
-EXPECTED_ARTIFACTS = ("BENCH_groupby.json", "BENCH_sharded.json", "BENCH_service.json")
+EXPECTED_ARTIFACTS = (
+    "BENCH_groupby.json",
+    "BENCH_sharded.json",
+    "BENCH_service.json",
+    "BENCH_overload.json",
+)
 
 
 def _artifact_paths():
@@ -54,6 +60,17 @@ class TestCommittedArtifacts:
         assert any("values_per_sec" in section for section in sections.values()), (
             "BENCH_service.json must record the service's end-to-end values/sec"
         )
+
+    def test_overload_artifact_carries_degradation_metrics(self):
+        path = REPO_ROOT / "BENCH_overload.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        sections = document["metrics"]
+        assert {"capacity_1x", "capacity_2x", "outage_spool"} <= set(sections)
+        assert sections["capacity_2x"]["shed_replies"] > 0, (
+            "the 2x phase must actually have shed load"
+        )
+        assert sections["capacity_2x"]["no_frame_lost"] is True
+        assert sections["outage_spool"]["frames_dropped"] == 0
 
 
 class TestSchemaHelpers:

@@ -173,7 +173,7 @@ class TestServiceCommands:
             )
             assert exit_code == 0
             assert "pushed 3 value(s)" in output
-            assert "seq 1" in output
+            assert "seq " in output and "[duplicate]" not in output
             with ServiceClient(*handle.address) as client:
                 stats = client.stats()
                 assert stats["total_count"] == 3.0
@@ -181,6 +181,49 @@ class TestServiceCommands:
                     "cli.latency", [0.5], tags={"env": "prod"}
                 )["values"]
                 assert values[0] > 0
+
+    def test_push_twice_never_collides_on_dedup(self, tmp_path):
+        # Two CLI incarnations share the default producer identity but seed
+        # sequences from the wall clock, so the second run's (different)
+        # values must land instead of being silently deduplicated away.
+        from repro.service import ServiceClient, serve_in_thread
+
+        with serve_in_thread(data_dir=tmp_path) as handle:
+            port = str(handle.address[1])
+            for payload in ("1.0\n2.0\n", "3.0\n"):
+                exit_code, output = run_cli(["push", "--port", port], payload)
+                assert exit_code == 0
+                assert "[duplicate]" not in output
+            with ServiceClient(*handle.address) as client:
+                assert client.stats()["total_count"] == 3.0
+
+    def test_push_spools_offline_and_replays_when_back(self, tmp_path):
+        # Against a dead server the frame is parked in the durable spool;
+        # the next run against a live server replays it before its own push.
+        from repro.service import ServiceClient, serve_in_thread
+        from _service_testkit import free_port
+
+        spool_dir = str(tmp_path / "spool")
+        dead_port = str(free_port())
+        exit_code, output = run_cli(
+            ["push", "--port", dead_port, "--retries", "0", "--deadline", "2.0",
+             "--spool-dir", spool_dir],
+            "1.0\n2.0\n",
+        )
+        assert exit_code == 0
+        assert "spooled for replay" in output
+        with serve_in_thread(data_dir=tmp_path / "server") as handle:
+            exit_code, output = run_cli(
+                ["push", "--port", str(handle.address[1]), "--spool-dir", spool_dir],
+                "3.0\n",
+            )
+            assert exit_code == 0
+            assert "replayed 1 spooled frame(s)" in output
+            assert "pushed 1 value(s)" in output
+            with ServiceClient(*handle.address) as client:
+                stats = client.stats()
+                assert stats["total_count"] == 3.0
+                assert stats["frames_applied"] == 2
 
     def test_push_empty_input_fails(self, tmp_path):
         from repro.service import serve_in_thread

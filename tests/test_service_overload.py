@@ -1,0 +1,293 @@
+"""Overload behavior of the service tier: shedding, deadlines, breaker.
+
+Pins the graceful-degradation contract: the server sheds excess load with
+explicit ``OVERLOADED`` replies (never a hang or an unbounded queue), reaps
+idle and over-cap connections, stays responsive while durable appends run on
+the single-writer executor, and drains gracefully on shutdown; the client
+backs off with jitter, honors ``retry_after``, keeps calls inside a deadline
+budget, and circuit-breaks a dead server.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeserializationError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service import ServiceClient, serve_in_thread
+from repro.service import protocol
+
+from _service_testkit import free_port, make_frame, slow_write_factory
+
+
+class TestAdmissionGate:
+    def test_push_beyond_capacity_is_shed_with_retry_after(self, tmp_path):
+        # One slow durable push occupies the single admission slot; a
+        # concurrent push must be refused with OVERLOADED, not queued.
+        with serve_in_thread(
+            data_dir=tmp_path,
+            max_inflight_pushes=1,
+            overload_retry_after=0.07,
+            log_file_factory=slow_write_factory(0.4),
+        ) as handle:
+            background = ServiceClient(*handle.address, timeout=5.0, retries=0)
+            blocker = threading.Thread(
+                target=lambda: background.push_frame(make_frame([1.0]), host="slow"),
+                daemon=True,
+            )
+            blocker.start()
+            time.sleep(0.1)  # let the slow append enter the executor
+            with ServiceClient(*handle.address, timeout=5.0, retries=0) as client:
+                with pytest.raises(ServiceOverloadedError) as excinfo:
+                    client.push_frame(make_frame([2.0]), host="fast")
+                assert excinfo.value.retry_after == pytest.approx(0.07)
+            blocker.join(timeout=5)
+            with ServiceClient(*handle.address) as client:
+                assert client.stats()["pushes_shed"] >= 1
+
+    def test_retrying_client_absorbs_shedding(self, tmp_path):
+        # A client with retries outlasts the transient capacity squeeze:
+        # the same sequence is retransmitted after retry_after and lands.
+        with serve_in_thread(
+            data_dir=tmp_path,
+            max_inflight_pushes=1,
+            overload_retry_after=0.05,
+            log_file_factory=slow_write_factory(0.3),
+        ) as handle:
+            background = ServiceClient(*handle.address, timeout=5.0, retries=0)
+            blocker = threading.Thread(
+                target=lambda: background.push_frame(make_frame([1.0]), host="slow"),
+                daemon=True,
+            )
+            blocker.start()
+            time.sleep(0.1)
+            with ServiceClient(
+                *handle.address,
+                timeout=5.0,
+                retries=10,
+                backoff_base=0.02,
+                backoff_cap=0.2,
+            ) as client:
+                ack = client.push_frame(make_frame([2.0]), host="fast")
+                assert ack["status"] == "ok" and ack["duplicate"] is False
+                assert client.counters["overloads"] >= 1
+            blocker.join(timeout=5)
+            with ServiceClient(*handle.address) as client:
+                stats = client.stats()
+                assert stats["frames_applied"] == 2
+                assert stats["pushes_shed"] >= 1
+
+
+class TestMessageSizeLimit:
+    def test_decode_header_rejects_hostile_length_before_allocation(self):
+        header = struct.Struct("<2sBI").pack(b"DM", protocol.MSG_PUSH, 3 * 1024 * 1024 * 1024)
+        with pytest.raises(DeserializationError):
+            protocol.decode_header(header)
+        with pytest.raises(DeserializationError):
+            protocol.decode_header(
+                struct.Struct("<2sBI").pack(b"DM", protocol.MSG_PUSH, 2048), max_bytes=1024
+            )
+        # At or under the cap decodes fine.
+        assert protocol.decode_header(
+            struct.Struct("<2sBI").pack(b"DM", protocol.MSG_PUSH, 1024), max_bytes=1024
+        ) == (protocol.MSG_PUSH, 1024)
+
+    def test_server_rejects_oversized_length_prefix_without_reading_payload(self):
+        with serve_in_thread(max_message_bytes=1024) as handle:
+            with socket.create_connection(handle.address, timeout=10) as sock:
+                # A header claiming 10 MB — and not a single payload byte.
+                sock.sendall(struct.Struct("<2sBI").pack(b"DM", protocol.MSG_PUSH, 10 * 1024 * 1024))
+                reply_type, payload = protocol.read_message_blocking(sock)
+                assert reply_type == protocol.MSG_ERROR
+                assert protocol.decode_json_body(payload)["kind"] == "DeserializationError"
+                assert sock.recv(1) == b""  # connection dropped
+            # The server survives and keeps serving within the limit.
+            with ServiceClient(*handle.address) as client:
+                assert client.ping()
+
+
+class TestConnectionResources:
+    def test_idle_connection_is_reaped_by_the_read_deadline(self):
+        with serve_in_thread(idle_timeout=0.2) as handle:
+            with socket.create_connection(handle.address, timeout=10) as sock:
+                sock.settimeout(5.0)
+                start = time.monotonic()
+                assert sock.recv(1) == b""  # server closed us: EOF
+                assert time.monotonic() - start < 3.0
+            with ServiceClient(*handle.address) as client:
+                assert client.stats()["connections_reaped"] >= 1
+
+    def test_connection_cap_sheds_with_a_clean_reply(self):
+        with serve_in_thread(max_connections=2, idle_timeout=30.0) as handle:
+            first = socket.create_connection(handle.address, timeout=10)
+            second = socket.create_connection(handle.address, timeout=10)
+            try:
+                # Occupy both slots with real traffic so the tasks exist.
+                for sock in (first, second):
+                    reply_type, _ = protocol.request(sock, protocol.MSG_PING, b"")
+                    assert reply_type == protocol.MSG_OK
+                third = socket.create_connection(handle.address, timeout=10)
+                with third:
+                    third.settimeout(5.0)
+                    reply_type, payload = protocol.read_message_blocking(third)
+                    assert reply_type == protocol.MSG_OVERLOADED
+                    body = protocol.decode_json_body(payload)
+                    assert body["kind"] == "ServiceOverloadedError"
+                    assert body["retry_after"] > 0
+                    assert third.recv(1) == b""  # shed connections are closed
+            finally:
+                first.close()
+                second.close()
+            with ServiceClient(*handle.address) as client:
+                assert client.stats()["connections_shed"] >= 1
+
+    def test_ping_stays_fast_while_a_durable_push_is_in_flight(self, tmp_path):
+        # The slow append runs on the single-writer executor, so the event
+        # loop answers a concurrent PING immediately.
+        with serve_in_thread(
+            data_dir=tmp_path, log_file_factory=slow_write_factory(0.5)
+        ) as handle:
+            pusher = ServiceClient(*handle.address, timeout=5.0, retries=0)
+            background = threading.Thread(
+                target=lambda: pusher.push_frame(make_frame([1.0] * 100), host="big"),
+                daemon=True,
+            )
+            background.start()
+            time.sleep(0.1)  # the append is now sleeping inside write()
+            with ServiceClient(*handle.address, timeout=5.0) as prober:
+                start = time.monotonic()
+                assert prober.ping()
+                assert time.monotonic() - start < 0.3
+            background.join(timeout=5)
+
+
+class TestGracefulDrain:
+    def test_clean_shutdown_writes_a_final_snapshot(self, tmp_path):
+        # snapshot_every is set but never reached during the run; the
+        # graceful drain persists the tail as a snapshot anyway.
+        with serve_in_thread(data_dir=tmp_path, snapshot_every=100) as handle:
+            with ServiceClient(*handle.address) as client:
+                client.push_frame(make_frame([1.0]), host="h")
+                client.push_frame(make_frame([2.0]), host="h")
+        snapshots = list(tmp_path.glob("snapshot-*.snap"))
+        assert len(snapshots) == 1
+        # A restart recovers purely from the snapshot: nothing to replay.
+        with serve_in_thread(data_dir=tmp_path, snapshot_every=100) as handle:
+            report = handle.server.last_recovery
+            assert report.snapshot_applied == 2
+            assert report.records_replayed == 0
+            with ServiceClient(*handle.address) as client:
+                assert client.stats()["frames_applied"] == 2
+
+    def test_in_flight_push_is_acked_before_shutdown_completes(self, tmp_path):
+        # Stop the server while a slow durable push is mid-append: the
+        # graceful drain lets it finish and the client still gets its ACK.
+        handle = serve_in_thread(
+            data_dir=tmp_path,
+            drain_timeout=5.0,
+            log_file_factory=slow_write_factory(0.4),
+        )
+        client = ServiceClient(*handle.address, timeout=5.0, retries=0)
+        result = {}
+
+        def _push():
+            result["ack"] = client.push_frame(make_frame([1.0]), host="h")
+
+        pusher = threading.Thread(target=_push, daemon=True)
+        pusher.start()
+        time.sleep(0.1)  # the push is inside the slow append
+        handle.stop()
+        pusher.join(timeout=10)
+        client.close()
+        assert result["ack"]["status"] == "ok"
+        # The acked frame is durable: a recovered server still has it.
+        with serve_in_thread(data_dir=tmp_path) as recovered:
+            with ServiceClient(*recovered.address) as verifier:
+                assert verifier.stats()["frames_applied"] == 1
+
+
+class TestClientResilience:
+    def test_ping_returns_false_on_a_dead_server(self):
+        client = ServiceClient("127.0.0.1", free_port(), timeout=0.3, retries=0)
+        assert client.ping() is False
+
+    def test_deadline_budget_bounds_total_retry_time(self):
+        client = ServiceClient(
+            "127.0.0.1",
+            free_port(),
+            timeout=0.3,
+            retries=50,
+            deadline=0.6,
+            backoff_base=0.02,
+            backoff_cap=0.1,
+        )
+        start = time.monotonic()
+        with pytest.raises(ServiceError):
+            client.push_frame(make_frame([1.0]), host="h")
+        elapsed = time.monotonic() - start
+        assert elapsed < 2.0  # nowhere near 50 attempts
+        assert client.counters["retries"] < 50
+
+    def test_breaker_opens_fails_fast_and_recovers_half_open(self, tmp_path):
+        port = free_port()
+        client = ServiceClient(
+            "127.0.0.1",
+            port,
+            timeout=0.3,
+            retries=1,
+            backoff_base=0.01,
+            backoff_cap=0.02,
+            breaker_threshold=2,
+            breaker_cooldown=0.2,
+        )
+        # Two consecutive transport failures open the breaker.
+        with pytest.raises(ServiceError):
+            client.push_frame(make_frame([1.0]), host="h")
+        assert client.counters["breaker_opens"] == 1
+        # While open: fail fast, no socket I/O, no time spent.
+        start = time.monotonic()
+        with pytest.raises(CircuitOpenError):
+            client.push_frame(make_frame([2.0]), host="h")
+        assert time.monotonic() - start < 0.05
+        assert client.counters["breaker_fast_fails"] == 1
+        # Server comes back; after the cooldown the half-open probe closes
+        # the breaker and the push goes through.
+        with serve_in_thread(data_dir=tmp_path, port=port) as handle:
+            assert handle.address[1] == port
+            time.sleep(0.25)
+            ack = client.push_frame(make_frame([3.0]), host="h")
+            assert ack["status"] == "ok"
+        client.close()
+
+    def test_overload_replies_do_not_trip_the_breaker(self, tmp_path):
+        # Shedding means "healthy but busy": the breaker must stay closed.
+        with serve_in_thread(
+            data_dir=tmp_path,
+            max_inflight_pushes=1,
+            log_file_factory=slow_write_factory(0.4),
+        ) as handle:
+            background = ServiceClient(*handle.address, timeout=5.0, retries=0)
+            blocker = threading.Thread(
+                target=lambda: background.push_frame(make_frame([1.0]), host="slow"),
+                daemon=True,
+            )
+            blocker.start()
+            time.sleep(0.1)
+            client = ServiceClient(
+                *handle.address, timeout=5.0, retries=0, breaker_threshold=1
+            )
+            with pytest.raises(ServiceOverloadedError):
+                client.push_frame(make_frame([2.0]), host="fast")
+            assert client.counters["breaker_opens"] == 0
+            blocker.join(timeout=5)
+            assert client.ping()  # breaker never opened
+            client.close()
