@@ -1,0 +1,175 @@
+"""Interactive query-engine speed gates: warm tag slices and threshold pruning.
+
+The query engine exists so a dashboard poking at a 100k-series aggregator
+does not pay a 100k-sketch merge per repaint.  This module gates the two
+claims on a 100k-series population (200 endpoints x 500 hosts, ~2% hot
+series):
+
+* a **warm tag-slice quantile query** (cache hit, cube-backed) must answer
+  in **< 10 ms** — against a naive merge-on-read over the matching series;
+* a **selective threshold query** ("which series have p99 above the SLO?")
+  must prune **>= 90%** of the series from scalar bounds alone, scanning
+  only the few whose bounds straddle the threshold.
+
+Both answers are additionally checked against the naive paths — the merged
+slice is bit-identical to ``Aggregator.rollup`` and the threshold matches
+equal a brute-force scan — so the speed is not bought with different
+answers.  Timings land in ``BENCH_query.json`` at the repository root in the
+shared benchmark-artifact schema (:mod:`repro.evaluation.artifacts`) for the
+CI perf job to archive.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import SparseDDSketch
+from repro.evaluation.artifacts import write_bench_artifact
+from repro.evaluation.config import bench_scale
+from repro.monitoring import Aggregator
+
+N_SERIES = 100_000
+N_ENDPOINTS = 200  # hosts per endpoint = N_SERIES / N_ENDPOINTS = 500
+HOT_FRACTION = 0.02
+SLO_THRESHOLD = 500.0
+QUANTILES = (0.5, 0.95, 0.99)
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+
+def _record_bench(section: str, payload: dict) -> None:
+    """Merge one section into the BENCH_query.json trajectory file."""
+    write_bench_artifact(BENCH_OUTPUT, "query", section, payload)
+
+
+def _time(function):
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A populated aggregator + engine at ~100k series (scaled in CI)."""
+    num_series = max(int(N_SERIES * bench_scale()), 2_000)
+    endpoints = max(min(N_ENDPOINTS, num_series // 100), 4)
+    hosts = max(num_series // endpoints, 10)
+    rng = np.random.default_rng(7)
+
+    aggregator = Aggregator(
+        interval_length=1.0,
+        sketch_factory=lambda: SparseDDSketch(relative_accuracy=0.01),
+    )
+    hot_keys = set()
+    for endpoint in range(endpoints):
+        hot_hosts = rng.choice(hosts, max(int(hosts * HOT_FRACTION), 1), replace=False)
+        hot_set = set(int(host) for host in hot_hosts)
+        for host in range(hosts):
+            # Cold series stay well under the SLO threshold; hot ones sit
+            # well above it, so a selective threshold classifies almost
+            # everything from bounds alone.
+            values = rng.lognormal(1.0, 0.7, 4)
+            values = np.clip(values, 0.05, 50.0)
+            if host in hot_set:
+                values = values * 100.0
+                hot_keys.add((f"/e{endpoint:03d}", f"h{host:03d}"))
+            aggregator.ingest_values(
+                "web.latency",
+                0.0,
+                values,
+                tags={"endpoint": f"/e{endpoint:03d}", "host": f"h{host:03d}"},
+            )
+    engine = aggregator.query_engine(cube_dimensions=(("endpoint",),))
+    return aggregator, engine, endpoints, hosts
+
+
+def test_warm_tag_slice_quantiles(benchmark, workload):
+    """Warm tag-slice quantiles < 10 ms, bit-identical to the naive merge."""
+    aggregator, engine, endpoints, hosts = workload
+    tag_filter = {"endpoint": f"/e{endpoints // 2:03d}"}
+
+    def measure():
+        naive_seconds, naive = _time(
+            lambda: aggregator.rollup("web.latency", tag_filter=tag_filter)
+        )
+        cold_seconds, cold = _time(
+            lambda: engine.quantiles("web.latency", QUANTILES, tag_filter=tag_filter)
+        )
+        warm_seconds, warm = _time(
+            lambda: engine.quantiles("web.latency", QUANTILES, tag_filter=tag_filter)
+        )
+        return naive_seconds, cold_seconds, warm_seconds, naive, cold, warm
+
+    naive_seconds, cold_seconds, warm_seconds, naive, cold, warm = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    num_series = aggregator.num_series
+    print()
+    print(f"tag-slice quantiles: {num_series} series, slice of {hosts} hosts")
+    print(f"  naive merge-on-read {naive_seconds * 1e3:10.3f} ms")
+    print(f"  cold engine (cube)  {cold_seconds * 1e3:10.3f} ms")
+    print(f"  warm engine (cache) {warm_seconds * 1e3:10.3f} ms")
+    print(f"  warm speedup        {naive_seconds / warm_seconds:10.1f} x")
+
+    # Same bits on every path.
+    assert cold == warm == [float(value) for value in naive.get_quantiles(QUANTILES)]
+    assert engine.stats()["cache_hits"] >= 1
+
+    _record_bench(
+        "tag_slice",
+        {
+            "series": num_series,
+            "slice_series": hosts,
+            "naive_seconds": naive_seconds,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": naive_seconds / warm_seconds,
+        },
+    )
+    assert warm_seconds < 0.010, f"warm slice took {warm_seconds * 1e3:.2f} ms"
+
+
+def test_threshold_query_prunes_without_merging(benchmark, workload):
+    """Selective threshold query prunes >= 90% of series, matches exact scan."""
+    aggregator, engine, _, _ = workload
+
+    def measure():
+        return _time(
+            lambda: engine.threshold_query("web.latency", 0.99, SLO_THRESHOLD)
+        )
+
+    threshold_seconds, result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    num_series = aggregator.num_series
+    print()
+    print(f"threshold query: p99 > {SLO_THRESHOLD:g} over {num_series} series")
+    print(f"  bounds pass         {threshold_seconds * 1e3:10.2f} ms")
+    print(f"  matches             {len(result.matches):10d}")
+    print(f"  scanned (merged)    {len(result.scanned):10d}")
+    print(f"  pruned              {result.pruned:10d} ({result.prune_rate:.1%})")
+
+    # The pruned answer equals a brute-force estimate of every series.
+    expected = {
+        str(key)
+        for key in aggregator.series_keys("web.latency")
+        if aggregator.rollup("web.latency", tags=key.tags).quantile(0.99)
+        > SLO_THRESHOLD
+    }
+    assert {str(key) for key in result.matches} == expected
+    assert result.total_series == num_series
+    assert len(result.matches) > 0
+
+    _record_bench(
+        "threshold",
+        {
+            "series": num_series,
+            "threshold": SLO_THRESHOLD,
+            "seconds": threshold_seconds,
+            "matches": len(result.matches),
+            "scanned": len(result.scanned),
+            "pruned": result.pruned,
+            "prune_rate": result.prune_rate,
+        },
+    )
+    assert result.prune_rate >= 0.9, f"prune rate {result.prune_rate:.1%}"

@@ -340,6 +340,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    query = subparsers.add_parser(
+        "query",
+        help="interactive quantile / threshold queries against a running server",
+    )
+    query.add_argument("--host", default="127.0.0.1", help="server address (default: 127.0.0.1)")
+    query.add_argument("--port", type=int, required=True, help="server port")
+    query.add_argument("--metric", required=True, help="metric to query")
+    query.add_argument(
+        "--quantiles",
+        default="0.5,0.95,0.99",
+        help="comma-separated quantiles (default: 0.5,0.95,0.99)",
+    )
+    query.add_argument(
+        "--tag-filter",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="merge only series carrying this tag (repeatable)",
+    )
+    query.add_argument(
+        "--window-start", type=float, default=None, help="window start timestamp (inclusive)"
+    )
+    query.add_argument(
+        "--window-end", type=float, default=None, help="window end timestamp (exclusive)"
+    )
+    query.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help=(
+            "run a threshold query instead: list the series whose quantile "
+            "estimate passes this value (uses the first entry of --quantiles)"
+        ),
+    )
+    query.add_argument(
+        "--below",
+        action="store_true",
+        help="with --threshold: match series strictly below instead of above",
+    )
+
     load_gen = subparsers.add_parser(
         "load-gen",
         help="simulated agent fleet vs a real in-process server; writes BENCH_service.json",
@@ -662,6 +702,52 @@ def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
     return 0
 
 
+def _run_query(args: argparse.Namespace, stdout) -> int:
+    from repro.service import ServiceClient
+
+    try:
+        quantiles = [float(entry) for entry in args.quantiles.split(",") if entry.strip()]
+    except ValueError:
+        print(f"--quantiles must be comma-separated numbers, got {args.quantiles!r}", file=stdout)
+        return 2
+    if not quantiles:
+        print("--quantiles must name at least one quantile", file=stdout)
+        return 2
+    tag_filter = _parse_tags(args.tag_filter) or None
+    with ServiceClient(args.host, args.port) as client:
+        if args.threshold is not None:
+            reply = client.query_threshold(
+                args.metric,
+                quantiles[0],
+                args.threshold,
+                above=not args.below,
+                tag_filter=tag_filter,
+                window_start=args.window_start,
+                window_end=args.window_end,
+            )
+            direction = "<" if args.below else ">"
+            print(
+                f"{args.metric}: p{quantiles[0] * 100:g} {direction} {args.threshold:g} — "
+                f"{len(reply['matches'])} of {reply['total_series']} series "
+                f"(pruned {reply['pruned']}, scanned {reply['scanned']}, "
+                f"prune rate {reply['prune_rate']:.1%})",
+                file=stdout,
+            )
+            for name in reply["matches"]:
+                print(f"  {name}", file=stdout)
+            return 0
+        reply = client.query_quantiles(
+            args.metric,
+            quantiles,
+            tag_filter=tag_filter,
+            window_start=args.window_start,
+            window_end=args.window_end,
+        )
+        for quantile, value in zip(quantiles, reply["values"]):
+            print(f"{args.metric} p{quantile * 100:g} = {value:.6g}", file=stdout)
+    return 0
+
+
 def _run_load_gen(args: argparse.Namespace, stdout) -> int:
     from repro.evaluation.artifacts import write_bench_artifact
     from repro.service.loadgen import run_load_generator, run_overload_benchmark
@@ -736,6 +822,8 @@ def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
             return _run_serve(args, stdout)
         if args.command == "push":
             return _run_push(args, stdin, stdout)
+        if args.command == "query":
+            return _run_query(args, stdout)
         if args.command == "load-gen":
             return _run_load_gen(args, stdout)
     except ReproError as error:

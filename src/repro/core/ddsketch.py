@@ -626,6 +626,52 @@ class BaseDDSketch:
             return None
         return self.get_quantile_value(rank / max(self._count - 1, 1))
 
+    def quantile_bounds(self, quantile: float) -> Tuple[float, float]:
+        """Cheap ``(lower, upper)`` bounds enclosing :meth:`quantile`'s estimate.
+
+        Resolves only which *region* (negative store, zero bucket, positive
+        store) the requested rank falls in — the same classification
+        :meth:`get_quantiles` performs — and returns the representative values
+        of that store's extreme keys, without walking any bucket counts.  The
+        guarantee is ``lower <= self.quantile(q) <= upper``: every estimate
+        the sketch can return for that rank is ``mapping.value(key)`` for a
+        key between the store's ``min_key`` and ``max_key``, and the key
+        mapping is monotone.  This holds for every store family, including
+        the collapsing and adaptive-accuracy (UDDSketch) variants, because it
+        bounds the *estimate*, not the underlying data.
+
+        ``O(1)`` for dense stores and ``O(num_buckets)`` at worst for sparse
+        ones — far cheaper than a rank scan, which makes it the pruning
+        primitive for threshold queries ("which series have p99 > 500ms?"):
+        if ``upper <= threshold`` the series cannot match, and if
+        ``lower > threshold`` it must.
+
+        Raises
+        ------
+        IllegalArgumentError
+            If ``quantile`` is outside ``[0, 1]``.
+        EmptySketchError
+            If the sketch holds no data.
+        """
+        if quantile < 0 or quantile > 1:
+            raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        if self._count == 0:
+            raise EmptySketchError("cannot bound a quantile of an empty sketch")
+        rank = max(quantile * (self._count - 1), 0.0)
+        negative_count = self._negative_store.count
+        zero_boundary = self._zero_count + negative_count
+        if rank < negative_count:
+            return (
+                -self._mapping.value(self._negative_store.max_key),
+                -self._mapping.value(self._negative_store.min_key),
+            )
+        if rank < zero_boundary:
+            return (0.0, 0.0)
+        return (
+            self._mapping.value(self._store.min_key),
+            self._mapping.value(self._store.max_key),
+        )
+
     # ------------------------------------------------------------------ #
     # Merging
     # ------------------------------------------------------------------ #

@@ -58,6 +58,8 @@ class Aggregator:
         self._payloads_received = 0
         self._series_received = 0
         self._bytes_received = 0
+        self._ingest_observers: List[Callable[[SeriesKey, float, BaseDDSketch], None]] = []
+        self._invalidation_hooks: List[Callable[[SeriesKey, int], None]] = []
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -106,6 +108,8 @@ class Aggregator:
                 tags=key.tags,
                 window_factors=self._window_factors,
             )
+            for hook in self._invalidation_hooks:
+                existing.add_invalidation_hook(hook)
             self._series[key] = existing
         return existing
 
@@ -113,10 +117,40 @@ class Aggregator:
     # Ingestion
     # ------------------------------------------------------------------ #
 
+    def add_ingest_observer(
+        self, observer: Callable[[SeriesKey, float, BaseDDSketch], None]
+    ) -> None:
+        """Register ``observer(key, timestamp, delta_sketch)`` on every ingest.
+
+        The observer fires *before* the delta is merged into the stored
+        series, with a read-only borrow of the incoming sketch — the seam the
+        query engine's rollup cubes use to stay incrementally up to date.
+        Observers must not retain or mutate the sketch (copy it if needed).
+        """
+        self._ingest_observers.append(observer)
+
+    def add_invalidation_hook(self, hook: Callable[[SeriesKey, int], None]) -> None:
+        """Register ``hook(series_key, interval_index)`` on every interval mutation.
+
+        Forwards to :meth:`SketchTimeSeries.add_invalidation_hook` of every
+        stored series — existing and future — so external caches track the
+        same invalidation events as the per-series window hierarchy.
+        """
+        self._invalidation_hooks.append(hook)
+        for series in self._series.values():
+            series.add_invalidation_hook(hook)
+
+    def _notify_ingest(self, key: SeriesKey, timestamp: float, sketch: BaseDDSketch) -> None:
+        """Fire every registered ingest observer for one incoming delta."""
+        for observer in self._ingest_observers:
+            observer(key, timestamp, sketch)
+
     def ingest(self, payload: SketchPayload) -> None:
         """Decode one payload and merge it into the matching series/interval."""
         sketch = payload.decode()
-        self.series(payload.metric, payload.tags).ingest_sketch(payload.interval_start, sketch)
+        series = self.series(payload.metric, payload.tags)
+        self._notify_ingest(series.series_key, payload.interval_start, sketch)
+        series.ingest_sketch(payload.interval_start, sketch)
         self._payloads_received += 1
         self._series_received += 1
         self._bytes_received += payload.size_in_bytes
@@ -130,11 +164,11 @@ class Aggregator:
         """
         entries = frame.decode()
         for key, sketch in entries:
+            series = self.series(key.metric, key.tags)
+            self._notify_ingest(series.series_key, frame.interval_start, sketch)
             # Decoded sketches are exclusively owned; adopt them instead of
             # paying one deep copy per series.
-            self.series(key.metric, key.tags).ingest_sketch(
-                frame.interval_start, sketch, copy=False
-            )
+            series.ingest_sketch(frame.interval_start, sketch, copy=False)
         self._payloads_received += 1
         self._series_received += len(entries)
         self._bytes_received += frame.size_in_bytes
@@ -178,7 +212,18 @@ class Aggregator:
         serializing a payload first.  All values land in the series'
         interval containing ``timestamp``.
         """
-        self.series(metric, tags).ingest_values(timestamp, values, weights)
+        series = self.series(metric, tags)
+        if self._ingest_observers:
+            # Observers receive deltas as sketches; materialise the batch as
+            # one for them.  The stored series still takes the raw values, so
+            # storage is bit-identical whether or not anyone is watching.
+            values = np.asarray(values, dtype=np.float64).reshape(-1)
+            if values.size == 0:
+                return
+            delta = self._sketch_factory()
+            delta.add_batch(values, weights)
+            self._notify_ingest(series.series_key, timestamp, delta)
+        series.ingest_values(timestamp, values, weights)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -277,17 +322,26 @@ class Aggregator:
         return [float(value) for value in values]
 
     def interval_series(
-        self, metric: str, tags: TagsLike = None, tag_filter: TagsLike = None
+        self,
+        metric: str,
+        tags: TagsLike = None,
+        tag_filter: TagsLike = None,
+        copy: bool = True,
     ) -> List[Tuple[float, BaseDDSketch]]:
         """Per-interval sketches of the addressed series, merged across series.
 
         One cross-series merge pass serves any number of reads (averages and
-        multi-quantile series alike); the returned sketches are the stored
-        ones when a single series is addressed and fresh merges otherwise —
-        treat them as read-only.
+        multi-quantile series alike).  By default every returned sketch is
+        caller-owned: the single-series path used to hand out the *live*
+        stored sketches (unlike the multi-series path, which always merges
+        fresh), so a caller mutating the result corrupted stored state and
+        left stale window caches behind.  Pass ``copy=False`` only for
+        read-only internal consumers that want to skip the defensive copies.
         """
         selected = self._selected_series(metric, tags, tag_filter)
         if len(selected) == 1:
+            if copy:
+                return [(start, sketch.copy()) for start, sketch in selected[0]]
             return list(selected[0])
         merged: Dict[float, BaseDDSketch] = {}
         for series in selected:
@@ -328,7 +382,9 @@ class Aggregator:
                 raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
         return [
             (interval_start, sketch.get_quantiles(quantiles))
-            for interval_start, sketch in self.interval_series(metric, tags, tag_filter)
+            for interval_start, sketch in self.interval_series(
+                metric, tags, tag_filter, copy=False
+            )
         ]
 
     def average_series(
@@ -337,7 +393,9 @@ class Aggregator:
         """Per-interval averages for a metric (exact)."""
         return [
             (interval_start, sketch.avg)
-            for interval_start, sketch in self.interval_series(metric, tags, tag_filter)
+            for interval_start, sketch in self.interval_series(
+                metric, tags, tag_filter, copy=False
+            )
             if sketch.count > 0
         ]
 
@@ -350,6 +408,23 @@ class Aggregator:
         except EmptySketchError:
             return 0.0
         return sum(series.total_count for series in selected)
+
+    def query_engine(
+        self,
+        cube_dimensions: Sequence[Sequence[str]] = (),
+        cache_capacity: int = 128,
+    ) -> "QueryEngine":
+        """A :class:`~repro.query.QueryEngine` bound to this aggregator.
+
+        The engine registers itself on the ingest-observer and
+        invalidation-hook seams, so its rollup cubes stay incrementally
+        up to date and its merge cache never serves a stale answer.
+        """
+        from repro.query import QueryEngine
+
+        return QueryEngine.over_aggregator(
+            self, cube_dimensions=cube_dimensions, cache_capacity=cache_capacity
+        )
 
     def size_in_bytes(self) -> int:
         """Modelled memory footprint of every stored sketch."""

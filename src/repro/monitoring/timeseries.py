@@ -14,6 +14,14 @@ materialised by merge on first use and cached until an underlying interval
 receives new data.  A "p99 over any window" query is answered by covering
 the window with the coarsest cached pieces and merging only those — instead
 of re-merging every interval on every query.
+
+Buckets are keyed internally by the **integer interval index**
+``floor(timestamp / interval_length)`` — never by the float interval start.
+Deriving both the bucket key and the window index from one canonical
+floor-division keeps them consistent for non-unit and fractional interval
+lengths (where ``floor(0.3 / 0.1) == 2`` in float arithmetic, and
+``round(start / length)`` can disagree with the flooring that produced
+``start``), so a bucket can never be orphaned from window invalidation.
 """
 
 from __future__ import annotations
@@ -68,8 +76,9 @@ class SketchTimeSeries:
         self._metric = self._series_key.metric
         self._interval_length = float(interval_length)
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
-        self._buckets: Dict[float, BaseDDSketch] = {}
-        self._by_index: Dict[int, float] = {}
+        # Canonical storage: one sketch per *integer* interval index.
+        self._buckets: Dict[int, BaseDDSketch] = {}
+        self._invalidation_hooks: List[Callable[[SeriesKey, int], None]] = []
 
         factors = tuple(int(factor) for factor in window_factors)
         previous = 1
@@ -138,6 +147,15 @@ class SketchTimeSeries:
 
     def intervals(self) -> List[float]:
         """Sorted interval start times holding data."""
+        return [self._start_of(index) for index in sorted(self._buckets)]
+
+    def interval_indices(self) -> List[int]:
+        """Sorted canonical integer interval indices holding data.
+
+        The index is the single source of truth for bucket identity: the
+        float start returned by :meth:`intervals` is *derived* from it
+        (``index * interval_length``), never the other way around.
+        """
         return sorted(self._buckets)
 
     def size_in_bytes(self) -> int:
@@ -148,28 +166,56 @@ class SketchTimeSeries:
     # Ingestion
     # ------------------------------------------------------------------ #
 
-    def _bucket_start(self, timestamp: float) -> float:
-        return math.floor(timestamp / self._interval_length) * self._interval_length
+    def _index_for(self, timestamp: float) -> int:
+        """Canonical interval index of ``timestamp`` (one floor-division).
 
-    def _index_of(self, interval_start: float) -> int:
-        return int(round(interval_start / self._interval_length))
+        The float pre-estimate ``floor(t / L)`` can be off by one when
+        ``t / L`` rounds across an integer (``0.3 / 0.1 == 2.9999...``), so
+        the result is fixed up until it satisfies the defining invariant
+        ``start_of(index) <= timestamp < start_of(index + 1)`` in float
+        arithmetic — which also makes ``_index_for(_start_of(i)) == i``, the
+        round-trip the old ``round(start / L)`` lookup path violated.
+        """
+        index = math.floor(timestamp / self._interval_length)
+        while (index + 1) * self._interval_length <= timestamp:
+            index += 1
+        while index * self._interval_length > timestamp:
+            index -= 1
+        return index
+
+    def _start_of(self, index: int) -> float:
+        """Float interval start derived from the canonical integer index."""
+        return index * self._interval_length
+
+    def _bucket_start(self, timestamp: float) -> float:
+        return self._start_of(self._index_for(timestamp))
 
     def _bucket_for(self, timestamp: float) -> BaseDDSketch:
         """The interval sketch containing ``timestamp`` (created on demand)."""
-        start = self._bucket_start(timestamp)
-        sketch = self._buckets.get(start)
+        index = self._index_for(timestamp)
+        sketch = self._buckets.get(index)
         if sketch is None:
             sketch = self._sketch_factory()
-            self._buckets[start] = sketch
-            self._by_index[self._index_of(start)] = start
-        self._invalidate_windows(start)
+            self._buckets[index] = sketch
+        self._invalidate_windows(index)
         return sketch
 
-    def _invalidate_windows(self, interval_start: float) -> None:
+    def add_invalidation_hook(self, hook: Callable[[SeriesKey, int], None]) -> None:
+        """Register ``hook(series_key, interval_index)`` to fire on every mutation.
+
+        The hook runs whenever an interval is about to receive new data —
+        the same moment the hierarchical window cache above that interval is
+        dropped — so external caches (e.g. the query engine's merge cache)
+        can invalidate entries derived from this series without polling.
+        """
+        self._invalidation_hooks.append(hook)
+
+    def _invalidate_windows(self, index: int) -> None:
         """Drop every cached window covering a freshly-mutated interval."""
-        index = self._index_of(interval_start)
         for factor in self._window_factors:
             self._window_cache[factor].pop(index // factor, None)
+        for hook in self._invalidation_hooks:
+            hook(self._series_key, index)
 
     def ingest_sketch(self, timestamp: float, sketch: BaseDDSketch, copy: bool = True) -> None:
         """Merge a sketch into the interval containing ``timestamp``.
@@ -179,14 +225,13 @@ class SketchTimeSeries:
         (e.g. sketches decoded from a wire frame), which avoids one copy per
         series on the high-cardinality ingestion path.
         """
-        start = self._bucket_start(timestamp)
-        existing = self._buckets.get(start)
+        index = self._index_for(timestamp)
+        existing = self._buckets.get(index)
         if existing is None:
-            self._buckets[start] = sketch.copy() if copy else sketch
-            self._by_index[self._index_of(start)] = start
+            self._buckets[index] = sketch.copy() if copy else sketch
         else:
             existing.merge(sketch)
-        self._invalidate_windows(start)
+        self._invalidate_windows(index)
 
     def ingest_value(self, timestamp: float, value: float, weight: float = 1.0) -> None:
         """Record a single raw value into the interval containing ``timestamp``."""
@@ -229,8 +274,7 @@ class SketchTimeSeries:
         first_child = window_index * (factor // child_factor)
         for child_index in range(first_child, first_child + factor // child_factor):
             if child_factor == 1:
-                start = self._by_index.get(child_index)
-                piece = None if start is None else self._buckets.get(start)
+                piece = self._buckets.get(child_index)
             else:
                 piece = self._window_sketch(level - 1, child_index)
             if piece is not None and piece.count > 0:
@@ -261,12 +305,22 @@ class SketchTimeSeries:
                     step = factor
                     break
             else:
-                start = self._by_index.get(index)
-                piece = None if start is None else self._buckets.get(start)
+                piece = self._buckets.get(index)
             if piece is not None and piece.count > 0:
                 pieces.append(piece)
             index += step
         return pieces
+
+    def _selected_indices(
+        self, start: Optional[float], end: Optional[float]
+    ) -> List[int]:
+        """Sorted stored interval indices whose start lies in ``[start, end)``."""
+        lo = None if start is None else self._index_for(start)
+        return [
+            index
+            for index in sorted(self._buckets)
+            if (lo is None or index >= lo) and (end is None or self._start_of(index) < end)
+        ]
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -274,7 +328,7 @@ class SketchTimeSeries:
 
     def sketch_at(self, timestamp: float) -> Optional[BaseDDSketch]:
         """The sketch of the interval containing ``timestamp``, if any."""
-        return self._buckets.get(self._bucket_start(timestamp))
+        return self._buckets.get(self._index_for(timestamp))
 
     def rollup(self, start: Optional[float] = None, end: Optional[float] = None) -> BaseDDSketch:
         """Merge every interval in ``[start, end)`` into a single sketch.
@@ -288,20 +342,12 @@ class SketchTimeSeries:
         """
         if not self._buckets:
             raise EmptySketchError(f"no data stored for metric {self._metric!r}")
-        lower = None if start is None else self._bucket_start(start)
-        selected = [
-            interval_start
-            for interval_start in sorted(self._buckets)
-            if (lower is None or interval_start >= lower)
-            and (end is None or interval_start < end)
-        ]
+        selected = self._selected_indices(start, end)
         if not selected:
             raise EmptySketchError(
                 f"no data for metric {self._metric!r} in [{start!r}, {end!r})"
             )
-        pieces = self._cover_pieces(
-            self._index_of(selected[0]), self._index_of(selected[-1]) + 1
-        )
+        pieces = self._cover_pieces(selected[0], selected[-1] + 1)
         if not pieces:
             # Every selected interval holds an empty sketch; preserve the
             # plain-merge behaviour of returning an empty copy.
@@ -310,6 +356,84 @@ class SketchTimeSeries:
         for piece in pieces[1:]:
             merged.merge(piece)
         return merged
+
+    def quantile_bounds(
+        self,
+        quantile: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Tuple[float, float]:
+        """Bounds enclosing ``rollup(start, end).quantile(quantile)`` — without merging.
+
+        The pruning primitive for threshold queries across many series: a
+        single pass over the per-interval scalar summaries (count, zero
+        count, negative count, exact min/max) classifies which region of the
+        merged sketch the rank would fall in, then brackets every estimate
+        that region could return using the exact extremes and the worst
+        relative accuracy among the intervals.  No sketch is copied or
+        merged.  The guarantee is
+        ``lower <= rollup(start, end).quantile(quantile) <= upper``; the
+        bounds are *sound* for every store family (collapsing stores only
+        move keys inward, and adaptive-accuracy merges are covered by taking
+        the max ``alpha``), but deliberately loose — they answer "can this
+        series possibly exceed the threshold?", not "what is the quantile?".
+
+        Raises ``IllegalArgumentError`` for a quantile outside ``[0, 1]``
+        and ``EmptySketchError`` when no data lies in the window — the same
+        contract as :meth:`rollup` followed by ``quantile``.
+        """
+        if quantile < 0 or quantile > 1:
+            raise IllegalArgumentError(f"quantile must be in [0, 1], got {quantile!r}")
+        selected = [
+            index
+            for index in self._selected_indices(start, end)
+            if self._buckets[index].count > 0
+        ]
+        if not selected:
+            raise EmptySketchError(
+                f"no data for metric {self._metric!r} in [{start!r}, {end!r})"
+            )
+        if len(selected) == 1:
+            return self._buckets[selected[0]].quantile_bounds(quantile)
+        sketches = [self._buckets[index] for index in selected]
+        total = sum(sketch.count for sketch in sketches)
+        negative = sum(sketch.negative_store.count for sketch in sketches)
+        zero = sum(sketch.zero_count for sketch in sketches)
+        positive = total - zero - negative
+        minimum = min(sketch.min for sketch in sketches)
+        maximum = max(sketch.max for sketch in sketches)
+        alpha = max(sketch.relative_accuracy for sketch in sketches)
+        # Merging adaptive-accuracy sketches can trigger *further* uniform
+        # collapses (the merged key span may exceed the bucket budget), so
+        # the merged guarantee can be coarser than any input's.  The
+        # degradation saturates strictly below alpha = 1, so widening to the
+        # alpha -> 1 envelope keeps the bounds sound without simulating the
+        # collapse cascade.
+        from repro.core.uddsketch import UDDSketch
+
+        if any(isinstance(sketch, UDDSketch) for sketch in sketches):
+            alpha = 1.0
+        rank = max(quantile * (total - 1), 0.0)
+        # The merged sketch accumulates the same counts in a different float
+        # summation order; widen the region boundaries by a relative epsilon
+        # so a rank that could land either side of a boundary in the merged
+        # sketch contributes both regions' bounds.
+        tolerance = 1e-9 * max(total, 1.0)
+        zero_boundary = zero + negative
+        lower = math.inf
+        upper = -math.inf
+        if negative > 0 and rank < negative + tolerance:
+            # Estimates are -value(key) for keys covering negative inputs:
+            # within relative distance alpha of some |v| in [0, -minimum].
+            lower = min(lower, minimum * (1.0 + alpha))
+            upper = max(upper, maximum * (1.0 - alpha) if maximum < 0 else 0.0)
+        if zero > 0 and negative - tolerance <= rank < zero_boundary + tolerance:
+            lower = min(lower, 0.0)
+            upper = max(upper, 0.0)
+        if positive > 0 and rank >= zero_boundary - tolerance:
+            lower = min(lower, minimum * (1.0 - alpha) if minimum > 0 else 0.0)
+            upper = max(upper, maximum * (1.0 + alpha))
+        return lower, upper
 
     def quantile_series(self, quantile: float) -> List[Tuple[float, float]]:
         """Per-interval quantile estimates: ``[(interval_start, value), ...]``."""
@@ -332,16 +456,16 @@ class SketchTimeSeries:
         it (e.g. an out-of-range quantile).
         """
         return [
-            (interval_start, self._buckets[interval_start].get_quantiles(quantiles))
-            for interval_start in sorted(self._buckets)
+            (self._start_of(index), self._buckets[index].get_quantiles(quantiles))
+            for index in sorted(self._buckets)
         ]
 
     def average_series(self) -> List[Tuple[float, float]]:
         """Per-interval averages (exact, from the sketches' sum/count)."""
         return [
-            (interval_start, self._buckets[interval_start].avg)
-            for interval_start in sorted(self._buckets)
-            if self._buckets[interval_start].count > 0
+            (self._start_of(index), self._buckets[index].avg)
+            for index in sorted(self._buckets)
+            if self._buckets[index].count > 0
         ]
 
     def quantile_over_windows(
@@ -351,28 +475,48 @@ class SketchTimeSeries:
 
         This is the "roll up the sums and counts to graph ... over much larger
         intervals" operation from the paper's introduction, except that thanks
-        to mergeability it works for quantiles, not just averages.
+        to mergeability it works for quantiles, not just averages.  Each
+        window's merge is served through the hierarchical window cache
+        (:meth:`_cover_pieces`), so repeated dashboard reads over the same
+        windows merge a few cached pieces instead of every raw interval.
         """
         if window_length <= 0:
             raise IllegalArgumentError(f"window_length must be positive, got {window_length!r}")
-        windows: Dict[float, BaseDDSketch] = {}
-        for interval_start, sketch in self._buckets.items():
-            window_start = math.floor(interval_start / window_length) * window_length
-            existing = windows.get(window_start)
-            if existing is None:
-                windows[window_start] = sketch.copy()
+        # Group stored intervals by containing window.  The interval -> window
+        # assignment is monotone in the interval index, so each window's
+        # indices form a contiguous range coverable by cached pieces.
+        groups: Dict[int, List[int]] = {}
+        order: List[int] = []
+        for index in sorted(self._buckets):
+            start = self._start_of(index)
+            window_index = math.floor(start / window_length)
+            while (window_index + 1) * window_length <= start:
+                window_index += 1
+            while window_index * window_length > start:
+                window_index -= 1
+            group = groups.get(window_index)
+            if group is None:
+                groups[window_index] = [index]
+                order.append(window_index)
             else:
-                existing.merge(sketch)
+                group.append(index)
         series = []
-        for window_start in sorted(windows):
-            value = windows[window_start].get_quantile_value(quantile)
+        for window_index in order:
+            group = groups[window_index]
+            pieces = self._cover_pieces(group[0], group[-1] + 1)
+            if not pieces:
+                continue
+            merged = pieces[0].copy()
+            for piece in pieces[1:]:
+                merged.merge(piece)
+            value = merged.get_quantile_value(quantile)
             if value is not None:
-                series.append((window_start, value))
+                series.append((window_index * window_length, value))
         return series
 
     def __iter__(self) -> Iterator[Tuple[float, BaseDDSketch]]:
-        for interval_start in sorted(self._buckets):
-            yield interval_start, self._buckets[interval_start]
+        for index in sorted(self._buckets):
+            yield self._start_of(index), self._buckets[index]
 
     def __len__(self) -> int:
         return len(self._buckets)

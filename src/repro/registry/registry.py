@@ -58,13 +58,28 @@ class SketchRegistry:
     def __init__(self, sketch_factory: Optional[Callable[[], BaseDDSketch]] = None) -> None:
         self._sketch_factory = sketch_factory or (lambda: DDSketch(relative_accuracy=0.01))
         self._ingest = GroupedIngest(self._sketch_factory)
+        self._data_version = 0
 
     # ------------------------------------------------------------------ #
     # Series access
     # ------------------------------------------------------------------ #
 
+    @property
+    def data_version(self) -> int:
+        """Monotone counter bumped on every mutating call.
+
+        Read-side caches (e.g. :class:`~repro.query.QueryEngine` over a live
+        registry) compare this against the version they derived from to
+        detect staleness without tracking individual series.  Handing out a
+        mutable sketch via :meth:`sketch` conservatively counts as a
+        mutation; values added through a previously-obtained live reference
+        are the one write path the counter cannot see.
+        """
+        return self._data_version
+
     def sketch(self, series: SeriesLike, tags: TagsLike = None) -> BaseDDSketch:
         """The sketch for a series, created on first use."""
+        self._data_version += 1
         return self._ingest.sketch(SeriesKey.of(series, tags))
 
     def get(self, series: SeriesLike, tags: TagsLike = None) -> BaseDDSketch:
@@ -115,6 +130,7 @@ class SketchRegistry:
 
     def clear(self) -> None:
         """Drop every series."""
+        self._data_version += 1
         self._ingest.clear()
 
     # ------------------------------------------------------------------ #
@@ -156,6 +172,7 @@ class SketchRegistry:
         possible).  Returns the number of samples ingested.
         """
         keys = [SeriesKey.of(entry) for entry in series]
+        self._data_version += 1
         return self._ingest.ingest_grouped(keys, group_indices, values, weights)
 
     def ingest_columns(
@@ -178,10 +195,12 @@ class SketchRegistry:
             # metrics instead of repr-mangling them.)
             uniques, codes = np.unique(array, return_inverse=True)
             keys = [SeriesKey.of(str(unique)) for unique in uniques.tolist()]
+            self._data_version += 1
             return self._ingest.ingest_grouped(keys, codes.astype(np.int64), values, weights)
         # Loose descriptions: normalize to hashable keys, then let the
         # facade's own factorization do the dict scan.
         keys = [SeriesKey.of(entry) for entry in series]
+        self._data_version += 1
         return self._ingest.ingest_columns(keys, values, weights)
 
     def merge_series(
@@ -199,6 +218,7 @@ class SketchRegistry:
         the caller holds the only reference.  Merging into an existing
         series behaves identically either way (Algorithm 4 mergeability).
         """
+        self._data_version += 1
         self._ingest.merge_sketch(SeriesKey.of(series, tags), sketch, copy=copy)
 
     def merge(self, other: "SketchRegistry") -> None:
@@ -271,6 +291,23 @@ class SketchRegistry:
         if any(value is None for value in values):
             raise EmptySketchError(f"no data for metric {metric!r}")
         return [float(value) for value in values]
+
+    def query_engine(
+        self,
+        cube_dimensions: Sequence[Sequence[str]] = (),
+        cache_capacity: int = 128,
+    ) -> "QueryEngine":
+        """A :class:`~repro.query.QueryEngine` over this registry.
+
+        Cube cells are premerged from the current contents; the engine
+        watches :attr:`data_version` and rebuilds them whenever this
+        registry mutates, so it is cheapest over an immutable snapshot.
+        """
+        from repro.query import QueryEngine
+
+        return QueryEngine.over_registry(
+            self, cube_dimensions=cube_dimensions, cache_capacity=cache_capacity
+        )
 
     # ------------------------------------------------------------------ #
     # Wire frames

@@ -394,6 +394,22 @@ class ShardedRegistry:
             snapshot.merge_series(key, sketch, copy=False)
         return snapshot
 
+    def query_engine(
+        self,
+        cube_dimensions: Sequence[Sequence[str]] = (),
+        cache_capacity: int = 128,
+    ) -> "QueryEngine":
+        """A :class:`~repro.query.QueryEngine` over a fresh :meth:`snapshot`.
+
+        The engine's cube and cache are derived from point-in-time copies,
+        so queries stay consistent (and lock-free) while writers keep
+        recording into this sharded registry; build a new engine to observe
+        later writes.
+        """
+        return self.snapshot().query_engine(
+            cube_dimensions=cube_dimensions, cache_capacity=cache_capacity
+        )
+
     # ------------------------------------------------------------------ #
     # Series access / statistics
     # ------------------------------------------------------------------ #

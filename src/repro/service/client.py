@@ -465,6 +465,39 @@ class ServiceClient:
         payload = json.dumps(body, sort_keys=True).encode("utf-8")
         return self._request(protocol.MSG_QUERY, payload, retry=False)
 
+    def query_threshold(
+        self,
+        metric: str,
+        quantile: float,
+        threshold: float,
+        above: bool = True,
+        tag_filter: TagsLike = None,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Which series' ``quantile`` estimate passes ``threshold`` on the server?
+
+        The wire form of :meth:`repro.query.QueryEngine.threshold_query`:
+        the server prunes its series population from cheap sketch bounds and
+        scans only the stragglers.  The reply carries the matching series
+        (string form), the population size, and the prune rate.
+        """
+        body: Dict[str, Any] = {
+            "metric": metric,
+            "quantiles": [float(quantile)],
+            "threshold": float(threshold),
+        }
+        if not above:
+            body["below"] = True
+        if tag_filter is not None:
+            body["tag_filter"] = dict(tag_filter) if not isinstance(tag_filter, str) else tag_filter
+        if window_start is not None:
+            body["window_start"] = float(window_start)
+        if window_end is not None:
+            body["window_end"] = float(window_end)
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        return self._request(protocol.MSG_QUERY, payload, retry=False)
+
     def stats(self) -> Dict[str, Any]:
         """The server's counters (series, counts, dedup, bytes, log position)."""
         return self._request(protocol.MSG_STATS, b"", retry=False)

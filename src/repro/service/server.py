@@ -650,6 +650,34 @@ class AggregationServer:
                 "query window_start/window_end must be numbers, got "
                 f"{body.get('window_start')!r}/{body.get('window_end')!r}"
             ) from None
+        if body.get("threshold") is not None:
+            try:
+                threshold = float(body["threshold"])
+            except (TypeError, ValueError):
+                raise IllegalArgumentError(
+                    f"query threshold must be a number, got {body.get('threshold')!r}"
+                ) from None
+            result = self.state.threshold_query(
+                str(metric),
+                quantile_values[0],
+                threshold,
+                above=not bool(body.get("below", False)),
+                tag_filter=body.get("tag_filter"),
+                window_start=window_start,
+                window_end=window_end,
+            )
+            return {
+                "status": "ok",
+                "metric": metric,
+                "quantile": quantile_values[0],
+                "threshold": threshold,
+                "above": result.above,
+                "matches": [str(key) for key in result.matches],
+                "total_series": result.total_series,
+                "scanned": len(result.scanned),
+                "pruned": result.pruned,
+                "prune_rate": result.prune_rate,
+            }
         values = self.state.quantiles(
             str(metric),
             quantile_values,

@@ -251,6 +251,31 @@ class ServiceState:
         source = self._windowed_registry(window_start, window_end)
         return source.quantiles(metric, quantiles, tags=tags, tag_filter=tag_filter)
 
+    def threshold_query(
+        self,
+        metric: str,
+        quantile: float,
+        threshold: float,
+        above: bool = True,
+        tag_filter: TagsLike = None,
+        window_start: Optional[float] = None,
+        window_end: Optional[float] = None,
+    ) -> "ThresholdResult":
+        """Which stored series' quantile estimate passes ``threshold``?
+
+        Runs a :class:`~repro.query.QueryEngine` sketch-bound threshold
+        query (see :meth:`~repro.query.QueryEngine.threshold_query`) over
+        the merged state or, with window bounds, over the retained interval
+        buckets intersecting ``[window_start, window_end)``.
+        """
+        from repro.query import QueryEngine
+
+        source = self._windowed_registry(window_start, window_end)
+        engine = QueryEngine.over_registry(source)
+        return engine.threshold_query(
+            metric, quantile, threshold, above=above, tag_filter=tag_filter
+        )
+
     def _windowed_registry(
         self, window_start: Optional[float], window_end: Optional[float]
     ) -> SketchRegistry:

@@ -33,6 +33,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_sharded.json",
     "BENCH_service.json",
     "BENCH_overload.json",
+    "BENCH_query.json",
 )
 
 
@@ -59,6 +60,18 @@ class TestCommittedArtifacts:
         sections = document["metrics"]
         assert any("values_per_sec" in section for section in sections.values()), (
             "BENCH_service.json must record the service's end-to-end values/sec"
+        )
+
+    def test_query_artifact_carries_interactivity_gates(self):
+        path = REPO_ROOT / "BENCH_query.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        sections = document["metrics"]
+        assert {"tag_slice", "threshold"} <= set(sections)
+        assert sections["tag_slice"]["warm_seconds"] < 0.010, (
+            "warm tag-slice quantile queries must stay interactive (< 10 ms)"
+        )
+        assert sections["threshold"]["prune_rate"] >= 0.9, (
+            "selective threshold queries must prune >= 90% of series from bounds"
         )
 
     def test_overload_artifact_carries_degradation_metrics(self):

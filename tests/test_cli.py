@@ -305,3 +305,68 @@ class TestServiceCommands:
         document = json.loads(output_path.read_text(encoding="utf-8"))
         validate_bench_artifact(document)
         assert document["metrics"]["service_loadgen"]["reference_match"] is True
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def served_population(self):
+        from repro.service import ServiceClient, serve_in_thread
+
+        with serve_in_thread() as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                for index, scale in enumerate((1.0, 1.0, 1.0, 100.0)):
+                    frame = _make_query_frame(
+                        [scale * value for value in (1.0, 2.0, 5.0)],
+                        endpoint=f"/e{index}",
+                    )
+                    client.push_frame(frame, host=f"agent-{index}")
+            yield port
+
+    def test_parser_help_lists_query(self):
+        assert "query" in build_parser().format_help()
+
+    def test_quantile_mode(self, served_population):
+        exit_code, output = run_cli(
+            ["query", "--port", str(served_population), "--metric", "cli.lat",
+             "--quantiles", "0.5,0.99", "--tag-filter", "endpoint=/e0"],
+        )
+        assert exit_code == 0
+        assert "cli.lat p50 =" in output
+        assert "cli.lat p99 =" in output
+
+    def test_threshold_mode(self, served_population):
+        exit_code, output = run_cli(
+            ["query", "--port", str(served_population), "--metric", "cli.lat",
+             "--quantiles", "0.99", "--threshold", "50"],
+        )
+        assert exit_code == 0
+        assert "1 of 4 series" in output
+        assert "cli.lat{endpoint=/e3}" in output
+        assert "prune rate" in output
+
+    def test_below_threshold_mode(self, served_population):
+        exit_code, output = run_cli(
+            ["query", "--port", str(served_population), "--metric", "cli.lat",
+             "--quantiles", "0.5", "--threshold", "50", "--below"],
+        )
+        assert exit_code == 0
+        assert "3 of 4 series" in output
+
+    def test_bad_quantiles_rejected(self, served_population):
+        exit_code, output = run_cli(
+            ["query", "--port", str(served_population), "--metric", "cli.lat",
+             "--quantiles", "abc"],
+        )
+        assert exit_code == 2
+        assert "comma-separated" in output
+
+
+def _make_query_frame(values, endpoint):
+    from repro import SketchRegistry
+
+    registry = SketchRegistry()
+    sketch = registry.sketch("cli.lat", {"endpoint": endpoint})
+    for value in values:
+        sketch.add(value)
+    return registry.to_frame()

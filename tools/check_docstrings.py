@@ -32,6 +32,7 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "core" / "grouped.py",
     REPO_ROOT / "src" / "repro" / "service",
     REPO_ROOT / "src" / "repro" / "evaluation" / "artifacts.py",
+    REPO_ROOT / "src" / "repro" / "query",
 ]
 
 
