@@ -47,6 +47,13 @@ Four subcommands cover the common workflows:
     at 1x and 2x admission capacity plus an outage-spool replay — and write
     ``BENCH_overload.json``.
 
+``version``
+    Print the package version plus the ingest-kernel diagnostics: which
+    kernel backend (``numpy`` or the compiled ``native`` one) is active,
+    whether the native backend is available on this host (and, if not,
+    why), and the ``REPRO_KERNEL`` override in effect — the first thing
+    to check when comparing benchmark numbers from two machines.
+
 ``simulate``
     Run the Section 1 monitoring fleet end to end — agents sketching skewed
     latencies, multi-sketch wire frames, a tag-aware aggregator — and print
@@ -149,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0, help="random seed (default: 0)")
     evaluate.add_argument(
         "--quantiles", type=_parse_quantiles, default=[0.5, 0.95, 0.99], help="quantiles to evaluate"
+    )
+
+    subparsers.add_parser(
+        "version",
+        help="print the package version and the active ingest-kernel backend",
     )
 
     bounds = subparsers.add_parser("bounds", help="evaluate the Section 3 size bounds")
@@ -514,6 +526,27 @@ def _run_bounds(args: argparse.Namespace, stdout) -> int:
     return 0
 
 
+def _run_version(stdout) -> int:
+    import platform
+
+    import repro
+    from repro import kernel
+
+    info = kernel.backend_info()
+    rows = [
+        ["repro", repro.__version__],
+        ["python", platform.python_version()],
+        ["numpy", np.__version__],
+        ["kernel backend", info["active"]],
+        ["native available", "yes" if info["native_available"] else "no"],
+    ]
+    if not info["native_available"]:
+        rows.append(["native unavailable", str(info["native_unavailable_reason"])])
+    rows.append(["REPRO_KERNEL", info["env"] if info["env"] is not None else "(unset)"])
+    print(format_table(["component", "value"], rows), file=stdout)
+    return 0
+
+
 def _run_simulate(args: argparse.Namespace, stdout) -> int:
     from repro.monitoring import MonitoringSimulation
 
@@ -539,6 +572,7 @@ def _run_simulate(args: argparse.Namespace, stdout) -> int:
         ["requests", f"{report.total_requests}"],
         ["bytes on wire", f"{report.bytes_on_wire}"],
         ["max relative error", f"{report.max_relative_error():.6g}"],
+        ["kernel backend", report.kernel_backend],
     ]
     print(format_table(["statistic", "value"], rows), file=stdout)
     print("", file=stdout)
@@ -789,6 +823,7 @@ def _run_load_gen(args: argparse.Namespace, stdout) -> int:
         ["values pushed", f"{metrics['values']}"],
         ["bytes on wire", f"{metrics['bytes_on_wire']}"],
         ["durability", "segment log" if metrics["durable"] else "in-memory"],
+        ["kernel backend", metrics["kernel_backend"]],
         ["elapsed", f"{metrics['seconds']:.3f} s"],
         ["frames/sec", f"{metrics['frames_per_sec']:.0f}"],
         ["values/sec", f"{metrics['values_per_sec']:.0f}"],
@@ -816,6 +851,8 @@ def main(argv: Optional[Sequence[str]] = None, stdin=None, stdout=None) -> int:
             return _run_evaluate(args, stdout)
         if args.command == "bounds":
             return _run_bounds(args, stdout)
+        if args.command == "version":
+            return _run_version(stdout)
         if args.command == "simulate":
             return _run_simulate(args, stdout)
         if args.command == "serve":

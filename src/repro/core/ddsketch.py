@@ -28,6 +28,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import kernel
 from repro.exceptions import (
     EmptySketchError,
     IllegalArgumentError,
@@ -194,10 +195,11 @@ class BaseDDSketch:
         if math.isnan(value) or math.isinf(value):
             raise IllegalArgumentError(f"value must be a finite number, got {value!r}")
 
-        if value > self._mapping.min_possible:
-            self._store.add(self._mapping.key(value), weight)
-        elif value < -self._mapping.min_possible:
-            self._negative_store.add(self._mapping.key(-value), weight)
+        sign, key = kernel.classify_value(self._mapping, value)
+        if sign == kernel.POSITIVE:
+            self._store.add(key, weight)
+        elif sign == kernel.NEGATIVE:
+            self._negative_store.add(key, weight)
         else:
             self._zero_count += weight
 
@@ -224,10 +226,11 @@ class BaseDDSketch:
             return
 
         removable = min(weight, self._count)
-        if value > self._mapping.min_possible:
-            self._store.remove(self._mapping.key(value), removable)
-        elif value < -self._mapping.min_possible:
-            self._negative_store.remove(self._mapping.key(-value), removable)
+        sign, key = kernel.classify_value(self._mapping, value)
+        if sign == kernel.POSITIVE:
+            self._store.remove(key, removable)
+        elif sign == kernel.NEGATIVE:
+            self._negative_store.remove(key, removable)
         else:
             self._zero_count = max(0.0, self._zero_count - removable)
 
@@ -246,13 +249,12 @@ class BaseDDSketch:
         """Insert a whole array of values at once (vectorized hot path).
 
         This is the batch counterpart of :meth:`add` and the entry point of
-        the array-oriented ingestion pipeline: the sign/zero split is one
-        pass of NumPy mask operations, bucket keys are computed with a single
-        :meth:`~repro.mapping.KeyMapping.key_batch` call per sign, and the
-        stores accumulate each batch with one
-        :meth:`~repro.store.Store.add_batch` call.  The exact ``count``,
-        ``sum``, ``min`` and ``max`` summaries are updated from array
-        reductions.
+        the columnar ingestion pipeline: one
+        :func:`repro.kernel.compute_keys` pass performs the sign/zero split
+        and the bucket-key computation, and each store accumulates its
+        sign's :class:`~repro.kernel.Selection` through the segment hook
+        (``Store._add_selection``).  The exact ``count``, ``sum``, ``min``
+        and ``max`` summaries are updated from array reductions.
 
         Parameters
         ----------
@@ -280,43 +282,37 @@ class BaseDDSketch:
 
         Notes
         -----
-        ``O(len(values))`` with NumPy-level constants — one key computation
-        and one counter accumulation per value, as in Section 2.1 of the
-        paper, without the per-value Python call chain.  The resulting
-        sketch is identical to looping :meth:`add` over the batch: the same
-        buckets with the same counts (bit-for-bit for unit weights), the
-        same ``count``/``min``/``max``, and a ``sum`` that may differ only
-        by floating-point summation order.
+        ``O(len(values))`` — one key computation and one counter
+        accumulation per value, as in Section 2.1 of the paper, without the
+        per-value Python call chain.  This method is a thin adapter over
+        :mod:`repro.kernel`: the sign split and key computation run in the
+        active kernel backend (NumPy or compiled), the stores consume the
+        resulting per-sign selections through their segment hooks, and the
+        exact summaries come from shared array reductions — so the resulting
+        sketch is bit-identical across backends, and identical to looping
+        :meth:`add` over the batch (same buckets and counts, same
+        ``count``/``min``/``max``; ``sum`` may differ only by summation
+        order).
         """
         values = np.asarray(values, dtype=np.float64).reshape(-1)
         if values.size == 0:
             return self
-        values, weight_array = self._coerce_values_weights(values, weights)
+        values, weight_array = kernel.coerce_values_weights(values, weights)
 
-        min_possible = self._mapping.min_possible
-        positive_mask = values > min_possible
-        negative_mask = values < -min_possible
-
-        positive_values = values[positive_mask]
-        if positive_values.size:
-            self._store.add_batch(
-                self._mapping.key_batch(positive_values),
-                None if weight_array is None else weight_array[positive_mask],
-            )
-        negative_values = values[negative_mask]
-        if negative_values.size:
-            self._negative_store.add_batch(
-                self._mapping.key_batch(-negative_values),
-                None if weight_array is None else weight_array[negative_mask],
+        split = kernel.compute_keys(self._mapping, values)
+        if split.num_positive:
+            self._store._add_selection(split.selection(kernel.POSITIVE, weight_array))
+        if split.num_negative:
+            self._negative_store._add_selection(
+                split.selection(kernel.NEGATIVE, weight_array)
             )
 
         if weight_array is None:
-            zero_weight = float(values.size - positive_values.size - negative_values.size)
+            zero_weight = float(split.num_zero)
             total_weight = float(values.size)
             batch_sum = float(values.sum())
         else:
-            zero_mask = ~(positive_mask | negative_mask)
-            zero_weight = float(weight_array[zero_mask].sum())
+            zero_weight = float(weight_array[split.zero_mask].sum())
             total_weight = float(weight_array.sum())
             batch_sum = float((values * weight_array).sum())
 
@@ -337,31 +333,10 @@ class BaseDDSketch:
         weights: Optional[Union[float, "np.ndarray"]],
     ) -> "Tuple[np.ndarray, Optional[np.ndarray]]":
         """Normalize and validate one ingestion batch (shared by the batch
-        and grouped entry points): flat finite ``float64`` values plus either
-        ``None`` (unit weights) or a matching array of positive finite
-        weights (a scalar weight is broadcast)."""
-        values = np.asarray(values, dtype=np.float64).reshape(-1)
-        if not np.isfinite(values).all():
-            bad = values[~np.isfinite(values)][0]
-            raise IllegalArgumentError(f"value must be a finite number, got {bad!r}")
-        if weights is None:
-            return values, None
-        weight_array = np.asarray(weights, dtype=np.float64)
-        if weight_array.ndim == 0:
-            weight_array = np.full(values.shape, float(weight_array))
-        else:
-            weight_array = weight_array.reshape(-1)
-        if weight_array.shape != values.shape:
-            raise IllegalArgumentError(
-                f"weights shape {weight_array.shape} does not match "
-                f"values shape {values.shape}"
-            )
-        if not np.isfinite(weight_array).all() or not (weight_array > 0.0).all():
-            bad = weight_array[~(np.isfinite(weight_array) & (weight_array > 0.0))][0]
-            raise IllegalArgumentError(
-                f"weight must be a positive finite number, got {bad!r}"
-            )
-        return values, weight_array
+        and grouped entry points).  Thin compatibility alias for
+        :func:`repro.kernel.coerce_values_weights`, the single audited
+        entry point for the zero/negative/NaN filtering semantics."""
+        return kernel.coerce_values_weights(values, weights)
 
     @staticmethod
     def add_grouped_batch(
@@ -436,7 +411,7 @@ class BaseDDSketch:
                 f"group indices must be in [0, {num_groups}), got range "
                 f"[{int(group_indices.min())}, {int(group_indices.max())}]"
             )
-        values, weight_array = BaseDDSketch._coerce_values_weights(values, weights)
+        values, weight_array = kernel.coerce_values_weights(values, weights)
 
         from repro.store.dense import DenseStore
 
@@ -465,28 +440,27 @@ class BaseDDSketch:
                 )
             return
 
-        min_possible = mapping.min_possible
-        positive_mask = values > min_possible
-        negative_mask = values < -min_possible
-
-        if positive_mask.any():
+        split = kernel.compute_keys(mapping, values)
+        if split.num_positive:
+            positive_mask = split.positive_mask
             store_add_grouped(
                 [sketch._store for sketch in sketches],
                 group_indices[positive_mask],
-                mapping.key_batch(values[positive_mask]),
+                split.keys_for(kernel.POSITIVE),
                 None if weight_array is None else weight_array[positive_mask],
                 scratch=scratch,
             )
-        if negative_mask.any():
+        if split.num_negative:
+            negative_mask = split.negative_mask
             store_add_grouped(
                 [sketch._negative_store for sketch in sketches],
                 group_indices[negative_mask],
-                mapping.key_batch(-values[negative_mask]),
+                split.keys_for(kernel.NEGATIVE),
                 None if weight_array is None else weight_array[negative_mask],
                 scratch=scratch,
             )
 
-        zero_mask = ~(positive_mask | negative_mask)
+        zero_mask = split.zero_mask
         zero_add = group_totals(num_groups, group_indices[zero_mask],
                                 None if weight_array is None else weight_array[zero_mask])
         count_add = group_totals(num_groups, group_indices, weight_array)

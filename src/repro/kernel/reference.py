@@ -1,0 +1,141 @@
+"""The pure-NumPy reference backend of the columnar ingest kernel.
+
+This backend *is* the semantics: every operation here performs exactly the
+array expressions the pre-kernel code paths performed (mask comparisons,
+``key_batch`` per sign, ``clip`` + ``bincount`` binning, the flat-index
+grouped ``bincount``, and the per-bucket varint codec loops), so refactoring
+the sketch/store layers onto the kernel changed no observable byte anywhere.
+The optional native backend (:mod:`repro.kernel.native`) is validated against
+this one — at load time by a self-test and continuously by the
+``tests/test_kernel_backends.py`` property suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernel.segments import (
+    NEGATIVE,
+    POSITIVE,
+    Selection,
+    SignSplit,
+)
+
+
+class NumpySignSplit(SignSplit):
+    """Eager mask-based sign split (the historical ``add_batch`` pass)."""
+
+    __slots__ = ("_mapping", "_masks", "_keys", "_ranges")
+
+    def __init__(self, mapping, values: "np.ndarray") -> None:
+        min_possible = mapping.min_possible
+        positive_mask = values > min_possible
+        negative_mask = values < -min_possible
+        super().__init__(
+            values,
+            int(np.count_nonzero(positive_mask)),
+            int(np.count_nonzero(negative_mask)),
+        )
+        self._mapping = mapping
+        self._masks = {POSITIVE: positive_mask, NEGATIVE: negative_mask}
+        self._keys: dict = {}
+        self._ranges: dict = {}
+
+    def mask_for(self, sign: int) -> "np.ndarray":
+        """Full-length boolean mask of the samples with the given sign."""
+        return self._masks[sign]
+
+    def keys_for(self, sign: int) -> "np.ndarray":
+        """Compressed keys via one :meth:`KeyMapping.key_batch` call per sign."""
+        keys = self._keys.get(sign)
+        if keys is None:
+            selected = self.values[self._masks[sign]]
+            if sign == NEGATIVE:
+                selected = -selected
+            keys = self._mapping.key_batch(selected)
+            self._keys[sign] = keys
+        return keys
+
+    def key_range(self, sign: int) -> Tuple[int, int]:
+        """``(min_key, max_key)`` from the compressed key array."""
+        cached = self._ranges.get(sign)
+        if cached is None:
+            keys = self.keys_for(sign)
+            cached = (int(keys.min()), int(keys.max()))
+            self._ranges[sign] = cached
+        return cached
+
+
+class NumpyBackend:
+    """Kernel backend implemented entirely with NumPy array expressions."""
+
+    name = "numpy"
+
+    def split_keys(self, mapping, values: "np.ndarray") -> NumpySignSplit:
+        """Sign-split a value batch and prepare per-sign key computation."""
+        return NumpySignSplit(mapping, values)
+
+    def bin_selection(self, selection: Selection, lo: int, hi: int) -> "np.ndarray":
+        """Bin a selection into the contiguous key window ``[lo, hi]``.
+
+        Out-of-window keys clip onto the boundary cells — exactly where a
+        bounded store's per-item path folds them.  ``bincount`` accumulates
+        in input order, so fractional weights sum in the same order as a
+        per-item loop.
+        """
+        indices = np.clip(selection.keys, lo, hi) - lo
+        return np.bincount(indices, weights=selection.weights, minlength=hi - lo + 1)
+
+    def bin_grouped(
+        self,
+        group_indices: "np.ndarray",
+        keys: "np.ndarray",
+        weights: Optional["np.ndarray"],
+        num_groups: int,
+        offset: int,
+        span: int,
+        scratch=None,
+    ) -> "np.ndarray":
+        """One combined ``bincount`` over the flat index ``group * span + key``.
+
+        ``scratch`` (a :class:`repro.store.grouped.GroupedScratch`) lets a
+        single-writer caller reuse the batch-sized flat-index temporary; the
+        in-place arithmetic produces bit-identical indices.
+        """
+        if scratch is None:
+            flat = group_indices * span + (keys - offset)
+        else:
+            flat = scratch.flat_index(keys.size)
+            np.multiply(group_indices, span, out=flat)
+            np.add(flat, keys, out=flat)
+            if offset:
+                flat -= offset
+        cells = np.bincount(flat, weights=weights, minlength=num_groups * span)
+        return cells.reshape(num_groups, span)
+
+    def encode_bucket_pairs(self, deltas: "np.ndarray", counts: "np.ndarray") -> bytes:
+        """Encode ``(zig-zag delta, float64 count)`` pairs to wire bytes."""
+        from repro.serialization.encoding import encode_float, encode_zigzag
+
+        out = bytearray()
+        for delta, count in zip(deltas.tolist(), counts.tolist()):
+            out += encode_zigzag(delta)
+            out += encode_float(count)
+        return bytes(out)
+
+    def decode_bucket_pairs(self, reader, num_buckets: int) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Decode ``num_buckets`` wire pairs, advancing ``reader``.
+
+        Raises the codec's exact error contract
+        (:class:`~repro.exceptions.DeserializationError` on truncated or
+        over-long varints, ``OverflowError`` on deltas outside ``int64``)
+        because it *is* the historical per-bucket loop.
+        """
+        deltas = np.empty(num_buckets, dtype=np.int64)
+        counts = np.empty(num_buckets, dtype=np.float64)
+        for index in range(num_buckets):
+            deltas[index] = reader.read_zigzag()
+            counts[index] = reader.read_float()
+        return deltas, counts

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Tuple, Type
 
 import numpy as np
 
+from repro import kernel
 from repro.exceptions import DeserializationError, ReproError
 from repro.mapping import (
     CubicallyInterpolatedMapping,
@@ -56,7 +57,6 @@ from repro.serialization.encoding import (
     VarintReader,
     encode_float,
     encode_varint,
-    encode_zigzag,
 )
 from repro.store import (
     CollapsingHighestDenseStore,
@@ -118,9 +118,7 @@ def _encode_store(store: Store) -> bytes:
     keys, counts = store.nonzero_bins()
     out += encode_varint(int(keys.size))
     deltas = np.diff(keys, prepend=np.int64(0))
-    for delta, count in zip(deltas.tolist(), counts.tolist()):
-        out += encode_zigzag(delta)
-        out += encode_float(count)
+    out += kernel.encode_bucket_pairs(deltas, counts)
     return bytes(out)
 
 
@@ -152,11 +150,7 @@ def _decode_store(reader: VarintReader, version: int) -> Store:
         raise DeserializationError(
             f"bucket count {num_buckets} cannot fit in the remaining payload"
         )
-    deltas = np.empty(num_buckets, dtype=np.int64)
-    counts = np.empty(num_buckets, dtype=np.float64)
-    for index in range(num_buckets):
-        deltas[index] = reader.read_zigzag()
-        counts[index] = reader.read_float()
+    deltas, counts = kernel.decode_bucket_pairs(reader, num_buckets)
     # Un-delta the keys with one cumulative pass, then rebuild the store
     # through the vectorized bulk-insertion path (one allocation + one
     # bincount for the dense stores) instead of one add() per bucket.

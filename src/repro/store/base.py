@@ -76,6 +76,21 @@ class Store(ABC):
             for key, weight in zip(keys.tolist(), weights.tolist()):
                 self.add(key, weight)
 
+    def _add_selection(self, selection) -> None:
+        """Accumulate one :class:`repro.kernel.Selection` into this store.
+
+        This is the store half of the columnar ingest kernel: the sketch
+        layer hands each store the pre-keyed, pre-weighted slice of a batch
+        (one sign's selection) and the store folds it in.  The base
+        implementation materializes the selection's compressed keys/weights
+        and delegates to :meth:`add_batch`, which is correct for every store
+        type; :class:`~repro.store.DenseStore` overrides it to bin the
+        selection straight into its counter window via the kernel, and the
+        uniform-collapsing store appends its collapse check.  ``selection``
+        is guaranteed non-empty with strictly positive finite weights.
+        """
+        self.add_batch(selection.keys, selection.weights)
+
     def remove(self, key: int, weight: float = 1.0) -> None:
         """Decrease the counter of ``key`` by ``weight``.
 

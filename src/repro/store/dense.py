@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
+from repro import kernel
 from repro.exceptions import EmptySketchError, IllegalArgumentError
 from repro.store.base import Bucket, Store
 
@@ -98,7 +99,10 @@ class DenseStore(Store):
         ``O(len(keys))`` Python-level calls for the per-item loop.  The final
         ``(key, count)`` contents are identical to the per-item loop,
         including the window placement and folding of the collapsing
-        subclasses.
+        subclasses.  This method is a thin adapter over the columnar ingest
+        kernel: it wraps the pair as a :class:`repro.kernel.Selection` and
+        hands it to :meth:`_add_selection`, the same hook the sketch-level
+        batch paths use.
         """
         keys, weights = self._coerce_batch(keys, weights)
         if keys.size == 0:
@@ -108,25 +112,38 @@ class DenseStore(Store):
             # scalar path; route mixed batches through it unchanged.
             super().add_batch(keys, weights)
             return
+        self._add_selection(kernel.selection_from_keys(keys, weights))
+
+    def _add_selection(self, selection) -> None:
+        """Bin a kernel selection straight into the counter window.
+
+        The allocation (or, for the bounded subclasses, the collapsed
+        window) is extended a single time to cover the selection's
+        ``[min_key, max_key]`` span via :meth:`_batch_extend_range`, after
+        which the active kernel backend accumulates all counters with one
+        binning pass (:func:`repro.kernel.bin_selection`) over the exact
+        window slice the selection touches — keys falling outside a bounded
+        window are folded onto the boundary buckets, which is where the
+        per-item path sends them.
+        """
         if self._count <= 0 and self._bins.size:
             # Mirror the collapsing stores' scalar path, which re-anchors an
             # emptied store on the next insertion instead of letting a stale
             # window constrain where new weight lands.
             self.clear()
-        min_key = int(keys.min())
-        max_key = int(keys.max())
+        min_key = selection.min_key
+        max_key = selection.max_key
         self._batch_extend_range(min_key, max_key)
         # Accumulate into the slice of the allocation the batch actually
         # touches, so a small batch costs O(batch span), not O(store span).
         last_index = self._bins.size - 1
         low = min(max(min_key - self._offset, 0), last_index)
         high = min(max(max_key - self._offset, 0), last_index)
-        indices = np.clip(keys - self._offset, low, high) - low
-        counts = np.bincount(indices, weights=weights, minlength=high - low + 1)
+        counts = kernel.bin_selection(selection, self._offset + low, self._offset + high)
         segment = self._bins[low : high + 1]
         self._num_positive += int(np.count_nonzero((segment == 0.0) & (counts > 0)))
         segment += counts
-        self._count += float(weights.sum()) if weights is not None else float(keys.size)
+        self._count += selection.total
 
     def _add_binned_segment(self, min_key: int, counts: "np.ndarray", total: float) -> None:
         """Accumulate a pre-binned contiguous counter segment starting at ``min_key``.

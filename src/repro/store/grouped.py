@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import kernel
 from repro.exceptions import IllegalArgumentError
 from repro.store.base import Store
 from repro.store.dense import DenseStore
@@ -182,23 +183,8 @@ def add_grouped_batch(
             )
         return
 
-    if scratch is None:
-        flat = group_indices * span + (keys - offset)
-    else:
-        # Same arithmetic, computed in place into the caller's reusable
-        # buffer: group * span + key, then the offset shift.
-        flat = scratch.flat_index(keys.size)
-        np.multiply(group_indices, span, out=flat)
-        np.add(flat, keys, out=flat)
-        if offset:
-            flat -= offset
-    cells = np.bincount(flat, weights=weights, minlength=num_groups * span)
-    cells = cells.reshape(num_groups, span)
+    cells = kernel.bin_grouped(
+        group_indices, keys, weights, num_groups, offset, span, scratch=scratch
+    )
     totals = group_totals(num_groups, group_indices, weights)
-    for group in np.flatnonzero(totals > 0.0).tolist():
-        row = cells[group]
-        nonzero = np.flatnonzero(row)
-        first, last = int(nonzero[0]), int(nonzero[-1])
-        stores[group]._add_binned_segment(
-            offset + first, row[first : last + 1], float(totals[group])
-        )
+    kernel.apply_segments(stores, offset, cells, totals)

@@ -146,6 +146,18 @@ class UniformCollapsingDenseStore(DenseStore):
         super().add_batch(keys, weights)
         self._collapse_if_needed()
 
+    def _add_selection(self, selection) -> None:
+        """Kernel-selection ingest with the uniform span check appended.
+
+        The dense binning pass may push the used key span past ``bin_limit``
+        for one moment; collapsing after the whole selection has landed
+        (rather than mid-batch) matches :meth:`add_batch` — and the paper's
+        UDD semantics — exactly, because the uniform fold commutes with
+        accumulation at the original keys.
+        """
+        super()._add_selection(selection)
+        self._collapse_if_needed()
+
     def merge(self, other: Store) -> None:
         """Merge without intermediate folds, then collapse once if needed.
 

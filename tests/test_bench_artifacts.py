@@ -34,6 +34,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_service.json",
     "BENCH_overload.json",
     "BENCH_query.json",
+    "BENCH_kernel.json",
 )
 
 
@@ -73,6 +74,34 @@ class TestCommittedArtifacts:
         assert sections["threshold"]["prune_rate"] >= 0.9, (
             "selective threshold queries must prune >= 90% of series from bounds"
         )
+
+    def test_kernel_artifact_records_backends(self):
+        path = REPO_ROOT / "BENCH_kernel.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        sections = document["metrics"]
+        assert "numpy" in sections, "the NumPy reference backend must always be measured"
+        assert "comparison" in sections
+        for backend in ("numpy", "native"):
+            if backend not in sections:
+                continue
+            metrics = sections[backend]
+            assert metrics["backend"] == backend, (
+                "each section must record which kernel backend produced it"
+            )
+            for key in (
+                "scalar_ns_per_value",
+                "batch_log_ns_per_value",
+                "batch_cubic_ns_per_value",
+                "grouped_1series_ns_per_value",
+                "grouped_1000series_ns_per_value",
+            ):
+                assert metrics[key] > 0.0
+        comparison = sections["comparison"]
+        assert isinstance(comparison["native_available"], bool)
+        if comparison["native_available"]:
+            # The committed artifact must show the native batch path beating
+            # the pure-NumPy floor by the gated margin on the fused mapping.
+            assert comparison["batch_cubic_speedup"] >= comparison["required_batch_speedup"]
 
     def test_overload_artifact_carries_degradation_metrics(self):
         path = REPO_ROOT / "BENCH_overload.json"

@@ -104,6 +104,37 @@ class TestBoundsCommand:
         assert loose != tight
 
 
+class TestVersionCommand:
+    def test_version_reports_package_and_kernel_backend(self):
+        import repro
+        from repro import kernel
+
+        exit_code, output = run_cli(["version"])
+        assert exit_code == 0
+        assert repro.__version__ in output
+        assert "kernel backend" in output
+        assert kernel.active_backend() in output
+        assert "REPRO_KERNEL" in output
+
+    def test_version_reports_unavailability_reason(self, monkeypatch):
+        from repro import kernel
+
+        monkeypatch.setattr(
+            kernel,
+            "backend_info",
+            lambda: {
+                "active": "numpy",
+                "native_available": False,
+                "native_unavailable_reason": "no C compiler found",
+                "env": None,
+            },
+        )
+        exit_code, output = run_cli(["version"])
+        assert exit_code == 0
+        assert "no C compiler found" in output
+        assert "(unset)" in output
+
+
 class TestParser:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -132,6 +163,7 @@ class TestSimulateCommand:
         assert exit_code == 0
         assert "shards = 3" in output
         assert "tag-filtered p99 per endpoint" in output
+        assert "kernel backend" in output
 
     def test_simulate_rejects_invalid_shards(self):
         exit_code, output = run_cli(

@@ -33,6 +33,7 @@ DEFAULT_TARGETS = [
     REPO_ROOT / "src" / "repro" / "service",
     REPO_ROOT / "src" / "repro" / "evaluation" / "artifacts.py",
     REPO_ROOT / "src" / "repro" / "query",
+    REPO_ROOT / "src" / "repro" / "kernel",
 ]
 
 
