@@ -1,0 +1,157 @@
+"""Wire size and codec speed for frame v3 and the DataDog proto interop.
+
+The agent-to-aggregator link is the system's narrowest pipe (the paper's
+Figure 1 deployment pushes every agent's interval flush over it), so bytes
+per series is a first-class metric.  This module measures a 10k-series
+frame-v3 corpus in its raw, zlib-, and (when importable) zstd-compressed
+envelopes, plus the per-sketch DataDog proto payloads with and without
+extension fields, and writes everything to ``BENCH_wire.json`` (shared
+schema, :mod:`repro.evaluation.artifacts`).
+
+**Gate:** the zlib-compressed frame must be **>= 3x** smaller than the raw
+frame on this corpus.  Sketch payloads are dominated by near-uniform bucket
+count doubles and repeated series-name prefixes — if the compressed
+envelope stops clearing 3x, either the frame layout regressed into
+incompressibility or the compressor integration is broken (e.g. compressing
+an already-compressed body).  Codec throughput (encode/decode ns/value) is
+recorded ungated.
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DDSketch
+from repro.evaluation.artifacts import write_bench_artifact
+from repro.evaluation.config import bench_scale
+from repro.serialization import (
+    compress_frame,
+    decode_frame,
+    decompress_frame,
+    encode_frame,
+    sketch_from_proto,
+    sketch_to_proto,
+    zstd_available,
+)
+
+N_SERIES = 10_000
+VALUES_PER_SERIES = 50
+
+REQUIRED_ZLIB_RATIO = 3.0
+
+BENCH_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_wire.json"
+
+
+def _corpus(num_series: int):
+    rng = np.random.default_rng(11)
+    entries = []
+    total_values = 0
+    for index in range(num_series):
+        sketch = DDSketch(relative_accuracy=0.02)
+        sketch.add_batch(
+            rng.lognormal(np.log(5.0 + index % 40), 0.5, VALUES_PER_SERIES)
+        )
+        total_values += VALUES_PER_SERIES
+        entries.append((f"svc.latency.{index:05d}|host=h{index % 64}", sketch))
+    return entries, total_values
+
+
+def _best_of(rounds, run):
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_wire_size_and_codec_speed(benchmark):
+    """Record bytes/series and codec ns/value; gate zlib >= 3x on frames."""
+    num_series = max(int(N_SERIES * bench_scale()), 1_000)
+    entries, total_values = _corpus(num_series)
+
+    def measure():
+        sizes = {}
+        speeds = {}
+
+        encode_seconds, raw = _best_of(2, lambda: encode_frame(entries))
+        decode_seconds, decoded = _best_of(2, lambda: decode_frame(raw))
+        assert len(decoded) == num_series
+        sizes["frame_raw_bytes"] = len(raw)
+        speeds["frame_encode_ns_per_value"] = encode_seconds / total_values * 1e9
+        speeds["frame_decode_ns_per_value"] = decode_seconds / total_values * 1e9
+
+        zlib_seconds, compressed = _best_of(2, lambda: compress_frame(raw, "zlib"))
+        inflate_seconds, restored = _best_of(2, lambda: decompress_frame(compressed))
+        assert restored == raw
+        sizes["frame_zlib_bytes"] = len(compressed)
+        speeds["zlib_compress_ns_per_value"] = zlib_seconds / total_values * 1e9
+        speeds["zlib_decompress_ns_per_value"] = inflate_seconds / total_values * 1e9
+
+        if zstd_available():
+            zstd_seconds, zstd_payload = _best_of(2, lambda: compress_frame(raw, "zstd"))
+            unzstd_seconds, zstd_restored = _best_of(
+                2, lambda: decompress_frame(zstd_payload)
+            )
+            assert zstd_restored == raw
+            sizes["frame_zstd_bytes"] = len(zstd_payload)
+            speeds["zstd_compress_ns_per_value"] = zstd_seconds / total_values * 1e9
+            speeds["zstd_decompress_ns_per_value"] = unzstd_seconds / total_values * 1e9
+
+        # Proto interop sizes on a 1/10 sample: per-sketch payloads, so a
+        # sample is representative and keeps the benchmark quick.
+        sample = entries[:: max(num_series // 1_000, 1)]
+        sample_values = VALUES_PER_SERIES * len(sample)
+        proto_seconds, protos = _best_of(
+            2, lambda: [sketch_to_proto(sketch) for _, sketch in sample]
+        )
+        parse_seconds, parsed = _best_of(
+            2, lambda: [sketch_from_proto(payload) for payload in protos]
+        )
+        assert len(parsed) == len(sample)
+        reference = [
+            sketch_to_proto(sketch, extensions=False) for _, sketch in sample
+        ]
+        sizes["proto_bytes_per_series"] = sum(map(len, protos)) / len(sample)
+        sizes["proto_reference_bytes_per_series"] = sum(map(len, reference)) / len(
+            sample
+        )
+        speeds["proto_encode_ns_per_value"] = proto_seconds / sample_values * 1e9
+        speeds["proto_decode_ns_per_value"] = parse_seconds / sample_values * 1e9
+        return sizes, speeds
+
+    sizes, speeds = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    ratio = sizes["frame_raw_bytes"] / sizes["frame_zlib_bytes"]
+    metrics = {
+        "num_series": num_series,
+        "values_per_series": VALUES_PER_SERIES,
+        "zstd_available": zstd_available(),
+        "frame_raw_bytes_per_series": sizes["frame_raw_bytes"] / num_series,
+        "frame_zlib_bytes_per_series": sizes["frame_zlib_bytes"] / num_series,
+        "zlib_compression_ratio": ratio,
+        "required_zlib_ratio": REQUIRED_ZLIB_RATIO,
+        **sizes,
+        **speeds,
+    }
+    if "frame_zstd_bytes" in sizes:
+        metrics["frame_zstd_bytes_per_series"] = sizes["frame_zstd_bytes"] / num_series
+        metrics["zstd_compression_ratio"] = (
+            sizes["frame_raw_bytes"] / sizes["frame_zstd_bytes"]
+        )
+    write_bench_artifact(BENCH_OUTPUT, "wire", "frame", metrics)
+
+    print()
+    print(
+        f"wire size: {num_series} series, raw "
+        f"{sizes['frame_raw_bytes'] / num_series:.0f} B/series, zlib "
+        f"{sizes['frame_zlib_bytes'] / num_series:.0f} B/series "
+        f"({ratio:.2f}x, gate >= {REQUIRED_ZLIB_RATIO}x), proto "
+        f"{sizes['proto_bytes_per_series']:.0f} B/series"
+    )
+    assert ratio >= REQUIRED_ZLIB_RATIO, (
+        f"zlib-compressed frame v3 must be >= {REQUIRED_ZLIB_RATIO}x smaller than "
+        f"raw on the {num_series}-series corpus, measured {ratio:.2f}x"
+    )

@@ -351,6 +351,15 @@ def build_parser() -> argparse.ArgumentParser:
             "parked here (and previously spooled frames are replayed first)"
         ),
     )
+    push.add_argument(
+        "--compress",
+        choices=("none", "zlib", "zstd"),
+        default="none",
+        help=(
+            "compress the frame before pushing (zstd needs the optional "
+            "zstandard module; the server decodes either form)"
+        ),
+    )
 
     query = subparsers.add_parser(
         "query",
@@ -543,6 +552,9 @@ def _run_version(stdout) -> int:
     if not info["native_available"]:
         rows.append(["native unavailable", str(info["native_unavailable_reason"])])
     rows.append(["REPRO_KERNEL", info["env"] if info["env"] is not None else "(unset)"])
+    from repro.serialization.frame import frame_compressions
+
+    rows.append(["frame compression", ",".join(frame_compressions())])
     print(format_table(["component", "value"], rows), file=stdout)
     return 0
 
@@ -662,6 +674,7 @@ def _parse_tags(raw_tags: List[str]) -> dict:
 def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
     from repro.exceptions import ServiceError
     from repro.registry import SketchRegistry
+    from repro.serialization.frame import compress_frame
     from repro.service import FrameSpool, ServiceClient
 
     tags = _parse_tags(args.tag)
@@ -693,7 +706,7 @@ def _run_push(args: argparse.Namespace, stdin, stdout) -> int:
             import time as _time
 
             envelope = client.build_envelope(
-                registry.flush_frame(),
+                compress_frame(registry.flush_frame(), args.compress),
                 host=args.agent_host,
                 interval_start=args.interval_start,
                 sequence=max(

@@ -59,6 +59,7 @@ __all__ = [
     "compute_keys",
     "decode_bucket_pairs",
     "encode_bucket_pairs",
+    "encode_proto_bins",
     "native_available",
     "selection_from_keys",
     "set_backend",
@@ -226,3 +227,16 @@ def decode_bucket_pairs(reader, num_buckets: int):
     consumed bytes; malformed input raises the codec's historical exceptions.
     """
     return _backend().decode_bucket_pairs(reader, num_buckets)
+
+
+def encode_proto_bins(keys, counts) -> bytes:
+    """Encode sparse bins as DataDog-proto ``binCounts`` map entries.
+
+    The interop codec's (:mod:`repro.serialization.interop`) bucket loop:
+    each ``(key, count)`` becomes one length-delimited map-entry submessage
+    (``sint32`` zig-zag key + ``double`` count).  The zig-zag/float pair
+    bytes inside every entry come from :func:`encode_bucket_pairs`, so the
+    proto bytes are identical under both kernel backends wherever the
+    frame-v3 bucket bytes are.
+    """
+    return _backend().encode_proto_bins(keys, counts)

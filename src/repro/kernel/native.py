@@ -300,6 +300,20 @@ class NativeBackend:
         reader._offset = int(end)
         return deltas, counts
 
+    def encode_proto_bins(self, keys: "np.ndarray", counts: "np.ndarray") -> bytes:
+        """DataDog-proto map entries composed around the C varint pass.
+
+        The ``(zigzag key, float64 count)`` pair bytes come from
+        :meth:`encode_bucket_pairs` (the C hot loop); the proto tag/length
+        framing around them is the same shared composition the reference
+        backend uses, so both backends emit identical proto bytes by
+        construction.
+        """
+        from repro.kernel.reference import compose_proto_bins
+
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        return compose_proto_bins(self.encode_bucket_pairs(keys, counts), keys)
+
 
 def _self_test(backend: NativeBackend) -> None:
     """Verify the compiled kernel against the NumPy reference at load time.

@@ -139,3 +139,52 @@ class NumpyBackend:
             deltas[index] = reader.read_zigzag()
             counts[index] = reader.read_float()
         return deltas, counts
+
+    def encode_proto_bins(self, keys: "np.ndarray", counts: "np.ndarray") -> bytes:
+        """Encode sparse bins as DataDog-proto ``binCounts`` map entries."""
+        return compose_proto_bins(self.encode_bucket_pairs(keys, counts), keys)
+
+
+def zigzag_byte_lengths(keys: "np.ndarray") -> "np.ndarray":
+    """Per-key byte length of the zig-zag varint encoding, vectorized.
+
+    Mirrors :func:`repro.serialization.encoding.encode_zigzag` exactly: the
+    signed key is zig-zag mapped to an unsigned integer, whose base-128
+    varint occupies one byte per started 7-bit group.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    mapped = ((keys << 1) ^ (keys >> 63)).view(np.uint64)
+    lengths = np.ones(keys.size, dtype=np.int64)
+    mapped = mapped >> np.uint64(7)
+    while mapped.any():
+        lengths += mapped != 0
+        mapped = mapped >> np.uint64(7)
+    return lengths
+
+
+def compose_proto_bins(pairs: bytes, keys: "np.ndarray") -> bytes:
+    """Assemble proto map entries around pre-encoded ``(zigzag, float)`` pairs.
+
+    ``pairs`` is the output of ``encode_bucket_pairs(keys, counts)`` — the
+    concatenation of ``zigzag(key) + float64(count)`` per bin.  Each bin
+    becomes one ``binCounts`` map-entry submessage of the DataDog ``Store``
+    proto: field 1 (``sint32`` key, tag ``0x08``) followed by field 2
+    (``double`` count, tag ``0x11``), wrapped in a length-delimited field-1
+    tag (``0x0a``).  Shared by both kernel backends, so the proto bytes are
+    identical by construction wherever the bucket pairs are (which
+    ``tests/test_kernel_backends.py`` pins).
+    """
+    from repro.serialization.encoding import encode_varint
+
+    lengths = zigzag_byte_lengths(keys)
+    out = bytearray()
+    offset = 0
+    view = memoryview(pairs)
+    for zigzag_length in lengths.tolist():
+        pair_length = zigzag_length + 8
+        # 1 tag byte before the key, 1 before the count.
+        out += b"\x0a" + encode_varint(pair_length + 2)
+        out += b"\x08" + bytes(view[offset : offset + zigzag_length])
+        out += b"\x11" + bytes(view[offset + zigzag_length : offset + pair_length])
+        offset += pair_length
+    return bytes(out)

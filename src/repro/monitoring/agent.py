@@ -37,6 +37,7 @@ from repro.core.ddsketch import BaseDDSketch, DDSketch
 from repro.exceptions import IllegalArgumentError, ServiceError
 from repro.registry import SeriesKey, ShardedRegistry, SketchRegistry
 from repro.registry.series import SeriesLike, TagsLike
+from repro.serialization.frame import compress_frame
 
 
 @dataclass(frozen=True)
@@ -301,7 +302,9 @@ class MetricAgent:
         self._records = 0
         return payloads
 
-    def push_frames(self, client, interval_start: float, spool=None) -> List[dict]:
+    def push_frames(
+        self, client, interval_start: float, spool=None, compression: str = "none"
+    ) -> List[dict]:
         """Flush and push every pending frame to an aggregation service.
 
         The cross-process flush: the agent's series population leaves as
@@ -326,6 +329,12 @@ class MetricAgent:
         first, so frames from a past outage arrive before this interval's.
         An envelope the spool's byte budget forces out is *counted* in the
         spool's ``frames_dropped``, never lost silently.
+
+        ``compression`` (``"none"``/``"zlib"``/``"zstd"``) wraps each frame
+        in the compressed envelope of
+        :func:`repro.serialization.frame.compress_frame` before it enters
+        the push envelope; the server decodes either form transparently,
+        and spooled envelopes keep their compressed body on disk.
         """
         acks: List[dict] = []
         if spool is not None and spool.pending:
@@ -338,7 +347,7 @@ class MetricAgent:
                 pass
         for payload in self.flush_shard_frames(interval_start):
             envelope = client.build_envelope(
-                payload.payload,
+                compress_frame(payload.payload, compression),
                 host=payload.host,
                 interval_start=payload.interval_start,
             )

@@ -14,7 +14,10 @@ provided:
 High-cardinality agents batch all of their tagged series into one
 length-prefixed multi-sketch **frame** (format version 3,
 :mod:`repro.serialization.frame`) instead of shipping one payload per
-series.
+series.  Frames optionally travel compressed (``compress_frame`` /
+``decompress_frame``; zlib always, zstd when importable), and
+:mod:`repro.serialization.interop` exchanges single sketches with DataDog's
+reference implementations via their protobuf schema.
 """
 
 from repro.serialization.encoding import (
@@ -37,6 +40,18 @@ from repro.serialization.frame import (
     decode_frame,
     frame_to_dict,
     frame_from_dict,
+    compress_frame,
+    decompress_frame,
+    frame_compression,
+    frame_compressions,
+    zstd_available,
+    COMPRESSION_CODES,
+    MAX_DECOMPRESSED_FRAME_BYTES,
+)
+from repro.serialization.interop import (
+    sketch_to_proto,
+    sketch_from_proto,
+    INTERPOLATION_CODES,
 )
 
 __all__ = [
@@ -56,4 +71,14 @@ __all__ = [
     "decode_frame",
     "frame_to_dict",
     "frame_from_dict",
+    "compress_frame",
+    "decompress_frame",
+    "frame_compression",
+    "frame_compressions",
+    "zstd_available",
+    "COMPRESSION_CODES",
+    "MAX_DECOMPRESSED_FRAME_BYTES",
+    "sketch_to_proto",
+    "sketch_from_proto",
+    "INTERPOLATION_CODES",
 ]

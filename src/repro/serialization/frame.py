@@ -30,18 +30,55 @@ series, trailing bytes, embedded-sketch corruption) raise
 ``MemoryError`` from the internals.  A JSON-object twin
 (:func:`frame_to_dict` / :func:`frame_from_dict`) round-trips the same
 content readably.
+
+**Compression.**  At 10k series per frame the wire size is the scaling cost
+of the service tier, and a frame full of delta-varint keys and float64
+counts is highly redundant.  A frame may therefore travel inside a
+*compressed envelope* (:func:`compress_frame`), a sniffable wrapper around
+the unchanged inner frame-v3 bytes::
+
+    magic          2 bytes   b"DZ"
+    frame version  varint    3 (the version of the wrapped frame)
+    compression    1 byte    0 = none, 1 = zlib, 2 = zstd
+    raw length     varint    exact byte length of the decompressed frame
+    body           rest      the (compressed) frame-v3 payload
+
+:func:`decode_frame` dispatches on the leading magic, so every consumer of
+frame bytes — the service push envelope, the segment log, the
+:class:`~repro.service.FrameSpool`, the CLI — handles compressed and plain
+frames interchangeably; an *uncompressed* frame is byte-identical to what
+previous releases produced.  Decompression is bomb-guarded: the declared
+raw length is checked against ``max_decompressed_bytes`` before any
+inflation, the decompressor is capped at that length, and a body whose
+actual size disagrees with the declaration is rejected — a hostile payload
+can never cause a multi-GB allocation.  ``zlib`` is always available;
+``zstd`` is a soft dependency (used only when the ``zstandard`` package —
+or the stdlib ``compression.zstd`` of Python 3.14+ — is importable, see
+:func:`zstd_available`).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Tuple
+import zlib
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.exceptions import DeserializationError, ReproError
+from repro.exceptions import DeserializationError, IllegalArgumentError, ReproError
 from repro.registry.series import SeriesKey
 from repro.serialization.encoding import VarintReader, encode_varint
 
 _MAGIC = b"DD"
+_COMPRESSED_MAGIC = b"DZ"
 _FRAME_VERSION = 3
+
+#: Wire codes of the compression byte inside a compressed frame envelope.
+COMPRESSION_CODES = {"none": 0, "zlib": 1, "zstd": 2}
+_CODE_TO_COMPRESSION = {code: name for name, code in COMPRESSION_CODES.items()}
+
+#: Ceiling on the *declared* decompressed size of a compressed frame.  A
+#: genuine 10k-series frame at 1% accuracy is a few MB; anything claiming
+#: more than this is a decompression bomb (or corrupt) and is rejected
+#: before any inflation happens.
+MAX_DECOMPRESSED_FRAME_BYTES = 256 * 1024 * 1024
 
 #: Ceiling on any single decoded string (metric, tag key, tag value).  Real
 #: series names are tens of bytes; anything larger is a malformed length
@@ -53,6 +90,207 @@ _MAX_STRING_BYTES = 1 << 16
 #: (fixed header floats alone are 56 bytes).  Used to reject series counts
 #: that cannot possibly fit in the remaining payload.
 _MIN_ENTRY_BYTES = 2 + 1 + 1 + 60
+
+
+def _load_zstd():
+    """Return a ``(compress, decompress_capped)`` pair, or ``None``.
+
+    ``decompress_capped(body, declared)`` must return at most ``declared + 1``
+    bytes (so an over-long stream is detectable without inflating it fully)
+    and raise :class:`DeserializationError` on malformed input.  Prefers the
+    third-party ``zstandard`` package; falls back to the stdlib
+    ``compression.zstd`` module of Python 3.14+.
+    """
+    try:
+        import zstandard
+    except ImportError:
+        zstandard = None
+    if zstandard is not None:
+
+        def _compress(data: bytes) -> bytes:
+            return zstandard.ZstdCompressor().compress(data)
+
+        def _decompress(body: bytes, declared: int) -> bytes:
+            decompressor = zstandard.ZstdDecompressor()
+            try:
+                return decompressor.decompress(body, max_output_size=declared + 1)
+            except zstandard.ZstdError as error:
+                raise DeserializationError(
+                    f"malformed zstd frame body: {error}"
+                ) from error
+
+        return _compress, _decompress
+    try:
+        from compression import zstd as stdlib_zstd
+    except ImportError:
+        return None
+
+    def _compress_stdlib(data: bytes) -> bytes:
+        return stdlib_zstd.compress(data)
+
+    def _decompress_stdlib(body: bytes, declared: int) -> bytes:
+        decompressor = stdlib_zstd.ZstdDecompressor()
+        try:
+            raw = decompressor.decompress(body, max_length=declared + 1)
+        except stdlib_zstd.ZstdError as error:
+            raise DeserializationError(f"malformed zstd frame body: {error}") from error
+        if not decompressor.eof or decompressor.unused_data:
+            # Either the stream continues past the cap (a bomb) or carries
+            # trailing garbage; both mean the declaration lied.
+            raise DeserializationError(
+                "zstd frame body does not match its declared raw length"
+            )
+        return raw
+
+    return _compress_stdlib, _decompress_stdlib
+
+
+def zstd_available() -> bool:
+    """Whether the optional zstd codec can be used in this environment."""
+    return _load_zstd() is not None
+
+
+def frame_compressions() -> Tuple[str, ...]:
+    """The compression names usable for encoding here, in wire-code order."""
+    names = ["none", "zlib"]
+    if zstd_available():
+        names.append("zstd")
+    return tuple(names)
+
+
+def compress_frame(payload: bytes, compression: str = "zlib") -> bytes:
+    """Wrap encoded frame-v3 bytes in a compressed envelope.
+
+    ``compression`` is ``"none"`` (returns the input unchanged — a plain
+    frame *is* the uncompressed wire form), ``"zlib"``, or ``"zstd"`` (only
+    when :func:`zstd_available`).  The input must be a plain frame payload;
+    re-compressing an already-compressed envelope is rejected so envelopes
+    never nest.
+    """
+    payload = bytes(payload)
+    if compression not in COMPRESSION_CODES:
+        raise IllegalArgumentError(
+            f"unknown frame compression {compression!r}; "
+            f"expected one of {', '.join(sorted(COMPRESSION_CODES))}"
+        )
+    if payload[:2] != _MAGIC:
+        raise IllegalArgumentError(
+            "compress_frame expects plain frame-v3 bytes"
+            + (" (already compressed)" if payload[:2] == _COMPRESSED_MAGIC else "")
+        )
+    if compression == "none":
+        return payload
+    if compression == "zlib":
+        body = zlib.compress(payload, 6)
+    else:
+        codec = _load_zstd()
+        if codec is None:
+            raise IllegalArgumentError(
+                "zstd compression requested but neither the 'zstandard' package "
+                "nor stdlib 'compression.zstd' is importable"
+            )
+        body = codec[0](payload)
+    return (
+        _COMPRESSED_MAGIC
+        + encode_varint(_FRAME_VERSION)
+        + bytes((COMPRESSION_CODES[compression],))
+        + encode_varint(len(payload))
+        + body
+    )
+
+
+def frame_compression(payload: bytes) -> str:
+    """Report which compression an encoded frame payload travels under.
+
+    Returns ``"none"`` for a plain frame, the codec name for a compressed
+    envelope; raises :class:`DeserializationError` when the payload starts
+    with neither magic or the envelope header is malformed.
+    """
+    payload = bytes(payload)
+    if payload[:2] == _MAGIC:
+        return "none"
+    if payload[:2] != _COMPRESSED_MAGIC:
+        raise DeserializationError("payload does not start with a frame magic")
+    reader = VarintReader(payload[2:])
+    reader.read_varint()  # frame version, validated by the full decode
+    code = reader.read_bytes(1)[0]
+    if code not in _CODE_TO_COMPRESSION:
+        raise DeserializationError(f"unknown frame compression code {code}")
+    return _CODE_TO_COMPRESSION[code]
+
+
+def decompress_frame(
+    payload: bytes, max_decompressed_bytes: int = MAX_DECOMPRESSED_FRAME_BYTES
+) -> bytes:
+    """Unwrap a (possibly) compressed frame envelope to plain frame bytes.
+
+    A plain frame passes through unchanged.  For a compressed envelope the
+    declared raw length is validated against ``max_decompressed_bytes``
+    *before* inflating, the decompressor output is capped, and any mismatch
+    between declaration and actual content is rejected — the decompression
+    bomb guard of the wire tier.
+
+    Raises
+    ------
+    DeserializationError
+        Wrong magic, unknown compression code, a declaration exceeding the
+        guard, a zstd body without zstd support, a corrupt body, or a body
+        whose decompressed size differs from the declaration.
+    """
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
+        raise DeserializationError(
+            f"frame payload must be bytes, got {type(payload).__name__}"
+        )
+    payload = bytes(payload)
+    if payload[:2] == _MAGIC:
+        return payload
+    if payload[:2] != _COMPRESSED_MAGIC:
+        raise DeserializationError("payload does not start with a frame magic")
+    reader = VarintReader(payload[2:])
+    version = reader.read_varint()
+    if version != _FRAME_VERSION:
+        raise DeserializationError(f"unsupported compressed-frame version {version}")
+    code = reader.read_bytes(1)[0]
+    if code not in _CODE_TO_COMPRESSION:
+        raise DeserializationError(f"unknown frame compression code {code}")
+    compression = _CODE_TO_COMPRESSION[code]
+    declared = reader.read_varint()
+    if declared > max_decompressed_bytes:
+        raise DeserializationError(
+            f"declared decompressed frame size {declared} exceeds the "
+            f"{max_decompressed_bytes}-byte guard"
+        )
+    body = reader.read_bytes(reader.remaining)
+    if compression == "none":
+        raw = body
+    elif compression == "zlib":
+        decompressor = zlib.decompressobj()
+        try:
+            raw = decompressor.decompress(body, declared + 1)
+        except zlib.error as error:
+            raise DeserializationError(f"malformed zlib frame body: {error}") from error
+        if not decompressor.eof or decompressor.unused_data or decompressor.unconsumed_tail:
+            raise DeserializationError(
+                "zlib frame body does not match its declared raw length"
+            )
+    else:
+        codec = _load_zstd()
+        if codec is None:
+            raise DeserializationError(
+                "frame is zstd-compressed but neither the 'zstandard' package "
+                "nor stdlib 'compression.zstd' is importable"
+            )
+        raw = codec[1](body, declared)
+    if len(raw) != declared:
+        raise DeserializationError(
+            f"decompressed frame size {len(raw)} differs from the declared {declared}"
+        )
+    if raw[:2] != _MAGIC:
+        # Forbids nesting and catches envelopes around non-frame payloads.
+        raise DeserializationError(
+            "decompressed body is not a plain frame-v3 payload"
+        )
+    return raw
 
 
 def _encode_string(text: str) -> bytes:
@@ -73,12 +311,17 @@ def _read_string(reader: VarintReader, what: str) -> str:
         raise DeserializationError(f"{what} is not valid UTF-8") from error
 
 
-def encode_frame(entries: Iterable[Tuple[SeriesKey, Any]]) -> bytes:
+def encode_frame(
+    entries: Iterable[Tuple[SeriesKey, Any]], compression: str = "none"
+) -> bytes:
     """Serialize ``(series_key, sketch)`` pairs into one frame payload.
 
     Accepts any iterable of pairs — a :class:`~repro.registry.SketchRegistry`
     iterates as one — and embeds each sketch via
-    :func:`~repro.serialization.binary_codec.encode_sketch`.
+    :func:`~repro.serialization.binary_codec.encode_sketch`.  With the
+    default ``compression="none"`` the bytes are identical to what earlier
+    releases produced; ``"zlib"``/``"zstd"`` wrap the frame in the
+    compressed envelope described in the module docstring.
     """
     from repro.serialization.binary_codec import encode_sketch
 
@@ -95,13 +338,23 @@ def encode_frame(entries: Iterable[Tuple[SeriesKey, Any]]) -> bytes:
         body += encode_varint(len(sketch_bytes))
         body += sketch_bytes
         count += 1
-    return _MAGIC + encode_varint(_FRAME_VERSION) + encode_varint(count) + bytes(body)
+    frame = _MAGIC + encode_varint(_FRAME_VERSION) + encode_varint(count) + bytes(body)
+    if compression == "none":
+        return frame
+    return compress_frame(frame, compression)
 
 
-def decode_frame(payload: bytes, sketch_cls: Any = None) -> List[Tuple[SeriesKey, Any]]:
-    """Decode a frame into ``(series_key, sketch)`` pairs, in wire order.
+def decode_frame(
+    payload: bytes,
+    sketch_cls: Any = None,
+    max_decompressed_bytes: Optional[int] = None,
+) -> List[Tuple[SeriesKey, Any]]:
+    """Decode a (plain or compressed) frame into ``(series_key, sketch)`` pairs.
 
-    ``sketch_cls`` is forwarded to
+    Dispatches on the leading magic: a ``b"DZ"`` compressed envelope is
+    unwrapped through the bomb-guarded :func:`decompress_frame` first
+    (``max_decompressed_bytes`` tightens or relaxes the default guard), a
+    plain ``b"DD"`` frame decodes directly.  ``sketch_cls`` is forwarded to
     :func:`~repro.serialization.binary_codec.decode_sketch` for every entry
     (by default, payloads carrying uniform-collapse stores auto-upgrade to
     :class:`~repro.core.UDDSketch`).
@@ -109,7 +362,8 @@ def decode_frame(payload: bytes, sketch_cls: Any = None) -> List[Tuple[SeriesKey
     Raises
     ------
     DeserializationError
-        For any malformed payload: wrong magic or version, series/tag counts
+        For any malformed payload: wrong magic or version, a compressed
+        envelope failing its size declaration or guard, series/tag counts
         or string/sketch lengths that cannot fit the remaining bytes,
         invalid UTF-8, duplicate series, corrupt embedded sketches, or
         trailing bytes.
@@ -121,6 +375,15 @@ def decode_frame(payload: bytes, sketch_cls: Any = None) -> List[Tuple[SeriesKey
             f"frame payload must be bytes, got {type(payload).__name__}"
         )
     payload = bytes(payload)
+    if payload[:2] == _COMPRESSED_MAGIC:
+        payload = decompress_frame(
+            payload,
+            max_decompressed_bytes=(
+                MAX_DECOMPRESSED_FRAME_BYTES
+                if max_decompressed_bytes is None
+                else max_decompressed_bytes
+            ),
+        )
     if payload[:2] != _MAGIC:
         raise DeserializationError("payload does not start with the DDSketch magic bytes")
     reader = VarintReader(payload[2:])

@@ -20,6 +20,12 @@ Because spooled envelopes carry their fixed ``(host, sequence)`` identities
 (reserved by :meth:`~repro.service.ServiceClient.build_envelope` at encode
 time), a drain that dies halfway simply re-pushes the survivors next time
 and the server's deduplication keeps state exactly-once.
+
+Envelopes are spooled *verbatim*: a frame compressed with
+:func:`repro.serialization.frame.compress_frame` keeps its compressed body
+on disk (stretching the byte budget by the compression ratio) and the
+server transparently decompresses it on replay — the spool format needed no
+change for compressed frame v3.
 """
 
 from __future__ import annotations

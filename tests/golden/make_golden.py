@@ -1,0 +1,132 @@
+"""Regenerate the golden-vector corpus in this directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+Every fixture is a pure function of the fixed seeds below, so regeneration
+is only ever needed when the wire formats *intentionally* change — in which
+case the diff of the ``.bin`` files is the reviewable artifact of that
+change.  ``tests/test_golden_vectors.py`` pins both directions against
+these bytes: decoding must reproduce the manifest exactly, and re-encoding
+the decoded objects must reproduce the committed bytes, under both kernel
+backends.
+
+The zlib frame fixture is committed as whatever the local zlib produced at
+generation time; tests only assert the *decompressed* bytes (zlib output
+may legally differ across library versions, its inverse may not).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+HERE = Path(__file__).resolve().parent
+
+
+def _build_sketches():
+    from repro.core import DDSketch, SparseDDSketch, UDDSketch
+
+    rng = np.random.default_rng(20260808)
+    dense = DDSketch(0.01)
+    dense.add_batch(rng.lognormal(0.0, 2.0, 4000))
+    dense.add_batch(-rng.lognormal(0.0, 1.0, 700))
+    dense.add_batch(np.zeros(13))
+
+    sparse = SparseDDSketch(0.02)
+    sparse.add_batch(rng.lognormal(1.0, 3.0, 2500))
+
+    udd = UDDSketch(0.005, bin_limit=64)
+    udd.add_batch(rng.lognormal(0.0, 4.0, 12000))
+    udd.add_batch(-rng.lognormal(0.0, 3.0, 2000))
+    assert udd.collapse_count > 0, "the UDD fixture must be mid-collapse"
+    return {"dense": dense, "sparse": sparse, "udd_collapsed": udd}
+
+
+def _sketch_expectations(sketch):
+    quantiles = {str(q): sketch.quantile(q) for q in (0.01, 0.25, 0.5, 0.75, 0.99)}
+    return {
+        "count": sketch.count,
+        "sum": sketch.sum,
+        "min": sketch.min,
+        "max": sketch.max,
+        "zero_count": sketch.zero_count,
+        "store_class": type(sketch.store).__name__,
+        "negative_store_class": type(sketch.negative_store).__name__,
+        "mapping_class": type(sketch.mapping).__name__,
+        "relative_accuracy": sketch.mapping.relative_accuracy,
+        "collapse_count": int(getattr(sketch, "collapse_count", 0)),
+        "quantiles": quantiles,
+    }
+
+
+def main() -> None:
+    from repro.core import DDSketch
+    from repro.serialization import (
+        compress_frame,
+        encode_frame,
+        encode_sketch,
+        sketch_from_proto,
+        sketch_to_proto,
+    )
+
+    manifest = {"proto": {}, "frame": {}}
+    sketches = _build_sketches()
+    for name, sketch in sketches.items():
+        payload = sketch_to_proto(sketch)
+        (HERE / f"proto_{name}.bin").write_bytes(payload)
+        manifest["proto"][name] = {
+            "file": f"proto_{name}.bin",
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "lossless": True,
+            "expect": _sketch_expectations(sketch),
+        }
+
+    # The documented lossy direction: a reference-schema payload (as a
+    # DataDog encoder would produce) of the dense fixture.  Expectations are
+    # computed from an actual decode so the manifest pins the reconstructed
+    # summaries, not the originals.
+    reference = sketch_to_proto(sketches["dense"], extensions=False)
+    (HERE / "proto_reference_schema.bin").write_bytes(reference)
+    manifest["proto"]["reference_schema"] = {
+        "file": "proto_reference_schema.bin",
+        "sha256": hashlib.sha256(reference).hexdigest(),
+        "lossless": False,
+        "expect": _sketch_expectations(sketch_from_proto(reference)),
+    }
+
+    rng = np.random.default_rng(42)
+    entries = []
+    for index in range(32):
+        sketch = DDSketch(0.02)
+        sketch.add_batch(rng.lognormal(np.log(2.0 + index), 0.4, 200))
+        entries.append((f"golden.metric.{index:02d}|host=h{index % 4}", sketch))
+    raw = encode_frame(entries)
+    (HERE / "frame_v3.bin").write_bytes(raw)
+    (HERE / "frame_v3_zlib.bin").write_bytes(compress_frame(raw, "zlib"))
+    manifest["frame"] = {
+        "raw_file": "frame_v3.bin",
+        "zlib_file": "frame_v3_zlib.bin",
+        "raw_sha256": hashlib.sha256(raw).hexdigest(),
+        "num_series": len(entries),
+        "series": [
+            {
+                "name": name,
+                "count": sketch.count,
+                "q50": sketch.quantile(0.5),
+                "sketch_sha256": hashlib.sha256(encode_sketch(sketch)).hexdigest(),
+            }
+            for name, sketch in entries
+        ],
+    }
+
+    (HERE / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote {len(manifest['proto'])} proto fixtures + frame corpus to {HERE}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,7 @@ EXPECTED_ARTIFACTS = (
     "BENCH_overload.json",
     "BENCH_query.json",
     "BENCH_kernel.json",
+    "BENCH_wire.json",
 )
 
 
@@ -102,6 +103,26 @@ class TestCommittedArtifacts:
             # The committed artifact must show the native batch path beating
             # the pure-NumPy floor by the gated margin on the fused mapping.
             assert comparison["batch_cubic_speedup"] >= comparison["required_batch_speedup"]
+
+    def test_wire_artifact_carries_compression_gate(self):
+        path = REPO_ROOT / "BENCH_wire.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        frame = document["metrics"]["frame"]
+        assert frame["num_series"] >= 1_000
+        assert frame["zlib_compression_ratio"] >= frame["required_zlib_ratio"], (
+            "the committed wire artifact must show compressed frame v3 clearing "
+            "its size gate"
+        )
+        for key in (
+            "frame_raw_bytes_per_series",
+            "frame_zlib_bytes_per_series",
+            "proto_bytes_per_series",
+            "frame_encode_ns_per_value",
+            "frame_decode_ns_per_value",
+            "proto_encode_ns_per_value",
+            "proto_decode_ns_per_value",
+        ):
+            assert frame[key] > 0.0
 
     def test_overload_artifact_carries_degradation_metrics(self):
         path = REPO_ROOT / "BENCH_overload.json"
